@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures; results
+are also written to ``benchmarks/output/`` so EXPERIMENTS.md can cite
+them.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.flow import tapered_cylinder_dataset
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def record(output_dir):
+    """Write (and echo) a named result block for EXPERIMENTS.md."""
+
+    def _record(name: str, lines: list[str]) -> None:
+        text = "\n".join(lines) + "\n"
+        (output_dir / f"{name}.txt").write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def cylinder_dataset():
+    """A mid-size tapered-cylinder dataset for figure/interaction benches."""
+    return tapered_cylinder_dataset(shape=(32, 32, 16), n_timesteps=16, dt=0.25)
+
+
+@pytest.fixture(scope="session")
+def paper_grid_dataset():
+    """The paper's full 64x64x32 grid footprint (131,072 points), one
+    timestep — the substrate for the section 5.3 compute benchmark."""
+    return tapered_cylinder_dataset(shape=(64, 64, 32), n_timesteps=1)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small, cheap dataset for end-to-end frame benches."""
+    return tapered_cylinder_dataset(shape=(16, 16, 8), n_timesteps=8, dt=0.25)

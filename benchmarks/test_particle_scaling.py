@@ -1,0 +1,95 @@
+"""Empirical particle scaling: Table 3's question, answered end to end.
+
+Table 3 extrapolates max particles from one benchmark time assuming
+linear scaling.  Here we *measure* the scaling through the complete
+distributed pipeline — compute on the server, 12 B/point transfer,
+client render — at increasing particle counts, verify the linearity
+assumption, and report this machine's own max-particles-at-10-fps figure
+next to the paper's Convex/SGI numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ToolSettings, WindtunnelClient, WindtunnelServer
+from repro.perf import PAPER_TIMINGS, max_particles_at_fps
+from repro.util import look_at
+
+HEAD = look_at([1.5, -7.0, 1.0], [2.0, 0.0, 1.0], up=[0, 0, 1])
+
+# Seed counts x 100-point paths giving these totals per frame.  Scaling
+# the seed count (not path length) keeps particles inside the domain, so
+# delivered counts track the target.
+SCALES = [1_000, 5_000, 20_000]
+POINTS_PER_PATH = 100
+
+_measured: dict[int, float] = {}
+
+
+@pytest.fixture(scope="module")
+def server(cylinder_dataset):
+    srv = WindtunnelServer(
+        cylinder_dataset,
+        settings=ToolSettings(streamline_steps=100),
+        time_fn=lambda: 0.0,
+    )
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.mark.parametrize("target_points", SCALES)
+def test_scaling_full_pipeline(server, benchmark, target_points):
+    n_seeds = target_points // POINTS_PER_PATH
+    with WindtunnelClient(*server.address, width=320, height=240) as client:
+        client.set_tool_settings(streamline_steps=POINTS_PER_PATH - 1)
+        rid = client.add_rake(
+            [1.2, -1.5, 1.0], [1.2, 1.5, 3.0], n_seeds=n_seeds, kind="streamline"
+        )
+        try:
+            state = client.frame(HEAD, [1.2, 0, 2])  # warm
+            actual = sum(
+                int(p["lengths"].sum())
+                for p in client.latest_state["paths"].values()
+            )
+
+            def cycle():
+                client.time_control("step", 1)  # force a fresh compute
+                return client.frame(HEAD, [1.2, 0, 2])
+
+            benchmark(cycle)
+            _measured[target_points] = benchmark.stats["mean"]
+            # The rake delivered approximately the target particle count
+            # (short of it only where paths died at the domain boundary).
+            assert actual <= target_points
+            assert actual > 0.4 * target_points
+        finally:
+            client.remove_rake(rid)
+
+
+def test_scaling_report(record, benchmark):
+    benchmark(lambda: max_particles_at_fps(0.1))
+    assert len(_measured) == len(SCALES), "run the scaling benches first"
+    lines = ["points/frame   full-cycle ms   implied max @10 fps"]
+    for n in SCALES:
+        t = _measured[n]
+        lines.append(
+            f"{n:>12,}   {t * 1e3:>12.2f}   {int(n / (t * 10)):>12,}"
+        )
+    # Marginal cost per point between the two largest scales — removes
+    # the fixed per-frame overhead that dominates small frames.
+    n1, n2 = SCALES[-2], SCALES[-1]
+    marginal = (_measured[n2] - _measured[n1]) / (n2 - n1)
+    if marginal > 0:
+        sustained = int(0.1 / marginal)
+        lines.append(
+            f"marginal cost {marginal * 1e6:.2f} us/point -> "
+            f"~{sustained:,} particles at 10 fps (marginal)"
+        )
+    lines.append("")
+    lines.append("paper, same question (Table 3):")
+    for name, t in PAPER_TIMINGS.items():
+        lines.append(f"  {name}: {max_particles_at_fps(t):,}")
+    record("particle_scaling", lines)
+    # Shape: bigger frames cost more; the trend is roughly monotone.
+    assert _measured[SCALES[-1]] > _measured[SCALES[0]]

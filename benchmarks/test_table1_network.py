@@ -1,0 +1,112 @@
+"""Table 1 — network constraints.
+
+Paper: bandwidth required for 10 fps at 12 bytes/point for 10k/50k/100k
+particles, and the finding that the measured 1 MB/s UltraNet cannot
+sustain even 10k particles while the 13 MB/s VME-limited rate suffices
+for all rows (section 5.1).
+
+We reproduce (a) the analytic table, (b) a *measured* transfer of each
+row's payload through the real dlib/TCP stack on loopback, and (c) the
+modeled frame times at the paper's three network tiers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dlib import DlibClient, DlibServer
+from repro.netsim import (
+    ULTRANET_ACTUAL,
+    ULTRANET_RATED,
+    ULTRANET_VME,
+    bytes_per_frame,
+    required_bandwidth_mbps,
+    table1_rows,
+)
+
+PARTICLE_ROWS = (10_000, 50_000, 100_000)
+MB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def echo_server():
+    srv = DlibServer()
+    srv.register("echo_bytes", lambda ctx, n: b"\0" * int(n))
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def test_table1_analytic(record, benchmark):
+    rows = benchmark(table1_rows, PARTICLE_ROWS)
+    lines = ["particles  bytes/frame  required MB/s (10 fps)"]
+    for r in rows:
+        lines.append(
+            f"{r['particles']:>9,}  {r['bytes_transferred']:>11,}  "
+            f"{r['required_mbps']:>8.3f}"
+        )
+    lines.append("")
+    lines.append("paper:     120,000 / 600,000 / 1,200,000 bytes;")
+    lines.append("           1.144 / 5.722 / 9.537 MB/s (row 3 printed value is")
+    lines.append("           inconsistent with its own bytes column; self-")
+    lines.append("           consistent value is 11.444 MB/s)")
+    record("table1_analytic", lines)
+    assert [r["bytes_transferred"] for r in rows] == [120000, 600000, 1200000]
+    np.testing.assert_allclose(
+        [r["required_mbps"] for r in rows], [1.144, 5.722, 11.444], atol=5e-4
+    )
+
+
+@pytest.mark.parametrize("particles", PARTICLE_ROWS)
+def test_table1_measured_loopback_transfer(echo_server, benchmark, particles):
+    """Measure one visualization frame's payload over real sockets."""
+    nbytes = bytes_per_frame(particles)
+    with DlibClient(*echo_server.address) as client:
+        payload = benchmark(client.call, "echo_bytes", nbytes)
+        assert len(payload) == nbytes
+
+
+def test_table1_modeled_tiers(record, benchmark):
+    """The paper's crossover: who sustains 10 fps at which row."""
+
+    def tier_fps():
+        return {
+            net.name: [net.sustainable_fps(bytes_per_frame(n)) for n in PARTICLE_ROWS]
+            for net in (ULTRANET_ACTUAL, ULTRANET_VME, ULTRANET_RATED)
+        }
+
+    tiers = benchmark(tier_fps)
+    lines = ["network                         10k     50k     100k  (fps)"]
+    for name, fps in tiers.items():
+        lines.append(
+            f"{name:<30} {fps[0]:>6.1f}  {fps[1]:>6.1f}  {fps[2]:>6.1f}"
+        )
+    record("table1_tiers", lines)
+    # Shape assertions from section 5.1:
+    assert not ULTRANET_ACTUAL.supports(10_000)  # "only 1 MB/s" fails
+    for n in PARTICLE_ROWS:
+        assert ULTRANET_VME.supports(n)  # "should be sufficient"
+    assert ULTRANET_RATED.supports(100_000)
+
+
+def test_table1_twelve_beats_sixteen_bytes(record, benchmark):
+    """Section 5.1's design argument: 12 B/pt world coords beat the 16 B/pt
+    stereo-projected alternative."""
+    from repro.netsim.model import BYTES_PER_POINT_STEREO_PROJECTED
+
+    def both():
+        return [
+            (
+                n,
+                required_bandwidth_mbps(n),
+                required_bandwidth_mbps(
+                    n, bytes_per_point=BYTES_PER_POINT_STEREO_PROJECTED
+                ),
+            )
+            for n in PARTICLE_ROWS
+        ]
+
+    rows = []
+    for n, ours, alt in benchmark(both):
+        rows.append(f"{n:>9,}  world={ours:7.3f} MB/s  projected={alt:7.3f} MB/s")
+        assert ours < alt
+    record("table1_design_choice", rows)

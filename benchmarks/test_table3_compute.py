@@ -1,0 +1,105 @@
+"""Table 3 / section 5.3 — the computational performance benchmark.
+
+Paper scenario: 100 streamlines x 200 points (20,000 points, 240 kB on
+the wire) on the 131,072-point tapered-cylinder grid.  Paper results:
+Convex scalar C parallelized over 4 CPUs 0.24 s; Convex vectorized across
+streamlines 0.19 s; 8-processor SGI 0.13-0.14 s.  Table 3 extrapolates
+max particles at 10 fps assuming linear scaling.
+
+Our backends map onto the paper's trade space (see DESIGN.md): ``scalar``
+is the interpreted analogue of optimized scalar C, ``parallel`` its 4-way
+process-parallel version, ``vector`` the vectorization across streamlines
+(NumPy standing in for the Convex vector units), ``vector-strip`` the
+same strip-mined to the Convex's 128-lane registers, and ``vector-group``
+the paper's proposed parallel-across-groups x vectorize-within-group
+optimization (its 'under study' ablation).
+
+Expected shape: vectorizing across streamlines wins over scalar —
+dramatically here, modestly on the Convex — and the extrapolated Table 3
+columns follow mechanically from any measured time.
+"""
+
+import os
+
+import pytest
+
+from repro.perf import (
+    BENCHMARK_POINTS,
+    PAPER_TIMINGS,
+    max_particles_at_fps,
+    run_benchmark,
+    table3_rows,
+)
+
+BACKENDS = ["vector", "vector-strip", "scalar", "parallel", "vector-group"]
+
+#: The Convex had 4 CPUs; we use what the host offers.
+WORKERS = max(2, min(4, os.cpu_count() or 2))
+
+_results: dict[str, float] = {}
+
+
+def test_table3_extrapolation_rows(record, benchmark):
+    rows = benchmark(table3_rows)
+    lines = ["benchmark s   max particles   streamlines w/ 200 pts"]
+    for r in rows:
+        lines.append(
+            f"{r['benchmark_seconds']:>10.2f}   {r['max_particles']:>13,}   "
+            f"{r['streamlines_200pt']:>10}"
+        )
+    record("table3_extrapolation", lines)
+    got = [(r["max_particles"], r["streamlines_200pt"]) for r in rows]
+    assert got == [(8000, 40), (10526, 52), (15384, 76), (20000, 100), (40000, 200)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_table3_benchmark_backend(paper_grid_dataset, benchmark, backend):
+    """The 100x200 scenario on the full paper-footprint grid, per backend."""
+    ds = paper_grid_dataset
+    ds.grid_velocity(0)  # pre-convert, as the Convex pre-converted
+
+    def scenario():
+        return run_benchmark(ds, backend, workers=WORKERS)
+
+    # One warmup round lets the persistent worker pools fork and cache the
+    # flattened field before measurement (the Convex's data was resident).
+    res = benchmark.pedantic(scenario, rounds=2, iterations=1, warmup_rounds=1)
+    _results[backend] = res.seconds
+    assert res.n_points == BENCHMARK_POINTS
+
+
+def test_table3_shape_and_report(record, benchmark):
+    """Who wins, by roughly what factor — the paper's comparison."""
+    benchmark(lambda: max_particles_at_fps(0.19))  # keep --benchmark-only happy
+    assert set(_results) == set(BACKENDS), "run the backend benches first"
+    lines = [
+        f"(host: {os.cpu_count()} cores; process backends use {WORKERS} workers;"
+        f" the Convex had 4 CPUs)",
+        "backend        seconds   max particles @10fps   200-pt streamlines",
+    ]
+    for b in BACKENDS:
+        t = _results[b]
+        mp = max_particles_at_fps(t)
+        lines.append(f"{b:<13} {t:>8.4f}   {mp:>13,}   {mp // 200:>10}")
+    lines.append("")
+    lines.append("paper (same scenario):")
+    for name, t in PAPER_TIMINGS.items():
+        lines.append(
+            f"  {name:<40} {t:.3f} s -> {max_particles_at_fps(t):,} particles"
+        )
+    record("table3_backends", lines)
+
+    # Shape assertions:
+    # 1. Vectorizing across streamlines beats scalar (paper: 0.19 < 0.24,
+    #    with the scalar side already 4-way parallel; ours is single-
+    #    process scalar, so the margin is much larger).
+    assert _results["vector"] < _results["scalar"]
+    # 2. Strip-mining to 128 lanes costs little vs unlimited vectors.
+    assert _results["vector-strip"] < 3.0 * _results["vector"] + 0.05
+    # 3. Parallelizing the scalar code is at worst a wash and wins with
+    #    real cores (the Convex's 4-way win; on a 2-core host the IPC
+    #    overhead eats most of the gain, hence the tolerance).
+    assert _results["parallel"] < 1.5 * _results["scalar"]
+    # 4. The paper's proposed further optimization — parallelize across
+    #    groups, vectorize within a group — beats plain parallel-scalar.
+    assert _results["vector-group"] < _results["parallel"]

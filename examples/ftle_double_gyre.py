@@ -1,0 +1,47 @@
+"""FTLE of the double gyre: global flow structure from the tracer core.
+
+The paper's tools show individual trajectories; finite-time Lyapunov
+exponent fields — computed here with the same particle-path machinery —
+reveal the *global* transport structure the windtunnel's users were
+hunting.  The double gyre's oscillating separatrix appears as the bright
+ridge in ``examples/output/ftle_double_gyre.ppm``.
+
+Run:  python examples/ftle_double_gyre.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.flow import DoubleGyre, MemoryDataset, sample_on_grid
+from repro.grid import cartesian_grid
+from repro.render import Framebuffer, HEAT
+from repro.tracers import compute_ftle
+
+OUT = Path(__file__).parent / "output"
+OUT.mkdir(exist_ok=True)
+
+# Sample the double gyre onto a windtunnel dataset (one full period).
+grid = cartesian_grid((65, 33, 3), lo=(0, 0, 0), hi=(2, 1, 0.1))
+times = np.arange(41) * 0.25  # 10 s = one perturbation period
+print("sampling the double gyre onto a", grid, "dataset...")
+dataset = MemoryDataset(
+    grid, sample_on_grid(DoubleGyre(), grid, times, dtype=np.float64), dt=0.25
+)
+
+print("advecting the FTLE seed lattice through one period...")
+res = compute_ftle(dataset, 0, resolution=(192, 96), margin=0.02)
+finite = res.values[np.isfinite(res.values)]
+print(f"FTLE range: [{finite.min():.3f}, {finite.max():.3f}] 1/s "
+      f"over a {res.window_time:.1f} s window; "
+      f"{res.ridge_mask(95).sum()} ridge sites at the 95th percentile")
+
+# Paint the field straight into a framebuffer (image-space, no camera).
+nx, ny = res.shape
+fb = Framebuffer(nx * 4, ny * 4)
+vals = np.where(np.isfinite(res.values), res.values, finite.min())
+rgb = HEAT.normalized(vals)  # (nx, ny, 3)
+big = np.repeat(np.repeat(rgb, 4, axis=0), 4, axis=1)  # upscale 4x
+fb.color[:] = np.transpose(big, (1, 0, 2))[::-1]  # y up
+path = fb.save_ppm(OUT / "ftle_double_gyre.ppm")
+print(f"wrote {path}")

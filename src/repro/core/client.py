@@ -1,0 +1,250 @@
+"""The workstation: input devices in, stereo frames out.
+
+Figure 9: the workstation runs two cooperating halves — one handling
+network traffic with the remote system, one rendering the latest received
+environment state head-tracked "at very high rates", decoupled so
+"graphics performance is not tied to the network and remote computation
+performance".  :class:`WindtunnelClient` implements both halves: the
+synchronous command/frame RPC cycle, and a render path that draws
+whatever state arrived last from whatever head pose the BOOM reports
+*now*.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.dlib.client import DlibClient
+from repro.dlib.transport import Stream
+from repro.render.camera import Camera
+from repro.render.framebuffer import Framebuffer
+from repro.render.scene import HandGlyph, HeadGlyph, PathBundle, RakeGlyph, Scene
+from repro.render.stereo import render_anaglyph
+from repro.util.timers import FrameTimer
+
+__all__ = ["WindtunnelClient"]
+
+#: Path colors per tool kind (streaklines get the smoke fade).
+_TOOL_COLORS = {
+    "streamline": (255, 255, 255),
+    "particle_path": (120, 220, 255),
+    "streakline": (230, 230, 230),
+}
+
+
+class WindtunnelClient:
+    """A workstation client of the distributed windtunnel.
+
+    Parameters
+    ----------
+    host, port / stream
+        How to reach the server: an address, or a preconnected stream
+        (e.g. a :class:`~repro.netsim.channel.ThrottledChannel`).
+    width, height
+        Framebuffer size.  The paper's VGX ran 1280x1024; tests use less.
+    stereo
+        Render writemask anaglyph stereo (section 3) vs mono.
+    """
+
+    def __init__(
+        self,
+        host: str | None = None,
+        port: int | None = None,
+        *,
+        stream: Stream | None = None,
+        name: str = "",
+        width: int = 320,
+        height: int = 240,
+        stereo: bool = True,
+        ipd: float = 0.064,
+        fov_y: float = np.pi / 2,
+    ) -> None:
+        self._rpc = DlibClient(host, port, stream=stream)
+        info = self._rpc.call("wt.join", name)
+        self.client_id: int = info["client_id"]
+        self.dataset_info = info
+        self.fb = Framebuffer(width, height)
+        self.stereo = stereo
+        self.ipd = ipd
+        self.fov_y = fov_y
+        self.head_pose = np.eye(4)
+        self.latest_state: dict | None = None
+        self.timer = FrameTimer()
+        self._net_thread: threading.Thread | None = None
+        self._net_stop = threading.Event()
+        self._state_lock = threading.Lock()
+        self._closed = False
+
+    # -- commands ------------------------------------------------------------
+
+    def send_input(self, head_position, hand_position, gesture: str) -> dict:
+        """Ship this frame's user commands (section 5.1's 'hand position,
+        hand gestures ... and any other control data')."""
+        return self._rpc.call(
+            "wt.update",
+            self.client_id,
+            np.asarray(head_position, dtype=np.float32),
+            np.asarray(hand_position, dtype=np.float32),
+            gesture,
+        )
+
+    def add_rake(self, end_a, end_b, n_seeds: int = 10, kind: str = "streamline") -> int:
+        from repro.tracers.rake import Rake
+
+        rake = Rake(end_a, end_b, n_seeds=n_seeds, kind=kind)
+        return self._rpc.call("wt.add_rake", self.client_id, rake.to_dict())
+
+    def remove_rake(self, rake_id: int) -> None:
+        self._rpc.call("wt.remove_rake", self.client_id, rake_id)
+
+    def time_control(self, op: str, value: float = 0.0) -> dict:
+        """pause / resume / speed / scrub / step / reverse."""
+        return self._rpc.call("wt.time", self.client_id, op, value)
+
+    def server_stats(self) -> dict:
+        return self._rpc.call("wt.stats")
+
+    def set_tool_settings(self, **settings) -> dict:
+        """Adjust shared tracer parameters (steps, dt, streak length)."""
+        return self._rpc.call("wt.set_tool_settings", self.client_id, settings)
+
+    def request_isosurface(self, level_fraction: float = 0.75) -> dict:
+        """Fetch a |v| isosurface of the current timestep from the server.
+
+        Returns the server payload; pass ``payload["triangles"]`` to a
+        :class:`~repro.render.scene.TriangleMesh` to draw it.
+        """
+        return self._rpc.call("wt.isosurface", self.client_id, level_fraction)
+
+    # -- the network half (figure 9, left process) ------------------------------
+
+    def fetch_frame(self) -> dict:
+        """Pull the current shared visualization from the server."""
+        state = self._rpc.call("wt.frame", self.client_id)
+        with self._state_lock:
+            self.latest_state = state
+        return state
+
+    def start_network_loop(self, interval: float = 0.05) -> None:
+        """Run fetch_frame continuously in a background thread."""
+        if self._net_thread is not None:
+            raise RuntimeError("network loop already running")
+        self._net_stop.clear()
+
+        def loop() -> None:
+            while not self._net_stop.is_set():
+                try:
+                    self.fetch_frame()
+                except (ConnectionError, OSError):
+                    return
+                self._net_stop.wait(interval)
+
+        self._net_thread = threading.Thread(target=loop, daemon=True)
+        self._net_thread.start()
+
+    def stop_network_loop(self) -> None:
+        if self._net_thread is not None:
+            self._net_stop.set()
+            self._net_thread.join(timeout=5.0)
+            self._net_thread = None
+
+    # -- the render half (figure 9, right process) --------------------------------
+
+    def build_scene(self, state: dict | None = None) -> Scene:
+        """Turn a frame payload into a drawable scene."""
+        if state is None:
+            with self._state_lock:
+                state = self.latest_state
+        scene = Scene()
+        if state is None:
+            return scene
+        for rid, path in state.get("paths", {}).items():
+            kind = path["kind"]
+            scene.add(
+                PathBundle(
+                    paths=path["vertices"].astype(np.float64),
+                    lengths=np.asarray(path["lengths"]),
+                    color=_TOOL_COLORS.get(kind, (255, 255, 255)),
+                    fade=kind == "streakline",
+                )
+            )
+        env = state.get("env", {})
+        for rid, rake in env.get("rakes", {}).items():
+            scene.add(
+                RakeGlyph(
+                    np.asarray(rake["end_a"]),
+                    np.asarray(rake["end_b"]),
+                    held=rake.get("owner") is not None,
+                )
+            )
+        for uid, user in env.get("users", {}).items():
+            if int(uid) == self.client_id:
+                scene.add(HandGlyph(np.asarray(user["hand_position"], dtype=np.float64)))
+            else:
+                # Shared sessions show where everyone is (section 5.1).
+                scene.add(HeadGlyph(np.asarray(user["head_position"], dtype=np.float64)))
+        return scene
+
+    def render(self, head_pose: np.ndarray | None = None) -> Framebuffer:
+        """Draw the latest state from the (current!) head pose.
+
+        This can run far faster than the network cycle — the decoupling
+        that keeps head tracking responsive (figure 9) — though the full
+        interaction cycle must still meet the 1/8 s budget.
+        """
+        if head_pose is not None:
+            self.head_pose = np.asarray(head_pose, dtype=np.float64)
+        camera = Camera(self.head_pose, fov_y=self.fov_y)
+        scene = self.build_scene()
+        if self.stereo:
+            render_anaglyph(scene, camera, self.fb, self.ipd)
+        else:
+            self.fb.clear()
+            scene.draw(self.fb, camera)
+        return self.fb
+
+    # -- the full cycle -------------------------------------------------------------
+
+    def frame(
+        self,
+        head_pose: np.ndarray,
+        hand_position,
+        gesture: str = "open",
+    ) -> Framebuffer:
+        """One complete interaction cycle: input -> compute -> render.
+
+        This whole method is what must finish "in less than 1/8th of a
+        second" (section 1.2); stage timings land in :attr:`timer`.
+        """
+        start = time.perf_counter()
+        head_position = np.asarray(head_pose, dtype=np.float64)[:3, 3]
+        with self.timer.stage("send_input"):
+            self.send_input(head_position, hand_position, gesture)
+        with self.timer.stage("fetch"):
+            self.fetch_frame()
+        with self.timer.stage("render"):
+            fb = self.render(head_pose)
+        self.timer.frame(time.perf_counter() - start)
+        return fb
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.stop_network_loop()
+        try:
+            self._rpc.call("wt.leave", self.client_id)
+        except (ConnectionError, OSError):
+            pass
+        self._rpc.close()
+
+    def __enter__(self) -> "WindtunnelClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

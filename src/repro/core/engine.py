@@ -1,0 +1,167 @@
+"""The visualization compute engine.
+
+The remote system's job each frame (section 5.2): take the current
+environment state, locate every rake's seed points in the grid (once per
+interaction, not per integration step), run the tracer tools in grid
+coordinates with the selected execution backend, and emit physical-space
+float32 path arrays — 12 bytes per point — ready for the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.environment import Environment
+from repro.diskio.loader import TimestepLoader
+from repro.flow.dataset import UnsteadyDataset
+from repro.grid.search import GridLocator
+from repro.tracers.integrate import integrate_steady
+from repro.tracers.particlepath import compute_particle_paths
+from repro.tracers.rake import Rake
+from repro.tracers.result import TracerResult
+from repro.tracers.streakline import StreaklineTracer
+
+__all__ = ["ToolSettings", "ComputeEngine"]
+
+
+@dataclass
+class ToolSettings:
+    """Per-environment tracer parameters (user adjustable)."""
+
+    streamline_steps: int = 200
+    streamline_dt: float = 0.05
+    particle_path_steps: int = 100
+    streakline_length: int = 64
+    max_window: int | None = None  # particle-path timestep window (sec 5.2)
+
+    def scaled(self, quality: float) -> "ToolSettings":
+        """Settings scaled by a quality factor in (0, 1] (see governor)."""
+        if not (0.0 < quality <= 1.0):
+            raise ValueError("quality must be in (0, 1]")
+        return ToolSettings(
+            streamline_steps=max(2, int(self.streamline_steps * quality)),
+            streamline_dt=self.streamline_dt,
+            particle_path_steps=max(2, int(self.particle_path_steps * quality)),
+            streakline_length=self.streakline_length,
+            max_window=self.max_window,
+        )
+
+
+class ComputeEngine:
+    """Computes every rake's tool for a given timestep.
+
+    Holds the per-rake persistent state (streakline populations, warm-start
+    grid coordinates for rake seeds) that must survive across frames.
+    """
+
+    def __init__(
+        self,
+        dataset: UnsteadyDataset,
+        settings: ToolSettings | None = None,
+        *,
+        backend: str = "vector",
+        workers: int = 4,
+        loader: TimestepLoader | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.settings = settings or ToolSettings()
+        self.backend = backend
+        self.workers = workers
+        self.loader = loader
+        self._locator = GridLocator(dataset.grid)
+        self._streaks: dict[int, StreaklineTracer] = {}
+        self._streak_last: dict[int, int] = {}
+        self._seed_cache: dict[int, tuple[bytes, np.ndarray]] = {}
+        self.points_computed = 0
+
+    # -- seeds --------------------------------------------------------------
+
+    def rake_seeds_grid(self, rake: Rake) -> np.ndarray:
+        """Rake seed positions converted to grid coordinates.
+
+        Cached on the rake's geometry so an unmoved rake costs nothing; a
+        moved rake warm-starts the Newton search from its previous
+        location (the paper's 'search ... once per interaction' economy).
+        """
+        seeds_phys = rake.seeds()
+        key = seeds_phys.tobytes()
+        rid = rake.rake_id if rake.rake_id is not None else id(rake)
+        cached = self._seed_cache.get(rid)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        guess = None
+        if cached is not None and cached[1].shape == seeds_phys.shape:
+            guess = cached[1]
+        coords, found = self._locator.locate(seeds_phys, guess=guess)
+        coords = coords[found]
+        self._seed_cache[rid] = (key, coords)
+        return coords
+
+    # -- per-frame compute ------------------------------------------------------
+
+    def _grid_velocity(self, timestep: int, direction: int = 1) -> np.ndarray:
+        if self.loader is not None:
+            return self.loader.load(timestep, direction)
+        return self.dataset.grid_velocity(timestep)
+
+    def compute_rake(
+        self, rake: Rake, timestep: int, *, direction: int = 1,
+        settings: ToolSettings | None = None,
+    ) -> TracerResult:
+        """Run one rake's tool at ``timestep``; returns its paths."""
+        s = settings or self.settings
+        seeds = self.rake_seeds_grid(rake)
+        rid = rake.rake_id if rake.rake_id is not None else id(rake)
+        if rake.kind == "streamline":
+            gv = self._grid_velocity(timestep, direction)
+            paths, lengths = integrate_steady(
+                gv, seeds, s.streamline_steps, s.streamline_dt,
+                backend=self.backend, workers=self.workers,
+            )
+            result = TracerResult(paths, lengths, self.dataset.grid)
+        elif rake.kind == "particle_path":
+            result = compute_particle_paths(
+                self.dataset, timestep, seeds,
+                n_steps=s.particle_path_steps, max_window=s.max_window,
+            )
+        elif rake.kind == "streakline":
+            tracer = self._streaks.get(rid)
+            if tracer is None or tracer.max_length != s.streakline_length:
+                tracer = StreaklineTracer(max_length=s.streakline_length)
+                self._streaks[rid] = tracer
+            if self._streak_last.get(rid) != timestep:
+                # Ensure the field is resident (charges the loader).
+                self._grid_velocity(timestep, direction)
+                tracer.advance(self.dataset, timestep, seeds)
+                self._streak_last[rid] = timestep
+            result = tracer.result(self.dataset.grid)
+        else:  # pragma: no cover - Rake validates kinds
+            raise ValueError(f"unknown tool kind {rake.kind!r}")
+        self.points_computed += result.n_points
+        return result
+
+    def compute_environment(
+        self, env: Environment, timestep: int, *, quality: float = 1.0
+    ) -> dict[int, TracerResult]:
+        """Compute every rake in the environment.  Returns id -> result."""
+        settings = self.settings if quality >= 1.0 else self.settings.scaled(quality)
+        direction = env.clock.direction
+        out: dict[int, TracerResult] = {}
+        for rake_id, rake in env.rakes.items():
+            out[rake_id] = self.compute_rake(
+                rake, timestep, direction=direction, settings=settings
+            )
+        # Garbage-collect state for rakes that no longer exist.
+        gone = set(self._streaks) - set(env.rakes)
+        for rid in gone:
+            del self._streaks[rid]
+            self._streak_last.pop(rid, None)
+        return out
+
+    def reset_rake_state(self, rake_id: int) -> None:
+        """Drop per-rake persistent state (e.g. on rake removal)."""
+        self._streaks.pop(rake_id, None)
+        self._streak_last.pop(rake_id, None)
+        self._seed_cache.pop(rake_id, None)

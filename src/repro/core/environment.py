@@ -1,0 +1,209 @@
+"""The shared virtual environment.
+
+Section 5.1: "the desire for a shared environment capability was the
+primary consideration...  control over all objects in the virtual
+environment take[s] place on the remote system."  This module is that
+authoritative state: the rakes, each user's head/hand/gesture, the rake
+grab locks with first-come-first-served conflict resolution ("the user
+who grabbed it first gets control of that rake and the second user is
+locked out ... until the first user lets the rake go.  Other rakes are
+unaffected by this locking"), and the shared flow clock.
+
+Every mutation bumps ``version`` so the server can cache the computed
+visualization per (version, timestep) and hand the *same* result to every
+client — the single shared visualization of the paper's design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.timectrl import TimeControl
+from repro.tracers.rake import GrabPoint, Rake
+
+__all__ = ["UserState", "Environment"]
+
+#: How close (physical units) a hand must be to a grab point to take it.
+DEFAULT_GRAB_RADIUS = 0.5
+
+
+@dataclass
+class UserState:
+    """What the server knows about one connected user."""
+
+    client_id: int
+    name: str = ""
+    head_position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    hand_position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    gesture: str = "open"
+    holding: tuple[int, GrabPoint] | None = None  # (rake_id, grab point)
+
+    def to_wire(self) -> dict:
+        return {
+            "client_id": self.client_id,
+            "name": self.name,
+            "head_position": self.head_position.astype(np.float32),
+            "hand_position": self.hand_position.astype(np.float32),
+            "gesture": self.gesture,
+            "holding": None if self.holding is None else
+                [self.holding[0], self.holding[1].value],
+        }
+
+
+class Environment:
+    """Authoritative shared state of the distributed windtunnel."""
+
+    def __init__(
+        self,
+        n_timesteps: int,
+        *,
+        time_speed: float = 10.0,
+        grab_radius: float = DEFAULT_GRAB_RADIUS,
+    ) -> None:
+        if grab_radius <= 0:
+            raise ValueError("grab_radius must be positive")
+        self.clock = TimeControl(n_timesteps, speed=time_speed)
+        self.grab_radius = float(grab_radius)
+        self.rakes: dict[int, Rake] = {}
+        self.locks: dict[int, int] = {}  # rake_id -> owning client_id
+        self.users: dict[int, UserState] = {}
+        self.version = 0
+        self._next_rake_id = 1
+        self._next_client_id = 1
+
+    def _bump(self) -> None:
+        self.version += 1
+
+    # -- users -----------------------------------------------------------------
+
+    def add_user(self, name: str = "") -> UserState:
+        user = UserState(client_id=self._next_client_id, name=name)
+        self._next_client_id += 1
+        self.users[user.client_id] = user
+        self._bump()
+        return user
+
+    def remove_user(self, client_id: int) -> None:
+        user = self.users.pop(client_id, None)
+        if user is None:
+            raise KeyError(f"no such client {client_id}")
+        # Anything they held is released (their locks evaporate).
+        for rake_id, owner in list(self.locks.items()):
+            if owner == client_id:
+                del self.locks[rake_id]
+        self._bump()
+
+    def _user(self, client_id: int) -> UserState:
+        user = self.users.get(client_id)
+        if user is None:
+            raise KeyError(f"no such client {client_id}")
+        return user
+
+    # -- rakes -----------------------------------------------------------------
+
+    def add_rake(self, rake: Rake) -> int:
+        rake_id = self._next_rake_id
+        self._next_rake_id += 1
+        rake.rake_id = rake_id
+        self.rakes[rake_id] = rake
+        self._bump()
+        return rake_id
+
+    def remove_rake(self, rake_id: int) -> None:
+        if rake_id not in self.rakes:
+            raise KeyError(f"no such rake {rake_id}")
+        if rake_id in self.locks:
+            raise PermissionError(
+                f"rake {rake_id} is held by client {self.locks[rake_id]}"
+            )
+        del self.rakes[rake_id]
+        self._bump()
+
+    def rake_owner(self, rake_id: int) -> int | None:
+        return self.locks.get(rake_id)
+
+    # -- interaction --------------------------------------------------------------
+
+    def try_grab(self, client_id: int, hand_position: np.ndarray) -> bool:
+        """Attempt to grab the nearest free grab point within reach.
+
+        First-come-first-served: a rake already locked by another user is
+        skipped ("the second user is locked out of interaction with that
+        rake"), but *other* rakes remain grabbable.
+        """
+        user = self._user(client_id)
+        if user.holding is not None:
+            return True  # already holding something
+        hand = np.asarray(hand_position, dtype=np.float64)
+        best: tuple[float, int, GrabPoint] | None = None
+        for rake_id, rake in self.rakes.items():
+            owner = self.locks.get(rake_id)
+            if owner is not None and owner != client_id:
+                continue  # locked out, FCFS
+            grab = rake.nearest_grab(hand, self.grab_radius)
+            if grab is None:
+                continue
+            d = float(np.linalg.norm(rake.grab_position(grab) - hand))
+            if best is None or d < best[0]:
+                best = (d, rake_id, grab)
+        if best is None:
+            return False
+        _, rake_id, grab = best
+        self.locks[rake_id] = client_id
+        user.holding = (rake_id, grab)
+        self._bump()
+        return True
+
+    def release(self, client_id: int) -> None:
+        """Let go of whatever this user holds (no-op if nothing)."""
+        user = self._user(client_id)
+        if user.holding is None:
+            return
+        rake_id, _ = user.holding
+        user.holding = None
+        if self.locks.get(rake_id) == client_id:
+            del self.locks[rake_id]
+        self._bump()
+
+    def update_user(
+        self,
+        client_id: int,
+        head_position,
+        hand_position,
+        gesture: str,
+    ) -> None:
+        """Apply one input sample: the per-frame command of section 5.1.
+
+        A FIST gesture grabs (or keeps dragging) the nearest grab point;
+        OPEN releases.  Dragging while holding moves the rake with the
+        hand, honoring the grab-point semantics (center vs end).
+        """
+        user = self._user(client_id)
+        user.head_position = np.asarray(head_position, dtype=np.float64)
+        user.hand_position = np.asarray(hand_position, dtype=np.float64)
+        user.gesture = str(gesture)
+        if gesture == "fist":
+            if user.holding is None:
+                self.try_grab(client_id, user.hand_position)
+            if user.holding is not None:
+                rake_id, grab = user.holding
+                self.rakes[rake_id].move(grab, user.hand_position)
+                self._bump()
+        elif gesture == "open" and user.holding is not None:
+            self.release(client_id)
+
+    # -- wire ------------------------------------------------------------------
+
+    def snapshot(self, wall: float) -> dict:
+        """Serializable view of the environment for clients to render."""
+        return {
+            "version": self.version,
+            "clock": self.clock.snapshot(wall),
+            "rakes": {
+                str(rid): {**rake.to_dict(), "owner": self.locks.get(rid)}
+                for rid, rake in self.rakes.items()
+            },
+            "users": {str(uid): u.to_wire() for uid, u in self.users.items()},
+        }

@@ -1,0 +1,78 @@
+"""Frame-budget governor: trading richness for frame rate.
+
+Section 1.2: "a tradeoff must be made between a rich environment and
+frame rate", with a hard 1/8 s ceiling and a 10 fps target.  The governor
+watches measured frame times and adjusts a *quality* scalar that the
+compute engine applies to path lengths, keeping the whole cycle inside
+budget as the user piles on rakes — and restoring quality when load
+drops.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FrameBudgetGovernor"]
+
+
+class FrameBudgetGovernor:
+    """Multiplicative-increase / multiplicative-decrease quality control.
+
+    ``quality`` in ``[min_quality, 1]`` scales the tracer workload.  A
+    frame over ``target`` (default 80% of the hard budget, leaving head-
+    room for network and rendering) cuts quality; sustained headroom
+    raises it gently.  Assuming the computation scales linearly with the
+    particle count (the paper's Table 3 assumption), quality maps straight
+    onto achievable particles.
+    """
+
+    def __init__(
+        self,
+        budget: float = 0.125,
+        *,
+        target_fraction: float = 0.8,
+        min_quality: float = 0.05,
+        decrease: float = 0.7,
+        increase: float = 1.05,
+    ) -> None:
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        if not (0.0 < target_fraction <= 1.0):
+            raise ValueError("target_fraction must be in (0, 1]")
+        if not (0.0 < min_quality <= 1.0):
+            raise ValueError("min_quality must be in (0, 1]")
+        if not (0.0 < decrease < 1.0 < increase):
+            raise ValueError("need decrease < 1 < increase")
+        self.budget = float(budget)
+        self.target = float(budget * target_fraction)
+        self.min_quality = float(min_quality)
+        self._decrease = float(decrease)
+        self._increase = float(increase)
+        self.quality = 1.0
+        self.frames_over_budget = 0
+        self.frames_recorded = 0
+
+    def record(self, frame_seconds: float) -> float:
+        """Feed one measured frame time; returns the updated quality."""
+        if frame_seconds < 0:
+            raise ValueError("frame time must be non-negative")
+        self.frames_recorded += 1
+        if frame_seconds > self.budget:
+            self.frames_over_budget += 1
+        if frame_seconds > self.target:
+            # Scale down proportionally to the overshoot, bounded by the
+            # configured decrease factor.
+            factor = max(self._decrease, self.target / frame_seconds)
+            self.quality = max(self.min_quality, self.quality * factor)
+        elif frame_seconds < 0.6 * self.target:
+            self.quality = min(1.0, self.quality * self._increase)
+        return self.quality
+
+    @property
+    def over_budget_fraction(self) -> float:
+        if self.frames_recorded == 0:
+            return 0.0
+        return self.frames_over_budget / self.frames_recorded
+
+    def reset(self) -> None:
+        self.quality = 1.0
+        self.frames_over_budget = 0
+        self.frames_recorded = 0

@@ -1,0 +1,175 @@
+"""Session recording and replay.
+
+Section 7: "the usefulness of virtual environments in the visualization
+of fluid flow must be formally studied."  A formal study needs sessions
+that can be captured and re-run; this module records a client's command
+stream (inputs, rake edits, time control) with timestamps to a JSON-lines
+file and replays it against any server — deterministically, which also
+makes recordings first-class regression artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["SessionRecorder", "SessionPlayer", "attach_recorder"]
+
+_KINDS = ("input", "add_rake", "remove_rake", "time", "note")
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class SessionRecorder:
+    """Collects timestamped session events.
+
+    Events carry a monotonically-increasing ``t`` (seconds since the
+    recorder started) so replay can reproduce pacing if desired.
+    """
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self.events: list[dict] = []
+
+    def record(self, kind: str, **payload) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown event kind {kind!r}; expected one of {_KINDS}")
+        self.events.append(
+            {"t": self._clock() - self._t0, "kind": kind, **_jsonable(payload)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        with open(path, "w") as f:
+            for event in self.events:
+                f.write(json.dumps(event) + "\n")
+        return path
+
+
+class SessionPlayer:
+    """Loads a recorded session and replays it against a client."""
+
+    def __init__(self, events: list[dict]) -> None:
+        self.events = events
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SessionPlayer":
+        events = []
+        for i, line in enumerate(Path(path).read_text().splitlines()):
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if "kind" not in event or event["kind"] not in _KINDS:
+                raise ValueError(f"line {i + 1}: malformed session event")
+            events.append(event)
+        return cls(events)
+
+    @property
+    def duration(self) -> float:
+        return self.events[-1]["t"] if self.events else 0.0
+
+    def replay(self, client, *, realtime: bool = False, sleep=time.sleep) -> dict:
+        """Replay every event against a
+        :class:`~repro.core.client.WindtunnelClient`-compatible object.
+
+        ``realtime`` reproduces the original pacing (sleeping between
+        events); otherwise events fire back to back.  Returns a summary
+        with per-kind counts and a mapping from recorded rake ids to the
+        ids assigned on replay.
+        """
+        counts: dict[str, int] = {}
+        rake_map: dict[int, int] = {}
+        last_t = 0.0
+        for event in self.events:
+            if realtime and event["t"] > last_t:
+                sleep(event["t"] - last_t)
+            last_t = event["t"]
+            kind = event["kind"]
+            counts[kind] = counts.get(kind, 0) + 1
+            if kind == "input":
+                client.send_input(
+                    event["head_position"], event["hand_position"], event["gesture"]
+                )
+            elif kind == "add_rake":
+                new_id = client.add_rake(
+                    event["end_a"],
+                    event["end_b"],
+                    n_seeds=event["n_seeds"],
+                    kind=event["tool"],
+                )
+                if event.get("rake_id") is not None:
+                    rake_map[int(event["rake_id"])] = new_id
+            elif kind == "remove_rake":
+                rid = int(event["rake_id"])
+                client.remove_rake(rake_map.get(rid, rid))
+            elif kind == "time":
+                client.time_control(event["op"], event.get("value", 0.0))
+            # "note" events are annotations; nothing to do.
+        return {"counts": counts, "rake_map": rake_map}
+
+
+def attach_recorder(client, recorder: SessionRecorder):
+    """Wrap a client's command methods so every call is recorded.
+
+    Returns the client (now instrumented).  Only the command *stream* is
+    recorded — rendered frames are derived state and replayable.
+    """
+    orig_send = client.send_input
+    orig_add = client.add_rake
+    orig_remove = client.remove_rake
+    orig_time = client.time_control
+
+    def send_input(head_position, hand_position, gesture):
+        recorder.record(
+            "input",
+            head_position=np.asarray(head_position, dtype=float),
+            hand_position=np.asarray(hand_position, dtype=float),
+            gesture=gesture,
+        )
+        return orig_send(head_position, hand_position, gesture)
+
+    def add_rake(end_a, end_b, n_seeds=10, kind="streamline"):
+        rake_id = orig_add(end_a, end_b, n_seeds=n_seeds, kind=kind)
+        recorder.record(
+            "add_rake",
+            end_a=np.asarray(end_a, dtype=float),
+            end_b=np.asarray(end_b, dtype=float),
+            n_seeds=n_seeds,
+            tool=kind,
+            rake_id=rake_id,
+        )
+        return rake_id
+
+    def remove_rake(rake_id):
+        recorder.record("remove_rake", rake_id=rake_id)
+        return orig_remove(rake_id)
+
+    def time_control(op, value=0.0):
+        recorder.record("time", op=op, value=value)
+        return orig_time(op, value)
+
+    client.send_input = send_input
+    client.add_rake = add_rake
+    client.remove_rake = remove_rake
+    client.time_control = time_control
+    return client

@@ -1,0 +1,297 @@
+"""The remote system: a dlib server running the shared windtunnel.
+
+Figure 8's left process: receive user commands off the network, update
+the virtual environment, compute the current visualization, send the
+environment state and path arrays back.  Because all commands funnel
+through the dlib server's serial service loop, conflicts resolve
+first-come-first-served with no further machinery (section 5.1), and the
+computed visualization is *shared*: one compute per (environment version,
+timestep), every client receives the same arrays.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.engine import ComputeEngine, ToolSettings
+from repro.core.environment import Environment
+from repro.core.governor import FrameBudgetGovernor
+from repro.diskio.loader import TimestepLoader
+from repro.dlib.server import DlibServer
+from repro.flow.dataset import UnsteadyDataset
+from repro.tracers.rake import Rake
+from repro.util.timers import TimingStats
+
+__all__ = ["WindtunnelServer"]
+
+_TIME_OPS = ("pause", "resume", "speed", "scrub", "step", "reverse")
+
+
+class WindtunnelServer:
+    """The windtunnel's remote half.
+
+    Parameters
+    ----------
+    dataset
+        The unsteady flow to serve.
+    backend, workers
+        Execution backend for the tracer integrations (section 5.3).
+    loader
+        Optional :class:`~repro.diskio.loader.TimestepLoader` for
+        disk-resident datasets with prefetch (figure 8).
+    governor
+        Optional frame-budget governor; when present, compute quality
+        adapts to hold the 1/8 s budget.
+    time_fn
+        Wall clock (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        dataset: UnsteadyDataset,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend: str = "vector",
+        workers: int = 4,
+        settings: ToolSettings | None = None,
+        time_speed: float = 10.0,
+        loader: TimestepLoader | None = None,
+        governor: FrameBudgetGovernor | None = None,
+        time_fn=time.monotonic,
+    ) -> None:
+        self.dataset = dataset
+        self.env = Environment(dataset.n_timesteps, time_speed=time_speed)
+        self.engine = ComputeEngine(
+            dataset, settings, backend=backend, workers=workers, loader=loader
+        )
+        self.governor = governor
+        self._time_fn = time_fn
+        self.compute_stats = TimingStats()
+        self.frames_served = 0
+        self.frames_computed = 0
+        self._cache_key: tuple[int, int] | None = None
+        self._cache_payload: dict | None = None
+        self._iso_cache_key: tuple | None = None
+        self._iso_cache: dict | None = None
+        self.dlib = DlibServer(host, port)
+        self._register_procedures()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.dlib.address
+
+    def start(self) -> "WindtunnelServer":
+        self.dlib.start()
+        return self
+
+    def stop(self) -> None:
+        self.dlib.stop()
+        if self.engine.loader is not None:
+            self.engine.loader.close()
+
+    def __enter__(self) -> "WindtunnelServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- procedure registration ---------------------------------------------------
+
+    def _register_procedures(self) -> None:
+        reg = self.dlib.register
+        reg("wt.join", self._rpc_join)
+        reg("wt.leave", self._rpc_leave)
+        reg("wt.update", self._rpc_update)
+        reg("wt.add_rake", self._rpc_add_rake)
+        reg("wt.remove_rake", self._rpc_remove_rake)
+        reg("wt.time", self._rpc_time)
+        reg("wt.frame", self._rpc_frame)
+        reg("wt.snapshot", self._rpc_snapshot)
+        reg("wt.stats", self._rpc_stats)
+        reg("wt.set_tool_settings", self._rpc_set_tool_settings)
+        reg("wt.isosurface", self._rpc_isosurface)
+
+    # -- procedures (ctx is the dlib ServerContext; unused by design: all ----
+    # -- windtunnel state lives in the Environment) ---------------------------
+
+    def _rpc_join(self, ctx, name: str = "") -> dict:
+        user = self.env.add_user(name)
+        lo, hi = self.dataset.grid.bounding_box()
+        return {
+            "client_id": user.client_id,
+            "n_timesteps": self.dataset.n_timesteps,
+            "dt": self.dataset.dt,
+            "grid_shape": list(self.dataset.grid.shape),
+            "bounds_lo": lo.astype(np.float32),
+            "bounds_hi": hi.astype(np.float32),
+        }
+
+    def _rpc_leave(self, ctx, client_id: int) -> None:
+        self.env.remove_user(int(client_id))
+
+    def _rpc_update(self, ctx, client_id: int, head, hand, gesture: str) -> dict:
+        self.env.update_user(int(client_id), head, hand, gesture)
+        user = self.env.users[int(client_id)]
+        return {
+            "holding": None if user.holding is None else list(
+                (user.holding[0], user.holding[1].value)
+            )
+        }
+
+    def _rpc_add_rake(self, ctx, client_id: int, rake: dict) -> int:
+        if int(client_id) not in self.env.users:
+            raise KeyError(f"no such client {client_id}")
+        return self.env.add_rake(Rake.from_dict(rake))
+
+    def _rpc_remove_rake(self, ctx, client_id: int, rake_id: int) -> None:
+        owner = self.env.rake_owner(int(rake_id))
+        if owner is not None and owner != int(client_id):
+            raise PermissionError(
+                f"rake {rake_id} is held by client {owner}"
+            )
+        self.env.remove_rake(int(rake_id))
+        self.engine.reset_rake_state(int(rake_id))
+
+    def _rpc_time(self, ctx, client_id: int, op: str, value: float = 0.0) -> dict:
+        """Shared time control: any user can drive the clock."""
+        if op not in _TIME_OPS:
+            raise ValueError(f"unknown time op {op!r}; expected one of {_TIME_OPS}")
+        wall = self._time_fn()
+        clock = self.env.clock
+        if op == "pause":
+            clock.pause(wall)
+        elif op == "resume":
+            clock.resume(wall)
+        elif op == "speed":
+            clock.set_speed(float(value), wall)
+        elif op == "scrub":
+            clock.scrub(float(value), wall)
+        elif op == "step":
+            clock.step(int(value), wall)
+        elif op == "reverse":
+            clock.reverse(wall)
+        self.env.version += 1
+        return clock.snapshot(wall)
+
+    def _rpc_snapshot(self, ctx, client_id: int = 0) -> dict:
+        return self.env.snapshot(self._time_fn())
+
+    def _rpc_frame(self, ctx, client_id: int = 0) -> dict:
+        """Compute (or reuse) the shared visualization and return it."""
+        wall = self._time_fn()
+        timestep = self.env.clock.timestep_index(wall)
+        key = (self.env.version, timestep)
+        self.frames_served += 1
+        was_cached = key == self._cache_key and self._cache_payload is not None
+        if not was_cached:
+            quality = self.governor.quality if self.governor else 1.0
+            start = time.perf_counter()
+            results = self.engine.compute_environment(
+                self.env, timestep, quality=quality
+            )
+            elapsed = time.perf_counter() - start
+            self.compute_stats.add(elapsed)
+            if self.governor is not None:
+                self.governor.record(elapsed)
+            self.frames_computed += 1
+            paths = {
+                str(rid): {
+                    "kind": self.env.rakes[rid].kind,
+                    "vertices": res.physical(),  # float32: 12 bytes/point
+                    "lengths": res.lengths.astype(np.int64),
+                }
+                for rid, res in results.items()
+            }
+            self._cache_payload = {
+                "timestep": timestep,
+                "paths": paths,
+                "compute_seconds": elapsed,
+            }
+            self._cache_key = key
+        payload = dict(self._cache_payload)
+        payload["env"] = self.env.snapshot(wall)
+        payload["cached"] = was_cached
+        return payload
+
+    def _rpc_set_tool_settings(self, ctx, client_id: int, settings: dict) -> dict:
+        """Adjust tracer parameters at runtime (section 7: 'development of
+        greater user control over the virtual environment').
+
+        Accepts any subset of the :class:`~repro.core.engine.ToolSettings`
+        fields; returns the full effective settings.  Like all environment
+        mutations, the change is shared by every user.
+        """
+        if int(client_id) not in self.env.users:
+            raise KeyError(f"no such client {client_id}")
+        allowed = {
+            "streamline_steps": int,
+            "streamline_dt": float,
+            "particle_path_steps": int,
+            "streakline_length": int,
+        }
+        s = self.engine.settings
+        for key, value in settings.items():
+            if key not in allowed:
+                raise ValueError(
+                    f"unknown tool setting {key!r}; allowed: {sorted(allowed)}"
+                )
+            value = allowed[key](value)
+            if value <= 0:
+                raise ValueError(f"{key} must be positive")
+            setattr(s, key, value)
+        self.env.version += 1  # invalidate the shared frame cache
+        return {
+            "streamline_steps": s.streamline_steps,
+            "streamline_dt": s.streamline_dt,
+            "particle_path_steps": s.particle_path_steps,
+            "streakline_length": s.streakline_length,
+        }
+
+    def _rpc_isosurface(self, ctx, client_id: int, level_fraction: float = 0.75) -> dict:
+        """Extract a |v| isosurface at the current timestep.
+
+        ``level_fraction`` picks the contour level as a percentile of the
+        node speeds.  The paper ruled this tool out for 1992 hardware
+        (section 1.2); modern vectorized extraction fits the budget (see
+        the ablation benchmark), so the reproduction offers it as the
+        natural extension.  Cached per (version, timestep, level) like the
+        tracer frame.
+        """
+        from repro.tracers.isosurface import extract_isosurface, velocity_magnitude
+
+        if not (0.0 < float(level_fraction) < 1.0):
+            raise ValueError("level_fraction must be in (0, 1)")
+        wall = self._time_fn()
+        timestep = self.env.clock.timestep_index(wall)
+        key = (self.env.version, timestep, round(float(level_fraction), 6))
+        if key != self._iso_cache_key or self._iso_cache is None:
+            mag = velocity_magnitude(self.dataset, timestep)
+            level = float(np.percentile(mag, 100.0 * float(level_fraction)))
+            start = time.perf_counter()
+            res = extract_isosurface(mag, level, self.dataset.grid.xyz)
+            elapsed = time.perf_counter() - start
+            self._iso_cache = {
+                "timestep": timestep,
+                "level": level,
+                "triangles": res.vertices.astype(np.float32),
+                "n_triangles": res.n_triangles,
+                "compute_seconds": elapsed,
+            }
+            self._iso_cache_key = key
+        return dict(self._iso_cache)
+
+    def _rpc_stats(self, ctx) -> dict:
+        return {
+            "frames_served": self.frames_served,
+            "frames_computed": self.frames_computed,
+            "compute_mean_seconds": self.compute_stats.mean,
+            "points_computed": self.engine.points_computed,
+            "quality": self.governor.quality if self.governor else 1.0,
+            "n_rakes": len(self.env.rakes),
+            "n_users": len(self.env.users),
+        }

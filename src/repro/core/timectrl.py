@@ -1,0 +1,115 @@
+"""Interactive time control over the unsteady dataset.
+
+Section 2: "The time evolution of the flow can be sped up, slowed down,
+run backwards, or stopped completely for detailed examination."  Time is
+anchored to a wall clock so every client sampling the shared environment
+sees the same flow time; scrubbing, pausing, or changing speed re-anchors.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TimeControl"]
+
+
+class TimeControl:
+    """Maps wall-clock time to a (fractional) dataset timestep position.
+
+    Parameters
+    ----------
+    n_timesteps
+        Length of the dataset's timestep sequence.
+    speed
+        Playback rate in timesteps per wall-clock second; negative runs
+        the flow backwards.
+    wrap
+        ``True`` loops playback (position mod n); ``False`` clamps at the
+        sequence ends.
+    """
+
+    def __init__(self, n_timesteps: int, speed: float = 10.0, wrap: bool = True) -> None:
+        if n_timesteps < 1:
+            raise ValueError("need at least one timestep")
+        self.n_timesteps = int(n_timesteps)
+        self.wrap = bool(wrap)
+        self._speed = float(speed)
+        self._playing = True
+        self._anchor_wall = 0.0
+        self._anchor_pos = 0.0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def speed(self) -> float:
+        return self._speed
+
+    @property
+    def playing(self) -> bool:
+        return self._playing
+
+    @property
+    def direction(self) -> int:
+        """+1 forward, -1 backward (for prefetch hinting)."""
+        return 1 if self._speed >= 0 else -1
+
+    def position(self, wall: float) -> float:
+        """Fractional timestep position at wall time ``wall``."""
+        pos = self._anchor_pos
+        if self._playing:
+            pos += self._speed * (wall - self._anchor_wall)
+        if self.n_timesteps == 1:
+            return 0.0
+        if self.wrap:
+            return pos % self.n_timesteps
+        return min(max(pos, 0.0), self.n_timesteps - 1.0)
+
+    def timestep_index(self, wall: float) -> int:
+        """Integer timestep at wall time ``wall``."""
+        return int(self.position(wall)) % self.n_timesteps
+
+    # -- control (each op re-anchors at the current position) ---------------
+
+    def _reanchor(self, wall: float) -> None:
+        self._anchor_pos = self.position(wall)
+        self._anchor_wall = wall
+
+    def set_speed(self, speed: float, wall: float) -> None:
+        self._reanchor(wall)
+        self._speed = float(speed)
+
+    def pause(self, wall: float) -> None:
+        self._reanchor(wall)
+        self._playing = False
+
+    def resume(self, wall: float) -> None:
+        self._anchor_wall = wall
+        self._playing = True
+
+    def stop(self, wall: float) -> None:
+        """Paper's 'stopped completely': pause without losing position."""
+        self.pause(wall)
+
+    def reverse(self, wall: float) -> None:
+        """Run the flow backwards from here."""
+        self.set_speed(-self._speed, wall)
+
+    def scrub(self, position: float, wall: float) -> None:
+        """Jump to an absolute (fractional) timestep position."""
+        self._anchor_pos = float(position)
+        self._anchor_wall = wall
+
+    def step(self, delta: int, wall: float) -> None:
+        """Single-step while paused (frame-by-frame examination)."""
+        self._reanchor(wall)
+        self._anchor_pos += delta
+
+    # -- wire ------------------------------------------------------------------
+
+    def snapshot(self, wall: float) -> dict:
+        return {
+            "position": self.position(wall),
+            "timestep": self.timestep_index(wall),
+            "speed": self._speed,
+            "playing": self._playing,
+            "wrap": self.wrap,
+            "n_timesteps": self.n_timesteps,
+        }

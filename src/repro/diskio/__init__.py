@@ -1,0 +1,32 @@
+"""Disk-resident dataset machinery: bandwidth models, prefetch, residency.
+
+Section 5.1-5.2: when a dataset exceeds physical memory "the data must
+reside on a mass storage device, usually disk".  The Convex's measured
+30-50 MB/s sustained disk bandwidth lets ~3.25 MB timesteps load inside
+the 1/8 s budget; anything bigger (the 36 MB/timestep Harrier) is out of
+reach — Table 2.  The server hides what latency it can by loading the
+*next* timestep into a buffer while the current one is being computed on
+(figure 8, rightmost process); that double-buffered prefetch is
+:class:`~repro.diskio.loader.TimestepLoader`.
+"""
+
+from repro.diskio.model import (
+    CONVEX_DISK,
+    DiskModel,
+    required_disk_bandwidth_mbps,
+    table2_rows,
+    timesteps_per_gigabyte,
+)
+from repro.diskio.loader import TimestepLoader
+from repro.diskio.residency import ResidencyPlan, plan_residency
+
+__all__ = [
+    "DiskModel",
+    "CONVEX_DISK",
+    "table2_rows",
+    "timesteps_per_gigabyte",
+    "required_disk_bandwidth_mbps",
+    "TimestepLoader",
+    "ResidencyPlan",
+    "plan_residency",
+]

@@ -1,0 +1,97 @@
+"""Memory-residency planning for large datasets.
+
+Section 5.1 lays out the ladder: datasets under the remote machine's
+physical memory load whole ("the easiest method of managing the data");
+bigger ones stream from disk, with the in-memory timestep *window*
+bounding particle-path length ("the timestep that would be loaded into
+memory in this case would be the current timestep plus the maximum
+particle path length").  :func:`plan_residency` decides the mode and the
+window for a given dataset and memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diskio.model import MB
+from repro.flow.dataset import UnsteadyDataset
+
+__all__ = ["ResidencyPlan", "plan_residency"]
+
+#: The paper's machines (bytes of physical memory).
+SGI_380GT_MEMORY = 256 * (1 << 20)
+CONVEX_C3240_MEMORY = 1 << 30
+
+
+@dataclass(frozen=True)
+class ResidencyPlan:
+    """Where a dataset lives and what that allows.
+
+    Attributes
+    ----------
+    fits_in_memory
+        Whole-dataset residency (no disk traffic after load).
+    window_timesteps
+        Timesteps simultaneously resident.  Equals the dataset length when
+        fully resident; otherwise how many fit in the budget.
+    max_particle_path_steps
+        Longest real-time particle path: window minus the current
+        timestep.
+    required_disk_mbps
+        Disk bandwidth (binary MB/s) to sustain ``fps`` when streaming;
+        0.0 when fully resident.
+    """
+
+    fits_in_memory: bool
+    window_timesteps: int
+    max_particle_path_steps: int
+    timestep_nbytes: int
+    total_nbytes: int
+    memory_bytes: int
+    required_disk_mbps: float
+
+    def feasible_at(self, disk_bandwidth: float) -> bool:
+        """Can a disk of ``disk_bandwidth`` bytes/s drive this plan?"""
+        return (
+            self.fits_in_memory
+            or self.required_disk_mbps * MB <= disk_bandwidth
+        )
+
+
+def plan_residency(
+    dataset: UnsteadyDataset,
+    memory_bytes: int = CONVEX_C3240_MEMORY,
+    fps: float = 10.0,
+) -> ResidencyPlan:
+    """Plan residency of ``dataset`` within ``memory_bytes`` of memory."""
+    if memory_bytes <= 0:
+        raise ValueError("memory budget must be positive")
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    per = dataset.timestep_nbytes
+    total = dataset.total_nbytes
+    if total <= memory_bytes:
+        return ResidencyPlan(
+            fits_in_memory=True,
+            window_timesteps=dataset.n_timesteps,
+            max_particle_path_steps=dataset.n_timesteps - 1,
+            timestep_nbytes=per,
+            total_nbytes=total,
+            memory_bytes=memory_bytes,
+            required_disk_mbps=0.0,
+        )
+    window = min(int(memory_bytes // per), dataset.n_timesteps)
+    if window < 1:
+        raise ValueError(
+            f"one timestep ({per} bytes) does not fit in "
+            f"{memory_bytes} bytes of memory"
+        )
+    return ResidencyPlan(
+        fits_in_memory=False,
+        window_timesteps=window,
+        max_particle_path_steps=window - 1,
+        timestep_nbytes=per,
+        total_nbytes=total,
+        memory_bytes=memory_bytes,
+        required_disk_mbps=per * fps / MB,
+    )

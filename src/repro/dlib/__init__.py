@@ -1,0 +1,53 @@
+"""Distributed Library (dlib) — the paper's RPC substrate.
+
+Section 4: dlib is "a high level interface to network services based on
+the remote procedure call (RPC) model", distinguished from plain RPC by a
+*persistent* server context: "the dlib server process is designed to be
+capable of storing state information which persists from call to call, as
+well as allocating memory for data storage and manipulation...  dlib more
+closely resembles the extension of the process environment to include the
+server process."
+
+Originally one-client/one-server, the windtunnel's dlib "was modified to
+accept more than one connection.  Each connection is selected for service
+by the server process in the sequence that the dlib calls are received.
+The dlib calls are executed by the server in a single process environment
+as though there were only one client" — the property that makes
+first-come-first-served conflict resolution trivial (section 5.1).
+
+This package implements all of that: a typed binary wire protocol (fast
+NumPy array payloads, no pickle), a select-loop server that executes calls
+strictly serially in arrival order, client-side stubs, and remote memory
+segments.
+"""
+
+from repro.dlib.protocol import (
+    DlibProtocolError,
+    MessageKind,
+    decode_message,
+    decode_value,
+    encode_message,
+    encode_value,
+)
+from repro.dlib.transport import Stream, connect_tcp, pipe_pair
+from repro.dlib.server import DlibServer, ServerContext
+from repro.dlib.client import DlibClient, DlibRemoteError
+from repro.dlib.memory import MemoryManager, SegmentHandle
+
+__all__ = [
+    "DlibProtocolError",
+    "MessageKind",
+    "encode_value",
+    "decode_value",
+    "encode_message",
+    "decode_message",
+    "Stream",
+    "connect_tcp",
+    "pipe_pair",
+    "DlibServer",
+    "ServerContext",
+    "DlibClient",
+    "DlibRemoteError",
+    "MemoryManager",
+    "SegmentHandle",
+]

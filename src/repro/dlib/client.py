@@ -1,0 +1,158 @@
+"""The dlib client: remote calls and stub generation.
+
+Section 4: dlib "provides utilities to automatically create the code
+which performs the network transactions required to invoke and execute
+the routine in the remote environment".  Here that is :attr:`DlibClient.
+stub` — attribute access mints a local callable that ships its arguments,
+blocks for the reply, and returns the decoded result, making remote use
+read like "developing a library of routines ... on a local system".
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.dlib.memory import SegmentHandle
+from repro.dlib.protocol import (
+    DlibProtocolError,
+    MessageKind,
+    decode_message,
+    encode_message,
+)
+from repro.dlib.transport import Stream, connect_tcp
+
+__all__ = ["DlibClient", "DlibRemoteError"]
+
+
+class DlibRemoteError(Exception):
+    """An exception raised inside a remote procedure.
+
+    Carries the remote type name and traceback text for diagnosis.
+    """
+
+    def __init__(self, remote_type: str, message: str, remote_traceback: str = "") -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback
+
+
+class _Stub:
+    """Attribute-access procedure stubs: ``client.stub.compute(x)``.
+
+    Attribute chains build dotted procedure names, so built-ins read as
+    ``client.stub.dlib.ping()``.
+    """
+
+    def __init__(self, client: "DlibClient", name: str = "") -> None:
+        self._client = client
+        self._name = name
+
+    def __getattr__(self, attr: str) -> "_Stub":
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        full = f"{self._name}.{attr}" if self._name else attr
+        return _Stub(self._client, full)
+
+    def __call__(self, *args, **kwargs):
+        if not self._name:
+            raise TypeError("the stub root is not callable; access a procedure name")
+        return self._client.call(self._name, *args, **kwargs)
+
+
+class DlibClient:
+    """A synchronous dlib RPC client.
+
+    Parameters
+    ----------
+    host, port
+        Server address; alternatively pass an existing ``stream``
+        (e.g. a throttled channel from :mod:`repro.netsim`).
+    """
+
+    def __init__(
+        self,
+        host: str | None = None,
+        port: int | None = None,
+        *,
+        stream: Stream | None = None,
+        timeout: float | None = 10.0,
+    ) -> None:
+        if stream is not None:
+            self._stream = stream
+        else:
+            if host is None or port is None:
+                raise ValueError("provide host and port, or a stream")
+            self._stream = connect_tcp(host, port, timeout=timeout)
+        self._request_ids = itertools.count(1)
+
+    @property
+    def stream(self) -> Stream:
+        return self._stream
+
+    @property
+    def stub(self) -> _Stub:
+        """Procedure stubs: ``client.stub.name(args)`` == ``client.call("name", args)``."""
+        return _Stub(self)
+
+    def call(self, procedure: str, *args, **kwargs):
+        """Invoke a remote procedure and return its result.
+
+        Raises :class:`DlibRemoteError` if the procedure raised remotely,
+        ``ConnectionError`` if the transport fails.
+        """
+        request_id = next(self._request_ids) & 0xFFFFFFFF
+        payload = {"proc": procedure, "args": list(args), "kwargs": kwargs}
+        self._stream.send(encode_message(MessageKind.CALL, request_id, payload))
+        kind, rid, result = decode_message(self._stream.recv())
+        if rid != request_id:
+            raise DlibProtocolError(
+                f"response id {rid} does not match request {request_id}"
+            )
+        if kind is MessageKind.RESULT:
+            return result
+        if kind is MessageKind.ERROR:
+            raise DlibRemoteError(
+                result.get("type", "Exception"),
+                result.get("message", ""),
+                result.get("traceback", ""),
+            )
+        raise DlibProtocolError(f"unexpected message kind {kind}")
+
+    # -- remote memory convenience -------------------------------------------
+
+    def alloc(self, nbytes: int) -> SegmentHandle:
+        """Allocate a remote memory segment."""
+        return SegmentHandle.from_wire(self.call("dlib.mem_alloc", nbytes))
+
+    def write_segment(self, handle: SegmentHandle, data: bytes, offset: int = 0) -> None:
+        self.call("dlib.mem_write", handle.segment_id, offset, bytes(data))
+
+    def read_segment(
+        self, handle: SegmentHandle, offset: int = 0, nbytes: int | None = None
+    ) -> bytes:
+        return self.call("dlib.mem_read", handle.segment_id, offset, nbytes)
+
+    def free(self, handle: SegmentHandle) -> None:
+        self.call("dlib.mem_free", handle.segment_id)
+
+    def put_array(self, arr: np.ndarray) -> SegmentHandle:
+        """Park a whole array in remote memory; returns its handle."""
+        raw = np.ascontiguousarray(arr).tobytes()
+        handle = self.alloc(len(raw))
+        self.write_segment(handle, raw)
+        return handle
+
+    def ping(self, payload=None):
+        """Round-trip ``payload`` through the server (liveness + latency)."""
+        return self.call("dlib.ping", payload)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "DlibClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,247 @@
+"""dlib wire protocol: typed binary serialization and message framing.
+
+The format is XDR-spirited (the paper cites Sun RPC and Xerox Courier as
+dlib's ancestors): every value is a one-byte type tag followed by a fixed
+or length-prefixed payload, all little-endian.  NumPy arrays serialize as
+dtype + shape + raw buffer, so a 240 kB streamline batch costs one memcpy,
+not a per-element loop — the property the whole 1/8-second budget rests
+on.  No pickle: the decoder can only ever produce plain data.
+
+A *message* is ``(kind, request_id, payload_value)``; framing (length
+prefix) lives in :mod:`repro.dlib.transport`.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+
+import numpy as np
+
+__all__ = [
+    "DlibProtocolError",
+    "MessageKind",
+    "encode_value",
+    "decode_value",
+    "encode_message",
+    "decode_message",
+]
+
+_MAX_DEPTH = 32
+
+# Supported array dtypes, whitelisted so a hostile peer cannot request
+# object arrays or other dtypes with side effects.
+_ALLOWED_DTYPES = {
+    "<f4", "<f8", "<i2", "<i4", "<i8", "<u2", "<u4", "<u8",
+    "|i1", "|u1", "|b1",  # single-byte dtypes carry no byte order
+}
+
+
+class DlibProtocolError(Exception):
+    """Malformed or unsupported wire data."""
+
+
+class MessageKind(IntEnum):
+    """Top-level message discriminator."""
+
+    CALL = 1
+    RESULT = 2
+    ERROR = 3
+
+
+def encode_value(value, _depth: int = 0) -> bytes:
+    """Serialize a Python/NumPy value to wire bytes."""
+    if _depth > _MAX_DEPTH:
+        raise DlibProtocolError("value nesting too deep")
+    out = bytearray()
+    _encode_into(out, value, _depth)
+    return bytes(out)
+
+
+def _encode_into(out: bytearray, value, depth: int) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, int):
+        if -(2**63) <= value < 2**63:
+            out += b"I"
+            out += struct.pack("<q", value)
+        else:
+            text = str(value).encode()
+            out += b"J"
+            out += struct.pack("<I", len(text))
+            out += text
+    elif isinstance(value, float):
+        out += b"D"
+        out += struct.pack("<d", value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"S"
+        out += struct.pack("<I", len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out += b"B"
+        out += struct.pack("<I", len(raw))
+        out += raw
+    elif isinstance(value, np.ndarray):
+        _encode_array(out, value)
+    elif isinstance(value, (np.generic,)):
+        _encode_into(out, value.item(), depth)
+    elif isinstance(value, (list, tuple)):
+        out += b"L" if isinstance(value, list) else b"U"
+        out += struct.pack("<I", len(value))
+        for item in value:
+            if depth + 1 > _MAX_DEPTH:
+                raise DlibProtocolError("value nesting too deep")
+            _encode_into(out, item, depth + 1)
+    elif isinstance(value, dict):
+        out += b"M"
+        out += struct.pack("<I", len(value))
+        for k, v in value.items():
+            if depth + 1 > _MAX_DEPTH:
+                raise DlibProtocolError("value nesting too deep")
+            _encode_into(out, k, depth + 1)
+            _encode_into(out, v, depth + 1)
+    else:
+        raise DlibProtocolError(
+            f"cannot serialize value of type {type(value).__name__}"
+        )
+
+
+def _encode_array(out: bytearray, arr: np.ndarray) -> None:
+    arr = np.ascontiguousarray(arr)
+    dt = arr.dtype.newbyteorder("<") if arr.dtype.byteorder == ">" else arr.dtype
+    if dt.byteorder == "=":
+        dt = dt.newbyteorder("<")
+    arr = arr.astype(dt, copy=False)
+    tag = dt.str
+    if tag not in _ALLOWED_DTYPES:
+        raise DlibProtocolError(f"array dtype {arr.dtype} not supported on the wire")
+    out += b"A"
+    tag_b = tag.encode()
+    out += struct.pack("<B", len(tag_b))
+    out += tag_b
+    out += struct.pack("<B", arr.ndim)
+    out += struct.pack(f"<{arr.ndim}q", *arr.shape)
+    raw = arr.tobytes()
+    out += struct.pack("<Q", len(raw))
+    out += raw
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise DlibProtocolError("truncated wire data")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def unpack(self, fmt: str):
+        size = struct.calcsize(fmt)
+        return struct.unpack(fmt, self.take(size))
+
+
+def decode_value(data: bytes):
+    """Deserialize wire bytes produced by :func:`encode_value`."""
+    reader = _Reader(data)
+    value = _decode(reader, 0)
+    if reader.pos != len(data):
+        raise DlibProtocolError(
+            f"{len(data) - reader.pos} trailing bytes after value"
+        )
+    return value
+
+
+def _decode(r: _Reader, depth: int):
+    if depth > _MAX_DEPTH:
+        raise DlibProtocolError("value nesting too deep")
+    tag = r.take(1)
+    if tag == b"N":
+        return None
+    if tag == b"T":
+        return True
+    if tag == b"F":
+        return False
+    if tag == b"I":
+        return r.unpack("<q")[0]
+    if tag == b"J":
+        (n,) = r.unpack("<I")
+        raw = r.take(n)
+        try:
+            return int(raw.decode("ascii"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise DlibProtocolError("corrupt big-integer payload") from exc
+    if tag == b"D":
+        return r.unpack("<d")[0]
+    if tag == b"S":
+        (n,) = r.unpack("<I")
+        raw = r.take(n)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DlibProtocolError("corrupt UTF-8 string payload") from exc
+    if tag == b"B":
+        (n,) = r.unpack("<I")
+        return r.take(n)
+    if tag == b"A":
+        (tlen,) = r.unpack("<B")
+        dtype_str = r.take(tlen).decode()
+        if dtype_str not in _ALLOWED_DTYPES:
+            raise DlibProtocolError(f"array dtype {dtype_str!r} not allowed")
+        (ndim,) = r.unpack("<B")
+        shape = r.unpack(f"<{ndim}q") if ndim else ()
+        if any(s < 0 for s in shape):
+            raise DlibProtocolError("negative array dimension")
+        (nbytes,) = r.unpack("<Q")
+        dt = np.dtype(dtype_str)
+        count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+        if nbytes != count * dt.itemsize:
+            raise DlibProtocolError("array byte count does not match shape")
+        raw = r.take(nbytes)
+        return np.frombuffer(raw, dtype=dt).reshape(shape).copy()
+    if tag in (b"L", b"U"):
+        (n,) = r.unpack("<I")
+        items = [_decode(r, depth + 1) for _ in range(n)]
+        return items if tag == b"L" else tuple(items)
+    if tag == b"M":
+        (n,) = r.unpack("<I")
+        out = {}
+        for _ in range(n):
+            k = _decode(r, depth + 1)
+            try:
+                hash(k)
+            except TypeError as exc:
+                raise DlibProtocolError("unhashable dict key on wire") from exc
+            out[k] = _decode(r, depth + 1)
+        return out
+    raise DlibProtocolError(f"unknown type tag {tag!r}")
+
+
+_HEADER = struct.Struct("<BI")
+
+
+def encode_message(kind: MessageKind, request_id: int, payload) -> bytes:
+    """Encode a complete message (unframed)."""
+    return _HEADER.pack(int(kind), request_id) + encode_value(payload)
+
+
+def decode_message(data: bytes) -> tuple[MessageKind, int, object]:
+    """Decode a complete message produced by :func:`encode_message`."""
+    if len(data) < _HEADER.size:
+        raise DlibProtocolError("message shorter than header")
+    kind_raw, request_id = _HEADER.unpack_from(data)
+    try:
+        kind = MessageKind(kind_raw)
+    except ValueError as exc:
+        raise DlibProtocolError(f"unknown message kind {kind_raw}") from exc
+    return kind, request_id, decode_value(data[_HEADER.size :])

@@ -1,0 +1,248 @@
+"""The dlib server: persistent context, serial multi-client service.
+
+The server owns a :class:`ServerContext` — the "process environment"
+extension of section 4 — holding named state, a remote
+:class:`~repro.dlib.memory.MemoryManager`, and the procedure registry.
+All client calls are executed one at a time on a single service thread,
+"as though there were only one client"; arrival order is service order,
+which is what makes the windtunnel's first-come-first-served conflict
+rule (section 5.1) fall out for free.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+import traceback
+from collections.abc import Callable
+
+from repro.dlib.memory import MemoryManager
+from repro.dlib.protocol import (
+    DlibProtocolError,
+    MessageKind,
+    decode_message,
+    encode_message,
+)
+from repro.dlib.transport import Stream
+
+__all__ = ["ServerContext", "DlibServer"]
+
+
+class ServerContext:
+    """Persistent per-server state visible to every procedure.
+
+    Attributes
+    ----------
+    state
+        Free-form dict surviving across calls and across clients — the
+        shared virtual environment lives here.
+    memory
+        Remote memory segments (see :mod:`repro.dlib.memory`).
+    calls_served
+        Total procedure invocations, all clients.
+    """
+
+    def __init__(self, memory_budget: int | None = None) -> None:
+        self.state: dict = {}
+        self.memory = MemoryManager(memory_budget)
+        self.calls_served = 0
+        self.clients_connected = 0
+
+
+class DlibServer:
+    """A dlib RPC server.
+
+    Usage::
+
+        server = DlibServer()
+        @server.procedure
+        def compute(ctx, x):
+            return x + ctx.state.setdefault("offset", 0)
+        server.start()
+        ... DlibClient(*server.address) ...
+        server.stop()
+
+    Procedures receive the :class:`ServerContext` as their first argument
+    followed by the client's (wire-decoded) arguments.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        memory_budget: int | None = None,
+    ) -> None:
+        self._host, self._requested_port = host, port
+        self.context = ServerContext(memory_budget)
+        self._procedures: dict[str, Callable] = {}
+        self._listener: socket.socket | None = None
+        self._thread: threading.Thread | None = None
+        self._running = False
+        self._lock = threading.Lock()
+        self._register_builtins()
+
+    # -- registry ---------------------------------------------------------
+
+    def register(self, name: str, fn: Callable) -> None:
+        """Register ``fn`` as remotely callable under ``name``."""
+        if not name or name.startswith("_"):
+            raise ValueError("procedure names must be non-empty and public")
+        with self._lock:
+            self._procedures[name] = fn
+
+    def procedure(self, fn: Callable) -> Callable:
+        """Decorator form of :meth:`register` (uses the function name)."""
+        self.register(fn.__name__, fn)
+        return fn
+
+    def _register_builtins(self) -> None:
+        ctx_mem = self.context.memory
+
+        def ping(ctx, payload=None):
+            return payload
+
+        def procedures(ctx):
+            return sorted(self._procedures)
+
+        def stats(ctx):
+            return {
+                "calls_served": ctx.calls_served,
+                "clients_connected": ctx.clients_connected,
+                "memory_segments": ctx_mem.n_segments,
+                "memory_allocated": ctx_mem.allocated_bytes,
+            }
+
+        def mem_alloc(ctx, nbytes):
+            return ctx.memory.alloc(int(nbytes)).to_wire()
+
+        def mem_write(ctx, segment_id, offset, data):
+            ctx.memory.write(int(segment_id), int(offset), data)
+            return None
+
+        def mem_read(ctx, segment_id, offset=0, nbytes=None):
+            return ctx.memory.read(int(segment_id), int(offset), nbytes)
+
+        def mem_free(ctx, segment_id):
+            ctx.memory.free(int(segment_id))
+            return None
+
+        for fn in (ping, procedures, stats, mem_alloc, mem_write, mem_read, mem_free):
+            self._procedures[f"dlib.{fn.__name__}"] = fn
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the server is listening on (after start)."""
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "DlibServer":
+        if self._running:
+            raise RuntimeError("server already running")
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self._host, self._requested_port))
+        self._listener.listen(16)
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def __enter__(self) -> "DlibServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- service loop ----------------------------------------------------------
+
+    def _serve(self) -> None:
+        sel = selectors.DefaultSelector()
+        assert self._listener is not None
+        self._listener.setblocking(False)
+        sel.register(self._listener, selectors.EVENT_READ, "listener")
+        streams: dict[int, Stream] = {}
+        try:
+            while self._running:
+                # The single select + single service thread *is* the serial
+                # execution guarantee.
+                for key, _ in sel.select(timeout=0.05):
+                    if key.data == "listener":
+                        try:
+                            conn, _addr = self._listener.accept()
+                        except OSError:
+                            continue
+                        conn.setblocking(True)
+                        stream = Stream(conn)
+                        streams[conn.fileno()] = stream
+                        sel.register(conn, selectors.EVENT_READ, "client")
+                        self.context.clients_connected += 1
+                    else:
+                        sock = key.fileobj
+                        stream = streams.get(sock.fileno())
+                        if stream is None:
+                            sel.unregister(sock)
+                            continue
+                        try:
+                            self._serve_one(stream)
+                        except (ConnectionError, OSError, DlibProtocolError):
+                            sel.unregister(sock)
+                            streams.pop(sock.fileno(), None)
+                            stream.close()
+                            self.context.clients_connected -= 1
+        finally:
+            for stream in streams.values():
+                stream.close()
+            sel.close()
+
+    def _serve_one(self, stream: Stream) -> None:
+        kind, request_id, payload = decode_message(stream.recv())
+        if kind is not MessageKind.CALL:
+            raise DlibProtocolError(f"client sent non-CALL message {kind}")
+        if not isinstance(payload, dict) or "proc" not in payload:
+            raise DlibProtocolError("malformed CALL payload")
+        name = payload["proc"]
+        args = payload.get("args", [])
+        kwargs = payload.get("kwargs", {})
+        fn = self._procedures.get(name)
+        if fn is None:
+            stream.send(
+                encode_message(
+                    MessageKind.ERROR,
+                    request_id,
+                    {
+                        "type": "LookupError",
+                        "message": f"no such procedure {name!r}",
+                        "traceback": "",
+                    },
+                )
+            )
+            return
+        try:
+            result = fn(self.context, *args, **kwargs)
+            self.context.calls_served += 1
+            response = encode_message(MessageKind.RESULT, request_id, result)
+        except Exception as exc:  # noqa: BLE001 - faults must cross the wire
+            response = encode_message(
+                MessageKind.ERROR,
+                request_id,
+                {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                },
+            )
+        stream.send(response)

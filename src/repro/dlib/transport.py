@@ -1,0 +1,105 @@
+"""Byte transports: length-framed streams over sockets.
+
+A :class:`Stream` turns a connected socket into a message pipe: each
+payload is framed with a 4-byte little-endian length.  The windtunnel runs
+these over TCP (standing in for the UltraNet connection); tests also use
+:func:`pipe_pair` for in-process loopback.  Bandwidth throttling wraps a
+Stream (see :mod:`repro.netsim.channel`) rather than living here.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+__all__ = ["Stream", "connect_tcp", "pipe_pair"]
+
+_LEN = struct.Struct("<I")
+
+#: Refuse frames above this size (1 GB) — protects against a corrupt
+#: length prefix allocating unbounded memory.
+MAX_FRAME = 1 << 30
+
+
+class Stream:
+    """Length-framed message stream over a connected socket.
+
+    Counts bytes in each direction, which the performance layer uses to
+    check the Table 1 bandwidth accounting against reality.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1) if (
+            sock.family in (socket.AF_INET, socket.AF_INET6)
+        ) else None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def send(self, payload: bytes) -> None:
+        """Send one framed message (blocking until fully written)."""
+        if self._closed:
+            raise ConnectionError("stream is closed")
+        if len(payload) > MAX_FRAME:
+            raise ValueError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+        header = _LEN.pack(len(payload))
+        self._sock.sendall(header)
+        self._sock.sendall(payload)
+        self.bytes_sent += len(header) + len(payload)
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                raise ConnectionError("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        self.bytes_received += n
+        return b"".join(chunks)
+
+    def recv(self) -> bytes:
+        """Receive one framed message (blocking)."""
+        if self._closed:
+            raise ConnectionError("stream is closed")
+        (length,) = _LEN.unpack(self._recv_exact(_LEN.size))
+        if length > MAX_FRAME:
+            raise ConnectionError(f"peer announced oversized frame ({length} bytes)")
+        return self._recv_exact(length)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "Stream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect_tcp(host: str, port: int, timeout: float | None = 10.0) -> Stream:
+    """Connect a framed stream to a listening dlib server."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return Stream(sock)
+
+
+def pipe_pair() -> tuple[Stream, Stream]:
+    """An in-process connected stream pair (for tests and local loopback)."""
+    a, b = socket.socketpair()
+    return Stream(a), Stream(b)

@@ -1,0 +1,85 @@
+"""CFD flowfield substrate.
+
+The paper visualizes *pre-computed* solutions of the time-accurate
+Navier-Stokes equations, "represented as a sequence of successive
+three-dimensional velocity vector fields" (section 1.1), demonstrated on
+the unsteady flow around a tapered cylinder (Jespersen & Levit): ~1.5 MB of
+velocity data per timestep, 800 timesteps.
+
+We do not have the original NASA dataset, so this package supplies the
+closest synthetic equivalents (see DESIGN.md):
+
+* :mod:`repro.flow.analytic` — closed-form unsteady velocity fields
+  (uniform flow, Lamb-Oseen vortices, ABC flow, shear layers).
+* :mod:`repro.flow.taperedcylinder` — a tapered-cylinder wake model with
+  von Karman vortex shedding whose frequency varies along the span, on the
+  same 64x64x32 curvilinear O-grid footprint as the paper's dataset.
+* :mod:`repro.flow.solver` — a genuine 2-D incompressible Navier-Stokes
+  solver (Chorin projection, FFT Poisson solve, volume-penalized obstacle)
+  for producing real simulated unsteady data at laptop scale.
+* :mod:`repro.flow.dataset` — timestep-sequence containers, memory- or
+  disk-resident, with the physical->grid velocity conversion cache.
+* :mod:`repro.flow.plot3d` — PLOT3D-style binary grid/solution files, the
+  interchange format of the NAS era.
+"""
+
+from repro.flow.fields import SampledField, Superposition, VectorField, sample_on_grid
+from repro.flow.analytic import (
+    ABCFlow,
+    DoubleGyre,
+    LambOseenVortex,
+    OscillatingShearLayer,
+    RigidRotation,
+    UniformFlow,
+)
+from repro.flow.taperedcylinder import TaperedCylinderFlow, tapered_cylinder_dataset
+from repro.flow.solver import NavierStokes2D, SolverConfig, cylinder_mask, solver_dataset
+from repro.flow.dataset import DiskDataset, MemoryDataset, UnsteadyDataset
+from repro.flow.plot3d import (
+    load_dataset_plot3d,
+    read_grid,
+    read_solution,
+    save_dataset_plot3d,
+    write_grid,
+    write_solution,
+)
+from repro.flow.scalars import (
+    q_criterion,
+    speed,
+    velocity_gradient,
+    vorticity,
+    vorticity_magnitude,
+)
+
+__all__ = [
+    "VectorField",
+    "Superposition",
+    "SampledField",
+    "sample_on_grid",
+    "UniformFlow",
+    "RigidRotation",
+    "LambOseenVortex",
+    "ABCFlow",
+    "OscillatingShearLayer",
+    "DoubleGyre",
+    "TaperedCylinderFlow",
+    "tapered_cylinder_dataset",
+    "NavierStokes2D",
+    "SolverConfig",
+    "cylinder_mask",
+    "solver_dataset",
+    "UnsteadyDataset",
+    "MemoryDataset",
+    "DiskDataset",
+    "read_grid",
+    "write_grid",
+    "read_solution",
+    "write_solution",
+    "save_dataset_plot3d",
+    "load_dataset_plot3d",
+    "speed",
+    "velocity_gradient",
+    "vorticity",
+    "vorticity_magnitude",
+    "q_criterion",
+]

@@ -1,0 +1,203 @@
+"""PLOT3D-style binary grid and function files.
+
+PLOT3D was the NAS/NASA-Ames interchange format of the paper's era; the
+tapered-cylinder solution would have lived in exactly these files.  We
+implement the multi-block Fortran-unformatted layout: each logical record
+is framed by int32 byte-count markers, grids store X, then Y, then Z in
+Fortran (i-fastest) order, and function files carry an arbitrary number of
+variables per node (3 for a velocity field).
+
+The paper notes the Convex/SGI port worked because both machines shared
+IEEE floating point (section 5.1); we likewise fix the on-disk format to
+little-endian IEEE float32.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.grid.curvilinear import CurvilinearGrid
+
+__all__ = [
+    "write_grid",
+    "read_grid",
+    "write_solution",
+    "read_solution",
+    "save_dataset_plot3d",
+    "load_dataset_plot3d",
+]
+
+_I4 = np.dtype("<i4")
+_F4 = np.dtype("<f4")
+
+
+def _write_record(f: BinaryIO, payload: bytes) -> None:
+    marker = np.array([len(payload)], dtype=_I4).tobytes()
+    f.write(marker)
+    f.write(payload)
+    f.write(marker)
+
+
+def _read_record(f: BinaryIO) -> bytes:
+    head = f.read(4)
+    if len(head) < 4:
+        raise EOFError("truncated PLOT3D file: missing record marker")
+    (n,) = np.frombuffer(head, dtype=_I4)
+    payload = f.read(int(n))
+    if len(payload) < n:
+        raise EOFError("truncated PLOT3D file: short record")
+    tail = f.read(4)
+    if len(tail) < 4 or np.frombuffer(tail, dtype=_I4)[0] != n:
+        raise ValueError("corrupt PLOT3D file: record markers disagree")
+    return payload
+
+
+def write_grid(path: str | Path, grids: CurvilinearGrid | Sequence[CurvilinearGrid]) -> None:
+    """Write one or more grids as a multi-block PLOT3D grid file."""
+    if isinstance(grids, CurvilinearGrid):
+        grids = [grids]
+    if len(grids) == 0:
+        raise ValueError("need at least one grid block")
+    with open(path, "wb") as f:
+        _write_record(f, np.array([len(grids)], dtype=_I4).tobytes())
+        dims = np.array([g.shape for g in grids], dtype=_I4)
+        _write_record(f, dims.tobytes())
+        for g in grids:
+            # X block, then Y, then Z; each in Fortran (i-fastest) order.
+            parts = [
+                np.asfortranarray(g.xyz[..., c]).astype(_F4).tobytes(order="F")
+                for c in range(3)
+            ]
+            _write_record(f, b"".join(parts))
+
+
+def read_grid(path: str | Path) -> list[CurvilinearGrid]:
+    """Read a multi-block PLOT3D grid file written by :func:`write_grid`."""
+    with open(path, "rb") as f:
+        (nblocks,) = np.frombuffer(_read_record(f), dtype=_I4)
+        dims = np.frombuffer(_read_record(f), dtype=_I4).reshape(int(nblocks), 3)
+        grids = []
+        for b in range(int(nblocks)):
+            ni, nj, nk = (int(d) for d in dims[b])
+            raw = np.frombuffer(_read_record(f), dtype=_F4)
+            expected = 3 * ni * nj * nk
+            if raw.size != expected:
+                raise ValueError(
+                    f"block {b}: expected {expected} floats, found {raw.size}"
+                )
+            xyz = np.empty((ni, nj, nk, 3), dtype=np.float64)
+            per = ni * nj * nk
+            for c in range(3):
+                xyz[..., c] = raw[c * per : (c + 1) * per].reshape(
+                    (ni, nj, nk), order="F"
+                )
+            grids.append(CurvilinearGrid(xyz))
+    return grids
+
+
+def write_solution(path: str | Path, fields: np.ndarray | Sequence[np.ndarray]) -> None:
+    """Write node data as a multi-block PLOT3D *function* file.
+
+    Each field has shape ``(ni, nj, nk, nvar)`` — ``nvar=3`` for a velocity
+    timestep.
+    """
+    if isinstance(fields, np.ndarray):
+        fields = [fields]
+    if len(fields) == 0:
+        raise ValueError("need at least one field block")
+    for fld in fields:
+        if np.asarray(fld).ndim != 4:
+            raise ValueError("each field must have shape (ni, nj, nk, nvar)")
+    with open(path, "wb") as f:
+        _write_record(f, np.array([len(fields)], dtype=_I4).tobytes())
+        dims = np.array([np.asarray(fl).shape for fl in fields], dtype=_I4)
+        _write_record(f, dims.tobytes())
+        for fld in fields:
+            fld = np.asarray(fld)
+            parts = [
+                np.asfortranarray(fld[..., v]).astype(_F4).tobytes(order="F")
+                for v in range(fld.shape[3])
+            ]
+            _write_record(f, b"".join(parts))
+
+
+def read_solution(path: str | Path) -> list[np.ndarray]:
+    """Read a PLOT3D function file into ``(ni, nj, nk, nvar)`` arrays."""
+    with open(path, "rb") as f:
+        (nblocks,) = np.frombuffer(_read_record(f), dtype=_I4)
+        dims = np.frombuffer(_read_record(f), dtype=_I4).reshape(int(nblocks), 4)
+        fields = []
+        for b in range(int(nblocks)):
+            ni, nj, nk, nvar = (int(d) for d in dims[b])
+            raw = np.frombuffer(_read_record(f), dtype=_F4)
+            expected = ni * nj * nk * nvar
+            if raw.size != expected:
+                raise ValueError(
+                    f"block {b}: expected {expected} floats, found {raw.size}"
+                )
+            out = np.empty((ni, nj, nk, nvar), dtype=np.float32)
+            per = ni * nj * nk
+            for v in range(nvar):
+                out[..., v] = raw[v * per : (v + 1) * per].reshape(
+                    (ni, nj, nk), order="F"
+                )
+            fields.append(out)
+    return fields
+
+
+# ---------------------------------------------------------------------------
+# dataset <-> PLOT3D bridge
+# ---------------------------------------------------------------------------
+
+
+def save_dataset_plot3d(dataset, directory: str | Path) -> Path:
+    """Export an unsteady dataset as PLOT3D files.
+
+    Layout: ``grid.x`` (the static grid) plus one function file
+    ``velocity_NNNN.f`` per timestep — the layout a 1992 CFD archive
+    would have used for the tapered-cylinder solution.  Returns the
+    directory.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_grid(directory / "grid.x", dataset.grid)
+    for t in range(dataset.n_timesteps):
+        write_solution(
+            directory / f"velocity_{t:04d}.f", np.asarray(dataset.velocity(t))
+        )
+    (directory / "dt.txt").write_text(f"{dataset.dt}\n")
+    return directory
+
+
+def load_dataset_plot3d(directory: str | Path, dt: float | None = None):
+    """Load a dataset exported by :func:`save_dataset_plot3d`.
+
+    ``dt`` overrides the recorded timestep spacing if given.  Returns a
+    :class:`~repro.flow.dataset.MemoryDataset`.
+    """
+    from repro.flow.dataset import MemoryDataset
+
+    directory = Path(directory)
+    grids = read_grid(directory / "grid.x")
+    if len(grids) != 1:
+        raise ValueError(
+            f"expected a single-zone grid file, found {len(grids)} zones"
+        )
+    grid = grids[0]
+    files = sorted(directory.glob("velocity_*.f"))
+    if not files:
+        raise ValueError(f"no velocity_*.f files in {directory}")
+    timesteps = []
+    for f in files:
+        blocks = read_solution(f)
+        if len(blocks) != 1 or blocks[0].shape != grid.shape + (3,):
+            raise ValueError(f"{f.name}: block does not match the grid")
+        timesteps.append(blocks[0])
+    if dt is None:
+        dt_file = directory / "dt.txt"
+        dt = float(dt_file.read_text()) if dt_file.exists() else 1.0
+    return MemoryDataset(grid, np.stack(timesteps), dt=dt)

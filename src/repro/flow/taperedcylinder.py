@@ -1,0 +1,230 @@
+"""Synthetic unsteady flow around a tapered cylinder.
+
+The paper's demonstration dataset is the unsteady flow past a tapered
+cylinder computed by Jespersen & Levit (AIAA-91-0751): 800 timesteps of
+~1.5 MB of velocity data each on a 131,072-point curvilinear grid,
+exhibiting "interesting vortical and recirculation phenomena"
+(section 1).  We do not have that solution, so this module provides the
+closest analytic stand-in (DESIGN.md substitution table):
+
+* potential flow past a circular cylinder whose radius shrinks with height
+  (the taper),
+* a pair of standing eddies behind the body (the recirculation bubble),
+* a von Karman street of shed Lamb-Oseen vortices advecting downstream,
+  whose shedding frequency ``f(z) = St * U / (2 a(z))`` varies along the
+  span because of the taper — the physical mechanism behind the oblique
+  and split vortex shedding that made this dataset interesting,
+* a weak spanwise (z) wake oscillation so the field is genuinely 3-D.
+
+The model is fully vectorized over query points and exercises exactly the
+code paths the real dataset would: curvilinear O-grid, per-timestep
+velocity arrays, grid-coordinate conversion, and all three tracer tools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flow.dataset import MemoryDataset
+from repro.flow.fields import VectorField, sample_on_grid
+from repro.grid.curvilinear import CurvilinearGrid, cylindrical_grid
+
+__all__ = ["TaperedCylinderFlow", "tapered_cylinder_dataset"]
+
+
+class TaperedCylinderFlow(VectorField):
+    """Analytic tapered-cylinder wake (see module docstring).
+
+    Parameters
+    ----------
+    u_inf
+        Free-stream speed (+x direction).
+    r_base, taper, height
+        Body radius at ``z=0``; fractional radius reduction at ``z=height``
+        (``a(z) = r_base * (1 - taper z/height)``); span length.
+    strouhal
+        Shedding Strouhal number ``f D / U`` (0.2 is the classic circular-
+        cylinder value in the relevant Reynolds range).
+    n_wake_vortices
+        How many shed vortices per row are retained in the street.
+    conv_speed
+        Wake vortex convection speed as a fraction of ``u_inf``.
+    """
+
+    def __init__(
+        self,
+        u_inf: float = 1.0,
+        r_base: float = 0.5,
+        taper: float = 0.3,
+        height: float = 4.0,
+        strouhal: float = 0.2,
+        n_wake_vortices: int = 8,
+        conv_speed: float = 0.85,
+        gamma_factor: float = 2.5,
+        core_factor: float = 0.5,
+        lateral_offset: float = 0.75,
+        separation_x: float = 1.2,
+        eddy_strength: float = 1.2,
+        spanwise_amp: float = 0.08,
+        cutoff_radii: float = 4.0,
+    ) -> None:
+        if not (0.0 <= taper < 1.0):
+            raise ValueError("taper must be in [0, 1)")
+        if r_base <= 0 or height <= 0 or u_inf <= 0:
+            raise ValueError("u_inf, r_base and height must be positive")
+        if n_wake_vortices < 1:
+            raise ValueError("need at least one wake vortex")
+        self.u_inf = float(u_inf)
+        self.r_base = float(r_base)
+        self.taper = float(taper)
+        self.height = float(height)
+        self.strouhal = float(strouhal)
+        self.n_wake_vortices = int(n_wake_vortices)
+        self.conv_speed = float(conv_speed)
+        self.gamma_factor = float(gamma_factor)
+        self.core_factor = float(core_factor)
+        self.lateral_offset = float(lateral_offset)
+        self.separation_x = float(separation_x)
+        self.eddy_strength = float(eddy_strength)
+        self.spanwise_amp = float(spanwise_amp)
+        self.cutoff_radii = float(cutoff_radii)
+
+    # -- geometry ---------------------------------------------------------
+
+    def body_radius(self, z: np.ndarray) -> np.ndarray:
+        """Local body radius ``a(z)`` (clamped beyond the span ends)."""
+        frac = np.clip(np.asarray(z, dtype=np.float64) / self.height, 0.0, 1.0)
+        return self.r_base * (1.0 - self.taper * frac)
+
+    def shedding_period(self, z: np.ndarray) -> np.ndarray:
+        """Local full shedding period ``T(z) = 2 a(z) / (St U)``."""
+        return 2.0 * self.body_radius(z) / (self.strouhal * self.u_inf)
+
+    # -- components -------------------------------------------------------
+
+    @staticmethod
+    def _vortex_uv(dx, dy, gamma, rc, r_cut):
+        """Velocity of a regularized, compact-support vortex.
+
+        Lamb-Oseen core, with a Gaussian far-field cutoff at ``r_cut`` so a
+        finite street stays spatially local (an infinite ideal street would
+        otherwise leak 1/r velocity arbitrarily far upstream).
+        """
+        r2 = dx * dx + dy * dy
+        rc2 = rc * rc
+        with np.errstate(divide="ignore", invalid="ignore"):
+            swirl = gamma / (2.0 * np.pi * r2) * (-np.expm1(-r2 / rc2))
+        swirl = np.where(r2 > 0.0, swirl, gamma / (2.0 * np.pi * rc2))
+        swirl = swirl * np.exp(-r2 / (r_cut * r_cut))
+        return -dy * swirl, dx * swirl
+
+    def sample(self, points: np.ndarray, t: float) -> np.ndarray:
+        x = points[:, 0]
+        y = points[:, 1]
+        z = points[:, 2]
+        a = self.body_radius(z)
+        u_inf = self.u_inf
+
+        # --- potential flow past a cylinder of local radius a(z) ---------
+        zeta = x + 1j * y
+        r2 = x * x + y * y
+        # Guard the body axis; those points are masked to zero below anyway.
+        safe = np.where(r2 > 1e-12, zeta, 1.0)
+        w = u_inf * (1.0 - (a * a) / (safe * safe))
+        u = np.real(w)
+        v = -np.imag(w)
+
+        # --- standing recirculation eddies --------------------------------
+        g_eddy = self.eddy_strength * u_inf * a
+        rc_eddy = 0.45 * a
+        r_cut = self.cutoff_radii * a
+        for sign in (+1.0, -1.0):
+            du, dv = self._vortex_uv(
+                x - self.separation_x * a,
+                y - sign * 0.6 * a,
+                -sign * g_eddy,
+                rc_eddy,
+                2.0 * a,
+            )
+            u += du
+            v += dv
+
+        # --- the von Karman street ----------------------------------------
+        half = 0.5 * self.shedding_period(z)  # (N,) half-period, z-dependent
+        n_latest = np.floor(t / half)  # latest shed index per point
+        gamma0 = self.gamma_factor * u_inf * a
+        y_off = self.lateral_offset * a
+        x_sep = self.separation_x * a
+        uc = self.conv_speed * u_inf
+        for m in range(self.n_wake_vortices):
+            idx = n_latest - m
+            age = t - idx * half
+            live = idx >= 0
+            # Row parity: even indices shed into the upper row (clockwise,
+            # negative circulation), odd into the lower row.
+            upper = np.mod(idx, 2.0) < 0.5
+            sign = np.where(upper, 1.0, -1.0)
+            vx = x_sep + uc * age
+            vy = sign * y_off
+            gam = -sign * gamma0
+            # Newly shed vortices fade in over their first half-period;
+            # the oldest fades out so the street has no popping artifacts.
+            ramp_in = np.clip(age / half, 0.0, 1.0)
+            ramp_out = 1.0 if m < self.n_wake_vortices - 1 else np.clip(
+                2.0 - age / (half * self.n_wake_vortices), 0.0, 1.0
+            )
+            gam = gam * ramp_in * ramp_out * live
+            rc = self.core_factor * a * np.sqrt(1.0 + 0.1 * np.maximum(age, 0.0))
+            du, dv = self._vortex_uv(x - vx, y - vy, gam, rc, r_cut)
+            u += du
+            v += dv
+
+        # --- weak spanwise wake oscillation (3-D-ness) ---------------------
+        phase = 2.0 * np.pi * t / self.shedding_period(z)
+        wake = np.exp(-((y / (2.0 * a)) ** 2)) * np.clip(x / a, 0.0, 1.0)
+        w_z = self.spanwise_amp * u_inf * wake * np.sin(
+            2.0 * np.pi * z / self.height - phase
+        )
+
+        # --- no-slip body: smooth damp to zero at the surface --------------
+        r = np.sqrt(r2)
+        s = np.clip((r - a) / (0.15 * a), 0.0, 1.0)
+        damp = s * s * (3.0 - 2.0 * s)  # smoothstep
+        out = np.empty_like(points)
+        out[:, 0] = u * damp
+        out[:, 1] = v * damp
+        out[:, 2] = w_z * damp
+        return out
+
+
+def tapered_cylinder_dataset(
+    shape: tuple[int, int, int] = (64, 64, 32),
+    n_timesteps: int = 32,
+    dt: float = 0.125,
+    *,
+    r_outer: float = 12.0,
+    dtype=np.float32,
+    **flow_kwargs,
+) -> MemoryDataset:
+    """Build the paper's demonstration dataset, synthetically.
+
+    Defaults match the paper's grid footprint (64x64x32 = 131,072 points,
+    1,572,864 bytes/timestep at float32 — Table 2 row 1).  The paper's 800
+    timesteps are expensive to synthesize in tests, so ``n_timesteps``
+    defaults to a modest 32; benchmarks that need the full sequence pass
+    ``n_timesteps=800``.
+
+    Returns a :class:`~repro.flow.dataset.MemoryDataset` whose grid is a
+    tapered O-grid fitted to the body.
+    """
+    flow = TaperedCylinderFlow(**flow_kwargs)
+    grid = cylindrical_grid(
+        shape,
+        r_inner=flow.r_base,
+        r_outer=r_outer,
+        height=flow.height,
+        taper=flow.taper,
+    )
+    times = np.arange(n_timesteps) * dt
+    velocities = sample_on_grid(flow, grid, times, dtype=dtype)
+    return MemoryDataset(grid, velocities, dt=dt)

@@ -1,0 +1,35 @@
+"""Performance models and the paper's benchmark scenario.
+
+* :mod:`~repro.perf.scenario` — the section 5.3 benchmark (100 streamlines
+  x 200 points) and the Table 3 max-particle extrapolation.
+* :mod:`~repro.perf.pipeline` — the figure 8/9 pipeline-overlap model:
+  what overlapping disk load, computation, and network send buys over
+  running them serially.
+"""
+
+from repro.perf.scenario import (
+    BENCHMARK_POINTS,
+    PAPER_TIMINGS,
+    BenchmarkResult,
+    benchmark_seeds,
+    max_particles_at_fps,
+    run_benchmark,
+    table3_rows,
+)
+from repro.perf.pipeline import PipelineResult, simulate_pipeline
+from repro.perf.profiling import ProfileReport, ProfileRow, profile_call
+
+__all__ = [
+    "ProfileReport",
+    "ProfileRow",
+    "profile_call",
+    "BENCHMARK_POINTS",
+    "PAPER_TIMINGS",
+    "BenchmarkResult",
+    "benchmark_seeds",
+    "run_benchmark",
+    "max_particles_at_fps",
+    "table3_rows",
+    "PipelineResult",
+    "simulate_pipeline",
+]

@@ -1,0 +1,83 @@
+"""Profiling helpers — "no optimization without measuring".
+
+The optimization story of section 5.3 (scalar vs vector trade-offs,
+memory-access counting) starts from profiles.  These helpers wrap
+cProfile so any windtunnel operation — a tracer call, a whole client
+frame — can be profiled to a compact, assertable report instead of a
+wall of pstats text.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+
+__all__ = ["ProfileRow", "ProfileReport", "profile_call"]
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One function's cost within a profile."""
+
+    name: str
+    ncalls: int
+    tottime: float  # time inside the function itself
+    cumtime: float  # time including callees
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Outcome of a profiled call."""
+
+    result: object
+    total_seconds: float
+    rows: tuple[ProfileRow, ...]
+
+    def top(self, n: int = 10) -> tuple[ProfileRow, ...]:
+        return self.rows[:n]
+
+    def find(self, substring: str) -> list[ProfileRow]:
+        """Rows whose qualified name contains ``substring``."""
+        return [r for r in self.rows if substring in r.name]
+
+    def summary(self, n: int = 10) -> str:
+        lines = [f"total: {self.total_seconds * 1e3:.2f} ms"]
+        for r in self.top(n):
+            lines.append(
+                f"  {r.cumtime * 1e3:8.2f} ms cum  {r.tottime * 1e3:8.2f} ms self"
+                f"  x{r.ncalls:<6} {r.name}"
+            )
+        return "\n".join(lines)
+
+
+def profile_call(fn, *args, sort: str = "cumulative", limit: int = 50, **kwargs) -> ProfileReport:
+    """Run ``fn(*args, **kwargs)`` under cProfile and summarize.
+
+    Returns a :class:`ProfileReport` carrying the function's return value,
+    total wall time, and the hottest ``limit`` rows ordered by ``sort``
+    (any pstats sort key: "cumulative", "tottime", "ncalls"...).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(sort)
+    rows = []
+    for key in stats.fcn_list[:limit] if stats.fcn_list else []:
+        cc, nc, tt, ct, _callers = stats.stats[key]
+        filename, lineno, funcname = key
+        if filename == "~":
+            name = funcname  # builtins
+        else:
+            short = filename.rsplit("/", 1)[-1]
+            name = f"{short}:{lineno}({funcname})"
+        rows.append(ProfileRow(name=name, ncalls=int(nc), tottime=tt, cumtime=ct))
+    return ProfileReport(
+        result=result,
+        total_seconds=stats.total_tt,
+        rows=tuple(rows),
+    )

@@ -1,0 +1,137 @@
+"""The paper's benchmark scenario and Table 3 accounting.
+
+Section 5.3: "a benchmark computation of 100 streamlines each containing
+200 points was performed.  This scenario contains 20,000 points with a
+transfer over the networks of 240,000 bytes of data."  The paper's
+measurements: optimized scalar C parallelized over the Convex's 4
+processors, 0.24 s; vectorized across streamlines on 3 processors,
+0.19 s; the 8-processor SGI workstation, 0.13-0.14 s.
+
+Table 3 then extrapolates, "assuming that the performance scales with the
+number of particles": a benchmark time of ``t`` seconds for 20,000 points
+sustains ``20,000 * (0.1 / t)`` particles at ten frames per second.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flow.dataset import UnsteadyDataset
+from repro.tracers.integrate import integrate_steady
+
+__all__ = [
+    "BENCHMARK_POINTS",
+    "PAPER_TIMINGS",
+    "BenchmarkResult",
+    "benchmark_seeds",
+    "run_benchmark",
+    "max_particles_at_fps",
+    "table3_rows",
+]
+
+#: The benchmark scenario: 100 streamlines x 200 points.
+N_STREAMLINES = 100
+POINTS_PER_LINE = 200
+BENCHMARK_POINTS = N_STREAMLINES * POINTS_PER_LINE  # 20,000
+BENCHMARK_WIRE_BYTES = BENCHMARK_POINTS * 12  # 240,000
+
+#: The paper's measured benchmark times (seconds).
+PAPER_TIMINGS = {
+    "convex scalar C, 4-way parallel": 0.24,
+    "convex vectorized across streamlines": 0.19,
+    "sgi 8-processor workstation": 0.135,  # "0.13 to 0.14 seconds"
+}
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One backend's benchmark measurement."""
+
+    backend: str
+    seconds: float
+    n_points: int
+
+    @property
+    def points_per_second(self) -> float:
+        return self.n_points / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def max_particles_10fps(self) -> int:
+        return max_particles_at_fps(self.seconds, n_points=self.n_points)
+
+    @property
+    def streamlines_of_200(self) -> int:
+        """Table 3's last column: whole 200-point streamlines at 10 fps."""
+        return self.max_particles_10fps // POINTS_PER_LINE
+
+
+def max_particles_at_fps(
+    benchmark_seconds: float,
+    fps: float = 10.0,
+    n_points: int = BENCHMARK_POINTS,
+) -> int:
+    """Table 3 column 2: particles sustainable at ``fps``.
+
+    Linear scaling assumption: 0.25 s -> 8,000; 0.19 s -> 10,526;
+    0.13 s -> 15,384; 0.10 s -> 20,000; 0.05 s -> 40,000.
+    """
+    if benchmark_seconds <= 0:
+        raise ValueError("benchmark time must be positive")
+    if fps <= 0:
+        raise ValueError("fps must be positive")
+    return int(n_points / (benchmark_seconds * fps))
+
+
+def table3_rows(times=(0.25, 0.19, 0.13, 0.10, 0.05)) -> list[dict]:
+    """Regenerate Table 3 for the paper's five benchmark times."""
+    return [
+        {
+            "benchmark_seconds": t,
+            "max_particles": max_particles_at_fps(t),
+            "streamlines_200pt": max_particles_at_fps(t) // POINTS_PER_LINE,
+        }
+        for t in times
+    ]
+
+
+def benchmark_seeds(
+    dataset: UnsteadyDataset, n: int = N_STREAMLINES, seed: int = 0
+) -> np.ndarray:
+    """Deterministic seed points inside the grid interior (grid coords)."""
+    rng = np.random.default_rng(seed)
+    ni, nj, nk = dataset.grid.shape
+    lo = np.array([0.15 * ni, 0.15 * nj, 0.15 * nk])
+    hi = np.array([0.85 * (ni - 1), 0.85 * (nj - 1), 0.85 * (nk - 1)])
+    return rng.uniform(lo, hi, size=(n, 3))
+
+
+def run_benchmark(
+    dataset: UnsteadyDataset,
+    backend: str,
+    *,
+    timestep: int = 0,
+    n_streamlines: int = N_STREAMLINES,
+    points_per_line: int = POINTS_PER_LINE,
+    dt: float = 0.05,
+    workers: int = 4,
+    repeats: int = 1,
+) -> BenchmarkResult:
+    """Run the section 5.3 benchmark on one backend.
+
+    Returns the best-of-``repeats`` time.  The grid-velocity conversion is
+    excluded (charged once, as on the Convex where data is pre-converted).
+    """
+    gv = dataset.grid_velocity(timestep)  # warm: excluded from timing
+    seeds = benchmark_seeds(dataset, n_streamlines)
+    n_steps = points_per_line - 1
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        integrate_steady(gv, seeds, n_steps, dt, backend=backend, workers=workers)
+        best = min(best, time.perf_counter() - start)
+    return BenchmarkResult(
+        backend=backend, seconds=best, n_points=n_streamlines * points_per_line
+    )

@@ -1,0 +1,96 @@
+"""Perspective camera with stereo eye offsets.
+
+The camera pose is a rigid camera-to-world matrix (the BOOM head pose, or
+any :func:`~repro.util.transforms.look_at` result); the view matrix is its
+inverse, concatenated exactly as the paper describes (section 3).  Wide
+field of view defaults reflect the BOOM's LEEP optics ("the computer
+generated image fills the user's field of view").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.transforms import compose, invert_rigid, translation
+
+__all__ = ["Camera"]
+
+
+class Camera:
+    """Pinhole perspective camera.
+
+    Parameters
+    ----------
+    pose
+        4x4 camera-to-world.  The camera looks down its -Z axis, +Y up.
+    fov_y
+        Vertical field of view in radians (LEEP-wide default, ~90 deg).
+    near, far
+        Clip distances along the view direction.
+    """
+
+    def __init__(
+        self,
+        pose: np.ndarray | None = None,
+        fov_y: float = np.pi / 2,
+        near: float = 0.05,
+        far: float = 1000.0,
+    ) -> None:
+        self.pose = np.eye(4) if pose is None else np.asarray(pose, dtype=np.float64)
+        if self.pose.shape != (4, 4):
+            raise ValueError("camera pose must be 4x4")
+        if not (0.0 < fov_y < np.pi):
+            raise ValueError("fov_y must be in (0, pi)")
+        if not (0.0 < near < far):
+            raise ValueError("need 0 < near < far")
+        self.fov_y = float(fov_y)
+        self.near = float(near)
+        self.far = float(far)
+
+    def view_matrix(self) -> np.ndarray:
+        """World-to-camera: the inverted pose (section 3's inversion)."""
+        return invert_rigid(self.pose)
+
+    def with_eye_offset(self, dx: float) -> "Camera":
+        """A camera displaced ``dx`` along its own x axis (stereo eye).
+
+        Left eye uses ``-ipd/2``, right eye ``+ipd/2``.
+        """
+        return Camera(
+            compose(self.pose, translation([dx, 0.0, 0.0])),
+            self.fov_y,
+            self.near,
+            self.far,
+        )
+
+    def project(
+        self, points: np.ndarray, width: int, height: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project world points to pixel coordinates.
+
+        Returns ``(xy, depth, valid)``: float pixel coords ``(N, 2)``,
+        view-space distances ``(N,)`` (smaller = nearer, what the z-buffer
+        tests), and a validity mask (in front of the near plane, inside
+        the far plane).  Points outside the lateral frustum keep valid
+        pixel math (possibly off-screen coordinates); the rasterizer
+        bounds-checks per sample so partially visible segments still draw.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        single = points.ndim == 1
+        if single:
+            points = points[None, :]
+        view = self.view_matrix()
+        cam = points @ view[:3, :3].T + view[:3, 3]
+        w = -cam[:, 2]  # distance along the view direction
+        valid = (w >= self.near) & (w <= self.far)
+        f = 1.0 / np.tan(self.fov_y / 2.0)
+        aspect = width / height
+        safe_w = np.where(valid, w, 1.0)
+        ndc_x = (f / aspect) * cam[:, 0] / safe_w
+        ndc_y = f * cam[:, 1] / safe_w
+        xy = np.empty((len(points), 2))
+        xy[:, 0] = (ndc_x + 1.0) * 0.5 * (width - 1)
+        xy[:, 1] = (1.0 - ndc_y) * 0.5 * (height - 1)
+        if single:
+            return xy[0], w[0], valid[0]
+        return xy, w, valid

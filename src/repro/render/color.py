@@ -1,0 +1,103 @@
+"""Color utilities: scalar colormaps and speed-colored paths.
+
+The original windtunnel rendered monochrome per eye (the BOOM CRTs were
+monochrome), but coloring tracer geometry by a scalar — speed, pressure —
+was standard practice on the workstation screen and is essential for the
+conventional screen-and-mouse mode the paper's conclusion targets.  A
+colormap here is a small control-point table sampled by linear
+interpolation; everything is vectorized over vertices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Colormap",
+    "GRAYSCALE",
+    "HEAT",
+    "BLUE_RED",
+    "speed_colors",
+]
+
+
+class Colormap:
+    """Piecewise-linear RGB colormap over [0, 1].
+
+    ``control_points`` is an ``(N, 3)`` array of RGB (0-255) samples at
+    equally spaced positions.
+    """
+
+    def __init__(self, name: str, control_points) -> None:
+        pts = np.asarray(control_points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] < 2:
+            raise ValueError("control_points must have shape (N>=2, 3)")
+        if pts.min() < 0 or pts.max() > 255:
+            raise ValueError("control point channels must be in [0, 255]")
+        self.name = name
+        self._pts = pts
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        """Map values in [0, 1] (clipped) to RGB uint8, shape ``(..., 3)``."""
+        v = np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)
+        n = self._pts.shape[0]
+        x = v * (n - 1)
+        i = np.minimum(x.astype(np.intp), n - 2)
+        f = (x - i)[..., None]
+        rgb = self._pts[i] * (1.0 - f) + self._pts[i + 1] * f
+        return rgb.astype(np.uint8)
+
+    def normalized(self, values: np.ndarray, vmin=None, vmax=None) -> np.ndarray:
+        """Map raw scalar values to RGB, normalizing by [vmin, vmax]."""
+        values = np.asarray(values, dtype=np.float64)
+        lo = float(values.min()) if vmin is None else float(vmin)
+        hi = float(values.max()) if vmax is None else float(vmax)
+        if hi <= lo:
+            return self(np.zeros_like(values))
+        return self((values - lo) / (hi - lo))
+
+
+GRAYSCALE = Colormap("grayscale", [[0, 0, 0], [255, 255, 255]])
+HEAT = Colormap(
+    "heat",
+    [[0, 0, 0], [128, 0, 0], [255, 64, 0], [255, 200, 0], [255, 255, 255]],
+)
+BLUE_RED = Colormap(
+    "blue-red", [[40, 60, 255], [220, 220, 220], [255, 60, 40]]
+)
+
+
+def speed_colors(
+    paths: np.ndarray,
+    lengths: np.ndarray | None = None,
+    colormap: Colormap = HEAT,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> np.ndarray:
+    """Per-vertex colors encoding local speed along each path.
+
+    Speed is estimated from vertex spacing (uniform-dt integration makes
+    spacing proportional to speed).  ``paths`` is ``(S, L, 3)``; returns
+    ``(S, L, 3)`` uint8 suitable for
+    :func:`~repro.render.rasterizer.draw_polylines`.
+    """
+    paths = np.asarray(paths, dtype=np.float64)
+    if paths.ndim != 3 or paths.shape[2] != 3:
+        raise ValueError(f"paths must have shape (S, L, 3), got {paths.shape}")
+    s, l, _ = paths.shape
+    if l < 2:
+        return np.broadcast_to(colormap(np.zeros((s, l))), (s, l, 3)).copy()
+    seg = np.linalg.norm(np.diff(paths, axis=1), axis=2)  # (S, L-1)
+    speed = np.empty((s, l))
+    speed[:, 0] = seg[:, 0]
+    speed[:, -1] = seg[:, -1]
+    speed[:, 1:-1] = 0.5 * (seg[:, :-1] + seg[:, 1:])
+    if lengths is not None:
+        lengths = np.asarray(lengths)
+        # Frozen tail vertices have zero spacing; reuse the last live speed
+        # so dead tails don't drag vmin to zero.
+        for i in range(s):
+            li = int(lengths[i])
+            if 0 < li < l:
+                speed[i, li:] = speed[i, max(li - 1, 0)]
+    return colormap.normalized(speed, vmin, vmax)

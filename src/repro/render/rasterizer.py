@@ -1,0 +1,179 @@
+"""Vectorized z-buffered point and line rasterization.
+
+The VGX could push ~800,000 triangles/second; our unit of work is the
+path *segment* (the tools ship polylines, "rendered as individual points
+or connected in a way to simulate smoke", section 2.1).  All segments of
+all paths are expanded to pixel samples in one NumPy pass and committed
+through one depth-tested scatter — the renderer's analogue of
+vectorizing across streamlines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.camera import Camera
+from repro.render.framebuffer import ALL_CHANNELS, Framebuffer, WriteMask
+
+__all__ = ["draw_points", "draw_polyline", "draw_polylines"]
+
+#: Safety cap on samples per segment (a segment crossing the whole screen).
+_MAX_STEPS = 4096
+
+
+def _as_vertex_colors(color, n: int) -> np.ndarray:
+    color = np.asarray(color, dtype=np.float64)
+    if color.ndim == 1:
+        return np.broadcast_to(color, (n, 3))
+    if color.shape != (n, 3):
+        raise ValueError(f"per-vertex colors must have shape ({n}, 3)")
+    return color
+
+
+def draw_points(
+    fb: Framebuffer,
+    camera: Camera,
+    points: np.ndarray,
+    color=(255, 255, 255),
+    mask: WriteMask = ALL_CHANNELS,
+    size: int = 1,
+) -> int:
+    """Render points as ``size x size`` pixel splats.  Returns pixels won."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"points must have shape (N, 3), got {points.shape}")
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    if len(points) == 0:
+        return 0
+    xy, depth, valid = camera.project(points, fb.width, fb.height)
+    colors = _as_vertex_colors(color, len(points))[valid]
+    xy, depth = xy[valid], depth[valid]
+    if len(xy) == 0:
+        return 0
+    xs = np.round(xy[:, 0]).astype(np.intp)
+    ys = np.round(xy[:, 1]).astype(np.intp)
+    written = 0
+    half = (size - 1) // 2
+    for dy in range(-half, size - half):
+        for dx in range(-half, size - half):
+            written += fb.scatter(
+                xs + dx, ys + dy, depth, colors.astype(np.uint8), mask
+            )
+    return written
+
+
+def _expand_segments(p0, p1, z0, z1, c0, c1):
+    """Expand line segments into interpolated pixel samples.
+
+    All inputs are per-segment arrays; output is flat sample arrays
+    ``(xs, ys, zs, colors)``.
+    """
+    d = p1 - p0
+    steps = np.ceil(np.maximum(np.abs(d[:, 0]), np.abs(d[:, 1]))).astype(np.intp)
+    steps = np.clip(steps, 1, _MAX_STEPS)
+    counts = steps + 1
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    total = int(offsets[-1])
+    seg = np.repeat(np.arange(len(p0), dtype=np.intp), counts)
+    local = np.arange(total, dtype=np.float64) - offsets[seg]
+    t = local / steps[seg]
+    xs = p0[seg, 0] + t * d[seg, 0]
+    ys = p0[seg, 1] + t * d[seg, 1]
+    zs = z0[seg] + t * (z1[seg] - z0[seg])
+    cols = c0[seg] + t[:, None] * (c1[seg] - c0[seg])
+    return (
+        np.round(xs).astype(np.intp),
+        np.round(ys).astype(np.intp),
+        zs.astype(np.float32),
+        np.clip(cols, 0, 255).astype(np.uint8),
+    )
+
+
+def draw_polyline(
+    fb: Framebuffer,
+    camera: Camera,
+    vertices: np.ndarray,
+    color=(255, 255, 255),
+    mask: WriteMask = ALL_CHANNELS,
+) -> int:
+    """Render one polyline (``(N, 3)`` world vertices).  Returns pixels won."""
+    vertices = np.asarray(vertices, dtype=np.float64)
+    if vertices.ndim != 2 or vertices.shape[1] != 3:
+        raise ValueError(f"vertices must have shape (N, 3), got {vertices.shape}")
+    n = len(vertices)
+    if n == 0:
+        return 0
+    colors = _as_vertex_colors(color, n)
+    if n == 1:
+        return draw_points(fb, camera, vertices, colors, mask)
+    xy, depth, valid = camera.project(vertices, fb.width, fb.height)
+    seg_ok = valid[:-1] & valid[1:]
+    if not seg_ok.any():
+        return 0
+    i0 = np.nonzero(seg_ok)[0]
+    xs, ys, zs, cols = _expand_segments(
+        xy[i0], xy[i0 + 1], depth[i0], depth[i0 + 1], colors[i0], colors[i0 + 1]
+    )
+    return fb.scatter(xs, ys, zs, cols, mask)
+
+
+def draw_polylines(
+    fb: Framebuffer,
+    camera: Camera,
+    paths: np.ndarray,
+    lengths: np.ndarray | None = None,
+    color=(255, 255, 255),
+    mask: WriteMask = ALL_CHANNELS,
+) -> int:
+    """Render a batch of polylines in one pass.
+
+    ``paths`` is ``(S, L, 3)`` (a tracer result's vertex block); ``lengths``
+    gives valid vertices per path (default: all ``L``).  ``color`` may be a
+    single RGB, per-path ``(S, 3)``, or per-vertex ``(S, L, 3)``.  This is
+    the hot path: one projection and one scatter for the whole frame's
+    tens of thousands of points.
+    """
+    paths = np.asarray(paths, dtype=np.float64)
+    if paths.ndim != 3 or paths.shape[2] != 3:
+        raise ValueError(f"paths must have shape (S, L, 3), got {paths.shape}")
+    s, l, _ = paths.shape
+    if s == 0 or l == 0:
+        return 0
+    if lengths is None:
+        lengths = np.full(s, l, dtype=np.intp)
+    else:
+        lengths = np.asarray(lengths, dtype=np.intp)
+        if lengths.shape != (s,):
+            raise ValueError("lengths must have shape (S,)")
+        if lengths.max(initial=0) > l or lengths.min(initial=0) < 0:
+            raise ValueError("lengths out of range")
+    color = np.asarray(color, dtype=np.float64)
+    if color.ndim == 1:
+        vcolors = np.broadcast_to(color, (s, l, 3))
+    elif color.shape == (s, 3):
+        vcolors = np.broadcast_to(color[:, None, :], (s, l, 3))
+    elif color.shape == (s, l, 3):
+        vcolors = color
+    else:
+        raise ValueError(f"unsupported color shape {color.shape}")
+
+    flat = paths.reshape(-1, 3)
+    xy, depth, valid = camera.project(flat, fb.width, fb.height)
+    # Segment (s, j)->(s, j+1) exists when j+1 < lengths[s] and both ends
+    # are in front of the camera.
+    j = np.arange(l - 1)
+    exists = j[None, :] + 1 < lengths[:, None]  # (S, L-1)
+    v2 = valid.reshape(s, l)
+    seg_ok = exists & v2[:, :-1] & v2[:, 1:]
+    idx = np.nonzero(seg_ok.ravel())[0]
+    if len(idx) == 0:
+        return 0
+    row, col = np.divmod(idx, l - 1)
+    a = row * l + col
+    b = a + 1
+    cflat = np.ascontiguousarray(vcolors).reshape(-1, 3)
+    xs, ys, zs, cols = _expand_segments(
+        xy[a], xy[b], depth[a], depth[b], cflat[a], cflat[b]
+    )
+    return fb.scatter(xs, ys, zs, cols, mask)

@@ -1,0 +1,57 @@
+"""Writemask anaglyph stereo — the paper's display path, literally.
+
+Section 3: "Stereo display on the boom is handled by rendering the left
+eye image using only shades of pure red ... and the right eye image using
+only shades of pure blue.  When the blue (second, right-eye) image is
+drawn, it is drawn using a 'writemask' that protects the bits of the red
+image.  The Z-buffer bit planes are cleared between the drawing of the
+left- and right-eye images, but the color (red) bit planes are not.  Thus,
+the end result is separately Z-buffered left- and right-eye images, in red
+and blue respectively, on the screen at the same time with the
+appropriate mixture of red and blue where the images overlap."
+
+On the real system the scan converter then fed the red RS170 component to
+the left CRT and the blue to the right; here the two
+:meth:`~repro.render.framebuffer.Framebuffer.channel` views are those two
+component feeds.
+"""
+
+from __future__ import annotations
+
+from repro.render.camera import Camera
+from repro.render.framebuffer import Framebuffer, WriteMask
+from repro.render.scene import Scene
+
+__all__ = ["STEREO_LEFT_MASK", "STEREO_RIGHT_MASK", "render_anaglyph", "DEFAULT_IPD"]
+
+STEREO_LEFT_MASK = WriteMask(red=True, green=False, blue=False)
+STEREO_RIGHT_MASK = WriteMask(red=False, green=False, blue=True)
+
+#: Interpupillary distance in meters (scene units are meters).
+DEFAULT_IPD = 0.064
+
+
+def render_anaglyph(
+    scene: Scene,
+    camera: Camera,
+    fb: Framebuffer,
+    ipd: float = DEFAULT_IPD,
+) -> tuple[int, int]:
+    """Render ``scene`` in writemask stereo into ``fb``.
+
+    ``camera`` is the head (cyclopean) camera; the two eyes are offset
+    ``ipd/2`` along the camera's x axis.  Returns pixels written per eye.
+    The procedure follows section 3 step for step.
+    """
+    if ipd < 0:
+        raise ValueError("ipd must be non-negative")
+    # Full clear before the first (red, left) image.
+    fb.clear((0, 0, 0))
+    left = camera.with_eye_offset(-ipd / 2.0)
+    left_written = scene.draw(fb, left, STEREO_LEFT_MASK)
+    # "The Z-buffer bit planes are cleared between the drawing of the
+    # left- and right-eye images, but the color (red) bit planes are not."
+    fb.clear_depth()
+    right = camera.with_eye_offset(+ipd / 2.0)
+    right_written = scene.draw(fb, right, STEREO_RIGHT_MASK)
+    return left_written, right_written

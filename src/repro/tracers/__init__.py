@@ -1,0 +1,68 @@
+"""Visualization tools: streaklines, particle paths, streamlines, rakes.
+
+Section 2.1 of the paper defines the three tools, all computed by
+"selecting a set of initial positions and integrating the vector field";
+they differ only in the order in which integrations and timestep
+increments are interleaved:
+
+* **streamline** — integrate the *instantaneous* field at one timestep,
+  never incrementing time;
+* **particle path** — integrate while incrementing the timestep with each
+  integration;
+* **streakline** — keep a population of particles, moving every particle
+  one step per frame in the current timestep's field while injecting new
+  particles at the seed points.
+
+All integration happens in grid coordinates with second-order Runge-Kutta
+(section 5.3), and results are converted to physical coordinates by
+trilinear lookup.  Seed points come in lines called **rakes**, grabbed at
+the center or either end (section 2.1).
+
+The integration core has multiple execution backends mirroring the
+paper's optimization study (section 5.3): ``scalar`` (per-point loop, the
+optimized-scalar-C analogue), ``vector`` (NumPy batch across streamlines,
+the Convex vectorization), ``vector-strip`` (128-lane strip mining, the
+Convex vector register length), ``parallel`` (processes across
+streamlines, the 4-CPU parallelization), and ``vector-group`` (processes
+across groups, vectorized within a group — the paper's proposed further
+optimization).
+"""
+
+from repro.tracers.integrate import (
+    BACKENDS,
+    advance_rk2,
+    integrate_paths,
+    integrate_steady,
+)
+from repro.tracers.rake import GrabPoint, Rake
+from repro.tracers.streamline import compute_streamlines
+from repro.tracers.particlepath import compute_particle_paths
+from repro.tracers.streakline import StreaklineTracer
+from repro.tracers.result import TracerResult
+from repro.tracers.isosurface import (
+    IsosurfaceResult,
+    extract_isosurface,
+    velocity_magnitude,
+)
+from repro.tracers.multizone import MultiZoneTracerResult, multizone_streamlines
+from repro.tracers.ftle import FTLEResult, compute_ftle
+
+__all__ = [
+    "BACKENDS",
+    "advance_rk2",
+    "integrate_steady",
+    "integrate_paths",
+    "Rake",
+    "GrabPoint",
+    "compute_streamlines",
+    "compute_particle_paths",
+    "StreaklineTracer",
+    "TracerResult",
+    "IsosurfaceResult",
+    "extract_isosurface",
+    "velocity_magnitude",
+    "MultiZoneTracerResult",
+    "multizone_streamlines",
+    "FTLEResult",
+    "compute_ftle",
+]

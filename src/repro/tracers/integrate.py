@@ -1,0 +1,406 @@
+"""Second-order Runge-Kutta particle integration with multiple backends.
+
+The computational core of the windtunnel.  The paper (section 5.3): "The
+integration algorithm for the computation is second-order Runge-Kutta,
+which requires two accesses of the vector field data from memory each
+involving eight floating point loads to set up for trilinear
+interpolation, two trilinear interpolations, and two simple computations
+per component per point integrated."  That is exactly the inner loop here.
+
+Backends reproduce the paper's optimization trade space:
+
+``vector``
+    One NumPy batch across *all* streamlines — vectorizing across
+    streamlines, the approach the Convex used ("This is the only
+    possibility, as the computation of an individual streamline is an
+    iterative process").
+``vector-strip``
+    The same, strip-mined into chunks of 128 seeds — the Convex C3240's
+    vector registers "can process vector arrays of up to 128 entries in
+    length".
+``scalar``
+    A pure-Python per-point loop: the analogue of the optimized scalar C
+    code "using pointer manipulation and striding" that defeats
+    vectorization.
+``parallel``
+    The scalar kernel distributed across worker processes, one chunk of
+    streamlines each — the paper's 4-CPU parallelization of the
+    non-vectorized code.
+``vector-group``
+    Processes across groups of streamlines, NumPy-vectorized within each
+    group — the further optimization the paper leaves "under study".
+
+All backends produce bit-identical trajectories for the same inputs
+except ``scalar``/``parallel``, which agree with ``vector`` to floating-
+point round-off (operation order differs slightly).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.grid.interpolation import in_domain_mask, trilinear_interpolate
+
+__all__ = ["BACKENDS", "advance_rk2", "integrate_steady", "integrate_paths"]
+
+BACKENDS = ("vector", "vector-strip", "scalar", "parallel", "vector-group")
+
+#: Convex C3240 vector register length (section 5), the default strip size.
+VECTOR_LENGTH = 128
+
+
+def advance_rk2(gv: np.ndarray, coords: np.ndarray, dt: float) -> np.ndarray:
+    """One RK2 (Heun) step for all ``coords`` in a frozen field ``gv``.
+
+    ``gv`` is grid-coordinate velocity ``(ni, nj, nk, 3)``; ``coords`` is
+    ``(N, 3)`` fractional grid coordinates.  Out-of-domain samples clamp to
+    the boundary; callers decide particle death via
+    :func:`~repro.grid.interpolation.in_domain_mask`.
+    """
+    k1 = trilinear_interpolate(gv, coords)
+    k2 = trilinear_interpolate(gv, coords + dt * k1)
+    return coords + (0.5 * dt) * (k1 + k2)
+
+
+# ---------------------------------------------------------------------------
+# vector backends
+# ---------------------------------------------------------------------------
+
+
+def _integrate_vector(
+    gv: np.ndarray, seeds: np.ndarray, n_steps: int, dt: float
+) -> tuple[np.ndarray, np.ndarray]:
+    dims = gv.shape[:3]
+    s = seeds.shape[0]
+    coords = np.array(seeds, dtype=np.float64, copy=True)
+    paths = np.empty((s, n_steps + 1, 3), dtype=np.float64)
+    paths[:, 0] = coords
+    alive = in_domain_mask(coords, dims)
+    lengths = np.ones(s, dtype=np.intp)
+    for step in range(1, n_steps + 1):
+        if alive.any():
+            sel = np.nonzero(alive)[0]
+            new = advance_rk2(gv, coords[sel], dt)
+            inside = in_domain_mask(new, dims)
+            good = sel[inside]
+            coords[good] = new[inside]
+            lengths[good] += 1
+            alive[sel[~inside]] = False
+            paths[:, step] = coords
+        else:
+            # Everyone is dead: freeze the remaining columns and stop.
+            paths[:, step:] = coords[:, None, :]
+            break
+    return paths, lengths
+
+
+def _integrate_vector_strip(
+    gv: np.ndarray, seeds: np.ndarray, n_steps: int, dt: float, strip: int
+) -> tuple[np.ndarray, np.ndarray]:
+    s = seeds.shape[0]
+    paths = np.empty((s, n_steps + 1, 3), dtype=np.float64)
+    lengths = np.empty(s, dtype=np.intp)
+    for start in range(0, s, strip):
+        stop = min(start + strip, s)
+        p, l = _integrate_vector(gv, seeds[start:stop], n_steps, dt)
+        paths[start:stop] = p
+        lengths[start:stop] = l
+    return paths, lengths
+
+
+# ---------------------------------------------------------------------------
+# scalar backend (pure-Python kernel)
+# ---------------------------------------------------------------------------
+
+
+def _integrate_scalar(
+    gv: np.ndarray,
+    seeds: np.ndarray,
+    n_steps: int,
+    dt: float,
+    flat: list | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-point, per-step loop with scalar arithmetic throughout.
+
+    The field is flattened to a Python list once so the inner loop performs
+    honest scalar loads (the analogue of the paper's pointer-striding C).
+    ``flat`` lets callers (the parallel workers) reuse a cached flattening.
+    """
+    ni, nj, nk = gv.shape[:3]
+    if flat is None:
+        flat = np.ascontiguousarray(gv, dtype=np.float64).ravel().tolist()
+    sj = nk * 3
+    si = nj * sj
+    hi_i, hi_j, hi_k = ni - 1.0, nj - 1.0, nk - 1.0
+
+    def sample(x: float, y: float, z: float) -> tuple[float, float, float]:
+        # Clamp, split into cell + fraction (matches the vector kernel).
+        if x < 0.0:
+            x = 0.0
+        elif x > hi_i:
+            x = hi_i
+        if y < 0.0:
+            y = 0.0
+        elif y > hi_j:
+            y = hi_j
+        if z < 0.0:
+            z = 0.0
+        elif z > hi_k:
+            z = hi_k
+        i = int(x)
+        if i > ni - 2:
+            i = ni - 2
+        j = int(y)
+        if j > nj - 2:
+            j = nj - 2
+        k = int(z)
+        if k > nk - 2:
+            k = nk - 2
+        fx, fy, fz = x - i, y - j, z - k
+        base = i * si + j * sj + k * 3
+        out = []
+        for c in range(3):
+            b = base + c
+            c000 = flat[b]
+            c001 = flat[b + 3]
+            c010 = flat[b + sj]
+            c011 = flat[b + sj + 3]
+            c100 = flat[b + si]
+            c101 = flat[b + si + 3]
+            c110 = flat[b + si + sj]
+            c111 = flat[b + si + sj + 3]
+            c00 = c000 + (c001 - c000) * fz
+            c01 = c010 + (c011 - c010) * fz
+            c10 = c100 + (c101 - c100) * fz
+            c11 = c110 + (c111 - c110) * fz
+            c0 = c00 + (c01 - c00) * fy
+            c1 = c10 + (c11 - c10) * fy
+            out.append(c0 + (c1 - c0) * fx)
+        return out[0], out[1], out[2]
+
+    s = seeds.shape[0]
+    paths = np.empty((s, n_steps + 1, 3), dtype=np.float64)
+    lengths = np.empty(s, dtype=np.intp)
+    half_dt = 0.5 * dt
+    for p in range(s):
+        x, y, z = float(seeds[p, 0]), float(seeds[p, 1]), float(seeds[p, 2])
+        paths[p, 0] = (x, y, z)
+        length = 1
+        alive = 0.0 <= x <= hi_i and 0.0 <= y <= hi_j and 0.0 <= z <= hi_k
+        for step in range(1, n_steps + 1):
+            if alive:
+                u1, v1, w1 = sample(x, y, z)
+                u2, v2, w2 = sample(x + dt * u1, y + dt * v1, z + dt * w1)
+                nx = x + half_dt * (u1 + u2)
+                ny = y + half_dt * (v1 + v2)
+                nz = z + half_dt * (w1 + w2)
+                if 0.0 <= nx <= hi_i and 0.0 <= ny <= hi_j and 0.0 <= nz <= hi_k:
+                    x, y, z = nx, ny, nz
+                    length += 1
+                else:
+                    alive = False
+            paths[p, step] = (x, y, z)
+        lengths[p] = length
+    return paths, lengths
+
+
+# ---------------------------------------------------------------------------
+# process-parallel backends
+# ---------------------------------------------------------------------------
+
+# Worker pools persist across calls (the Convex's processors did not
+# reboot between frames); one pool per worker count, created lazily.
+_POOLS: dict[int, "mp.pool.Pool"] = {}
+
+# Per-worker cache of the scalar kernel's flattened field, keyed by a
+# content token, so repeated frames over the same timestep do not re-pay
+# the flattening (the Convex kept its converted data resident too).
+_WORKER_FLAT: dict = {}
+
+
+def _field_token(gv: np.ndarray) -> tuple:
+    import zlib
+
+    head = np.ascontiguousarray(gv).view(np.uint8)
+    return (gv.shape, zlib.adler32(head), int(gv.size))
+
+
+def _run_chunk(args):  # pragma: no cover - executes in subprocess
+    gv, seeds_chunk, n_steps, dt, kernel, token = args
+    if kernel != "scalar":
+        return _integrate_vector(gv, seeds_chunk, n_steps, dt)
+    flat = _WORKER_FLAT.get(token)
+    if flat is None:
+        flat = np.ascontiguousarray(gv, dtype=np.float64).ravel().tolist()
+        _WORKER_FLAT.clear()  # keep at most one field resident per worker
+        _WORKER_FLAT[token] = flat
+    return _integrate_scalar(gv, seeds_chunk, n_steps, dt, flat=flat)
+
+
+def _get_pool(workers: int):
+    pool = _POOLS.get(workers)
+    if pool is None:
+        ctx = mp.get_context("fork")
+        pool = ctx.Pool(workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate any persistent worker pools (for clean interpreter exit)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def _integrate_parallel(
+    gv: np.ndarray,
+    seeds: np.ndarray,
+    n_steps: int,
+    dt: float,
+    workers: int,
+    kernel: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distribute streamline chunks across ``workers`` processes.
+
+    ``kernel='scalar'`` mirrors the Convex's parallelized scalar code;
+    ``kernel='vector'`` is the vector-group scheme (parallel across
+    groups, vectorized within).  The field array travels to the workers by
+    pickle once per chunk — a real cost the distributed design also pays,
+    and small next to the integration itself.
+    """
+    s = seeds.shape[0]
+    workers = max(1, min(workers, s))
+    if workers == 1:
+        kern = _integrate_scalar if kernel == "scalar" else _integrate_vector
+        return kern(gv, seeds, n_steps, dt)
+    chunks = np.array_split(np.asarray(seeds, dtype=np.float64), workers)
+    pool = _get_pool(workers)
+    token = _field_token(gv) if kernel == "scalar" else None
+    results = pool.map(
+        _run_chunk, [(gv, chunk, n_steps, dt, kernel, token) for chunk in chunks]
+    )
+    paths = np.concatenate([r[0] for r in results], axis=0)
+    lengths = np.concatenate([r[1] for r in results], axis=0)
+    return paths, lengths
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+
+def integrate_steady(
+    gv: np.ndarray,
+    seeds: np.ndarray,
+    n_steps: int,
+    dt: float,
+    *,
+    backend: str = "vector",
+    workers: int = 4,
+    strip: int = VECTOR_LENGTH,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integrate seeds through a frozen (single-timestep) field.
+
+    This is the streamline computation.  Returns ``(paths, lengths)``:
+    paths of shape ``(S, n_steps+1, 3)`` in grid coordinates (dead
+    particles frozen at their last valid vertex) and per-path valid vertex
+    counts.
+
+    Parameters
+    ----------
+    backend
+        One of :data:`BACKENDS`; see module docstring.
+    workers
+        Process count for the ``parallel``/``vector-group`` backends
+        (the Convex had 4 CPUs, the SGI 8).
+    strip
+        Strip length for ``vector-strip`` (Convex vector length, 128).
+    """
+    seeds = np.asarray(seeds, dtype=np.float64)
+    if seeds.ndim != 2 or seeds.shape[1] != 3:
+        raise ValueError(f"seeds must have shape (S, 3), got {seeds.shape}")
+    if n_steps < 0:
+        raise ValueError("n_steps must be non-negative")
+    gv = np.asarray(gv, dtype=np.float64)
+    if backend == "vector":
+        return _integrate_vector(gv, seeds, n_steps, dt)
+    if backend == "vector-strip":
+        if strip < 1:
+            raise ValueError("strip must be positive")
+        return _integrate_vector_strip(gv, seeds, n_steps, dt, strip)
+    if backend == "scalar":
+        return _integrate_scalar(gv, seeds, n_steps, dt)
+    if backend == "parallel":
+        return _integrate_parallel(gv, seeds, n_steps, dt, workers, "scalar")
+    if backend == "vector-group":
+        return _integrate_parallel(gv, seeds, n_steps, dt, workers, "vector")
+    raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+
+def integrate_paths(
+    field_at: Callable[[int], np.ndarray],
+    seeds: np.ndarray,
+    t0: int,
+    n_steps: int,
+    n_timesteps: int,
+    dt: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integrate seeds through an *unsteady* field, advancing time each step.
+
+    This is the particle-path computation: "iteratively integrate the
+    particle position, incrementing the timestep with each integration"
+    (section 2.1).  Step ``n`` takes its RK2 stages from timesteps
+    ``t0+n`` and ``t0+n+1`` (Heun across the time interval); integration
+    stops when the dataset runs out of timesteps, so path length is bounded
+    by the available (in-memory) timestep window, exactly the constraint of
+    section 5.2.
+
+    Parameters
+    ----------
+    field_at
+        Maps a timestep index to its grid-coordinate velocity array.
+    t0
+        Starting timestep.
+    n_timesteps
+        Total timesteps available; the path uses at most
+        ``n_timesteps - t0 - 1`` steps.
+    """
+    seeds = np.asarray(seeds, dtype=np.float64)
+    if seeds.ndim != 2 or seeds.shape[1] != 3:
+        raise ValueError(f"seeds must have shape (S, 3), got {seeds.shape}")
+    if not (0 <= t0 < n_timesteps):
+        raise IndexError(f"t0 {t0} out of range [0, {n_timesteps})")
+    usable_steps = min(n_steps, n_timesteps - t0 - 1)
+    s = seeds.shape[0]
+    coords = np.array(seeds, copy=True)
+    paths = np.empty((s, usable_steps + 1, 3), dtype=np.float64)
+    paths[:, 0] = coords
+    lengths = np.ones(s, dtype=np.intp)
+    gv_now = field_at(t0)
+    dims = gv_now.shape[:3]
+    alive = in_domain_mask(coords, dims)
+    for step in range(1, usable_steps + 1):
+        gv_next = field_at(t0 + step)
+        if alive.any():
+            sel = np.nonzero(alive)[0]
+            cur = coords[sel]
+            k1 = trilinear_interpolate(gv_now, cur)
+            k2 = trilinear_interpolate(gv_next, cur + dt * k1)
+            new = cur + (0.5 * dt) * (k1 + k2)
+            inside = in_domain_mask(new, dims)
+            good = sel[inside]
+            coords[good] = new[inside]
+            lengths[good] += 1
+            alive[sel[~inside]] = False
+        paths[:, step] = coords
+        gv_now = gv_next
+    return paths, lengths

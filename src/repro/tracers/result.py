@@ -1,0 +1,63 @@
+"""Common result container for tracer computations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.curvilinear import CurvilinearGrid
+
+__all__ = ["TracerResult"]
+
+
+@dataclass
+class TracerResult:
+    """Paths produced by a tracer tool.
+
+    Attributes
+    ----------
+    grid_paths
+        Path vertices in grid coordinates, shape ``(S, L, 3)`` for S seeds
+        and up to L points per path.
+    lengths
+        Valid point count per path, shape ``(S,)``.  A particle that left
+        the domain has a shorter path; vertices beyond ``lengths[s]`` hold
+        the last valid position (frozen, safe to render but redundant).
+    grid
+        The grid the coordinates refer to, used for physical conversion.
+    """
+
+    grid_paths: np.ndarray
+    lengths: np.ndarray
+    grid: CurvilinearGrid
+
+    @property
+    def n_paths(self) -> int:
+        return self.grid_paths.shape[0]
+
+    @property
+    def n_points(self) -> int:
+        """Total valid points — the paper's particle count (Tables 1, 3)."""
+        return int(self.lengths.sum())
+
+    def physical(self, dtype=np.float32) -> np.ndarray:
+        """Convert all paths to physical coordinates.
+
+        Returns ``(S, L, 3)`` in ``dtype``; float32 by default, making each
+        point exactly the 12 bytes per point the paper ships over the
+        network (section 5.1, Table 1).
+        """
+        s, l, _ = self.grid_paths.shape
+        flat = self.grid.to_physical(self.grid_paths.reshape(-1, 3))
+        return flat.reshape(s, l, 3).astype(dtype)
+
+    def physical_polylines(self, dtype=np.float32) -> list[np.ndarray]:
+        """Physical paths trimmed to their valid lengths (list of (Li, 3))."""
+        full = self.physical(dtype)
+        return [full[i, : self.lengths[i]] for i in range(self.n_paths)]
+
+    @property
+    def nbytes_wire(self) -> int:
+        """Bytes this result occupies on the wire at 12 bytes/point."""
+        return self.n_points * 12

@@ -1,0 +1,108 @@
+"""Fixed-capacity ring buffer over a preallocated NumPy array.
+
+Streaklines hold "the current positions of all the particles, including
+those recently added at the seed points" (section 2.1) — a rolling set with
+a hard particle budget.  A ring buffer gives O(1) append and eviction with
+zero steady-state allocation, which matters inside the 1/8-second frame
+loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RingBuffer:
+    """Ring buffer of fixed-width float records.
+
+    Stores up to ``capacity`` rows of shape ``(width,)``.  Appending past
+    capacity overwrites the oldest rows.  :meth:`view` returns the live rows
+    oldest-first (a copy only when the window wraps).
+    """
+
+    def __init__(self, capacity: int, width: int, dtype=np.float64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self._data = np.empty((capacity, width), dtype=dtype)
+        self._capacity = capacity
+        self._start = 0
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def width(self) -> int:
+        return self._data.shape[1]
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size == self._capacity
+
+    def clear(self) -> None:
+        self._start = 0
+        self._size = 0
+
+    def append(self, row: np.ndarray) -> None:
+        """Append one row, evicting the oldest if full."""
+        idx = (self._start + self._size) % self._capacity
+        self._data[idx] = row
+        if self._size < self._capacity:
+            self._size += 1
+        else:
+            self._start = (self._start + 1) % self._capacity
+
+    def extend(self, rows: np.ndarray) -> None:
+        """Append many rows at once (vectorized, at most two block copies)."""
+        rows = np.asarray(rows)
+        n = rows.shape[0]
+        if n == 0:
+            return
+        if n >= self._capacity:
+            # Only the trailing `capacity` rows survive.
+            self._data[:] = rows[n - self._capacity :]
+            self._start = 0
+            self._size = self._capacity
+            return
+        end = (self._start + self._size) % self._capacity
+        first = min(n, self._capacity - end)
+        self._data[end : end + first] = rows[:first]
+        if first < n:
+            self._data[: n - first] = rows[first:]
+        overflow = self._size + n - self._capacity
+        if overflow > 0:
+            self._start = (self._start + overflow) % self._capacity
+            self._size = self._capacity
+        else:
+            self._size += n
+
+    def view(self) -> np.ndarray:
+        """Live rows, oldest first.
+
+        Returns a zero-copy view when the live window is contiguous and a
+        stitched copy when it wraps.
+        """
+        if self._size == 0:
+            return self._data[:0]
+        end = self._start + self._size
+        if end <= self._capacity:
+            return self._data[self._start : end]
+        return np.concatenate(
+            (self._data[self._start :], self._data[: end - self._capacity])
+        )
+
+    def oldest(self) -> np.ndarray:
+        if self._size == 0:
+            raise IndexError("ring buffer is empty")
+        return self._data[self._start]
+
+    def newest(self) -> np.ndarray:
+        if self._size == 0:
+            raise IndexError("ring buffer is empty")
+        return self._data[(self._start + self._size - 1) % self._capacity]

@@ -1,0 +1,47 @@
+"""Virtual-environment interface devices (section 3), simulated.
+
+The paper's hardware: a Fake Space Labs BOOM (counterweighted six-joint
+yoke carrying two CRTs; optical encoders on the joints give six angles
+that convert "into a standard 4x4 position and orientation matrix ... by
+six successive translations and rotations") and a VPL DataGlove model II
+with a Polhemus 3Space tracker (absolute hand pose from multiplexed
+electromagnetic fields; finger bends from treated optical fibers,
+"combined and interpreted as gestures"; per-user recalibration required;
+"limited accuracy and ... sensitive to the ambient electromagnetic
+environment").
+
+We have no 1990s VR hardware, so this package models the devices: the
+BOOM's forward kinematics with encoder quantization and joint limits, the
+glove's calibrated bend sensors and noisy tracker, gesture recognition
+with hysteresis, scripted motion playback (the reproducible stand-in for
+a human operator), and the conventional screen-and-mouse input path the
+paper's conclusion points at.
+"""
+
+from repro.vr.boom import Boom, BoomJoint, DEFAULT_BOOM_GEOMETRY
+from repro.vr.glove import (
+    Calibration,
+    DataGlove,
+    GloveSample,
+    PolhemusTracker,
+)
+from repro.vr.gestures import Gesture, GestureRecognizer, classify_bends
+from repro.vr.motion import MotionScript, Keyframe
+from repro.vr.desktop import DesktopInput, MouseState
+
+__all__ = [
+    "Boom",
+    "BoomJoint",
+    "DEFAULT_BOOM_GEOMETRY",
+    "DataGlove",
+    "GloveSample",
+    "PolhemusTracker",
+    "Calibration",
+    "Gesture",
+    "GestureRecognizer",
+    "classify_bends",
+    "MotionScript",
+    "Keyframe",
+    "DesktopInput",
+    "MouseState",
+]

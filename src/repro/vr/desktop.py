@@ -1,0 +1,77 @@
+"""Conventional screen-and-mouse input.
+
+Section 3: "The keyboard and mouse are also used as input devices to the
+virtual environment" — and the conclusion notes the distributed
+architecture "is also interesting to those using conventional screen and
+mouse interfaces".  :class:`DesktopInput` maps 2-D mouse state onto the
+same 3-D interaction vocabulary the glove produces (a virtual hand
+position plus grab/point), so the windtunnel client code is agnostic
+about which interface drives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vr.gestures import Gesture
+
+__all__ = ["MouseState", "DesktopInput"]
+
+
+@dataclass(frozen=True)
+class MouseState:
+    """Raw mouse sample: normalized window coords + buttons + wheel."""
+
+    x: float  # [0, 1] left->right
+    y: float  # [0, 1] bottom->top
+    left: bool = False
+    right: bool = False
+    wheel: float = 0.0  # cumulative detents
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.x <= 1.0 and 0.0 <= self.y <= 1.0):
+            raise ValueError("mouse coordinates must be normalized to [0, 1]")
+
+
+class DesktopInput:
+    """Mouse -> virtual hand mapping.
+
+    The mouse moves the hand in a plane parallel to the screen at a
+    depth controlled by the scroll wheel; left button = FIST (grab),
+    right button = POINT, neither = OPEN.  The working volume defaults to
+    a unit-ish box centered on the scene.
+    """
+
+    def __init__(
+        self,
+        volume_lo=(-1.0, -1.0, -1.0),
+        volume_hi=(1.0, 1.0, 1.0),
+        wheel_step: float = 0.05,
+    ) -> None:
+        self.volume_lo = np.asarray(volume_lo, dtype=np.float64)
+        self.volume_hi = np.asarray(volume_hi, dtype=np.float64)
+        if np.any(self.volume_hi <= self.volume_lo):
+            raise ValueError("volume_hi must exceed volume_lo componentwise")
+        if wheel_step <= 0:
+            raise ValueError("wheel_step must be positive")
+        self.wheel_step = float(wheel_step)
+
+    def hand_position(self, mouse: MouseState) -> np.ndarray:
+        """Map mouse state to a 3-D hand position inside the volume.
+
+        Screen x -> world x, screen y -> world z (up), wheel -> world y
+        (depth into the screen).
+        """
+        span = self.volume_hi - self.volume_lo
+        depth_frac = np.clip(0.5 + mouse.wheel * self.wheel_step, 0.0, 1.0)
+        frac = np.array([mouse.x, depth_frac, mouse.y])
+        return self.volume_lo + frac * span
+
+    def gesture(self, mouse: MouseState) -> Gesture:
+        if mouse.left:
+            return Gesture.FIST
+        if mouse.right:
+            return Gesture.POINT
+        return Gesture.OPEN

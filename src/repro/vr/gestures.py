@@ -1,0 +1,112 @@
+"""Gesture recognition from finger-bend vectors.
+
+Section 3: the finger joint angles "are combined and interpreted as
+gestures".  The windtunnel's interaction vocabulary needs three: an open
+hand (idle), a fist (grab — picks up the nearest rake grab point), and a
+point (index extended — used to drop new seed points / rakes).
+Classification is by per-digit thresholds with hysteresis so a hand
+hovering near a threshold doesn't flicker between grab and release —
+which would drop and re-grab a rake every frame.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.vr.glove import N_BEND_SENSORS
+
+__all__ = ["Gesture", "classify_bends", "GestureRecognizer"]
+
+
+class Gesture(Enum):
+    """The windtunnel's interaction vocabulary (see module docstring)."""
+
+    OPEN = "open"
+    FIST = "fist"
+    POINT = "point"
+    UNKNOWN = "unknown"
+
+
+# Sensor layout: [thumb_knuckle, thumb_mid, index_knuckle, index_mid,
+#                 middle_knuckle, middle_mid, ring_knuckle, ring_mid,
+#                 pinky_knuckle, pinky_mid]
+_INDEX = slice(2, 4)
+_OTHER_FINGERS = [0, 1, 4, 5, 6, 7, 8, 9]
+
+
+def classify_bends(
+    bends: np.ndarray, bent: float = 0.6, extended: float = 0.4
+) -> Gesture:
+    """Stateless classification of one bend vector.
+
+    ``bent``/``extended`` are the thresholds a digit must cross to count
+    as curled or straight; anything in between is ambiguous and yields
+    :data:`Gesture.UNKNOWN`.
+    """
+    bends = np.asarray(bends, dtype=np.float64)
+    if bends.shape != (N_BEND_SENSORS,):
+        raise ValueError(f"expected {N_BEND_SENSORS} bends, got {bends.shape}")
+    if not (0.0 <= extended <= bent <= 1.0):
+        raise ValueError("need 0 <= extended <= bent <= 1")
+    index_ext = np.all(bends[_INDEX] <= extended)
+    index_bent = np.all(bends[_INDEX] >= bent)
+    others_ext = np.all(bends[_OTHER_FINGERS] <= extended)
+    others_bent = np.all(bends[_OTHER_FINGERS] >= bent)
+    if index_ext and others_ext:
+        return Gesture.OPEN
+    if index_bent and others_bent:
+        return Gesture.FIST
+    if index_ext and others_bent:
+        return Gesture.POINT
+    return Gesture.UNKNOWN
+
+
+class GestureRecognizer:
+    """Stateful recognizer with hysteresis.
+
+    A new gesture must be observed ``hold_frames`` consecutive frames
+    before it replaces the current one; UNKNOWN never replaces a confident
+    gesture (the hand is mid-transition).
+    """
+
+    def __init__(self, hold_frames: int = 2, bent: float = 0.6, extended: float = 0.4) -> None:
+        if hold_frames < 1:
+            raise ValueError("hold_frames must be at least 1")
+        self.hold_frames = int(hold_frames)
+        self.bent = bent
+        self.extended = extended
+        self.current = Gesture.OPEN
+        self._candidate = Gesture.OPEN
+        self._streak = 0
+
+    def update(self, bends: np.ndarray) -> Gesture:
+        """Feed one frame of bends; returns the (debounced) gesture."""
+        raw = classify_bends(bends, self.bent, self.extended)
+        if raw is Gesture.UNKNOWN or raw is self.current:
+            self._candidate = self.current
+            self._streak = 0
+            return self.current
+        if raw is self._candidate:
+            self._streak += 1
+        else:
+            self._candidate = raw
+            self._streak = 1
+        if self._streak >= self.hold_frames:
+            self.current = raw
+            self._streak = 0
+        return self.current
+
+    def reset(self, gesture: Gesture = Gesture.OPEN) -> None:
+        self.current = gesture
+        self._candidate = gesture
+        self._streak = 0
+
+
+#: Canonical bend vectors for driving tests and scripted motion.
+CANONICAL_BENDS = {
+    Gesture.OPEN: np.zeros(N_BEND_SENSORS),
+    Gesture.FIST: np.ones(N_BEND_SENSORS),
+    Gesture.POINT: np.array([1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]),
+}

@@ -1,0 +1,145 @@
+"""DataGlove and Polhemus tracker models.
+
+Section 3: the VPL DataGlove model II senses "the position and orientation
+of the user's hand as well as the degree of bend of the user's fingers".
+The Polhemus 3Space gives absolute pose "by sensing multiplexed orthogonal
+electromagnetic fields" but "has limited accuracy and is sensitive to the
+ambient electromagnetic environment"; the bend fibers "require
+recalibration for each user".  All three imperfections — tracker noise,
+limited range, and per-user calibration — are modeled here so the
+windtunnel's input path is exercised realistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.transforms import is_rigid
+
+__all__ = ["PolhemusTracker", "Calibration", "GloveSample", "DataGlove"]
+
+#: Sensed finger joints: knuckle and middle joint of thumb + four fingers.
+N_BEND_SENSORS = 10
+
+
+class PolhemusTracker:
+    """Electromagnetic 6-DoF tracker with noise and a working radius.
+
+    ``read(pose)`` takes the true hand pose and returns the sensed pose:
+    position perturbed by Gaussian noise that grows with distance from the
+    source (field strength falls off), orientation left exact (rotation
+    noise matters less for this application and keeps the model simple).
+    Beyond ``max_range`` the tracker drops out and reports the last good
+    pose with ``in_range=False``.
+    """
+
+    def __init__(
+        self,
+        source=(0.0, 0.0, 0.0),
+        noise_std: float = 0.002,
+        max_range: float = 1.5,
+        seed: int | None = 0,
+    ) -> None:
+        if noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if max_range <= 0:
+            raise ValueError("max_range must be positive")
+        self.source = np.asarray(source, dtype=np.float64)
+        self.noise_std = float(noise_std)
+        self.max_range = float(max_range)
+        self._rng = np.random.default_rng(seed)
+        self._last_good = np.eye(4)
+
+    def read(self, true_pose: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Sense a pose.  Returns ``(sensed_pose, in_range)``."""
+        true_pose = np.asarray(true_pose, dtype=np.float64)
+        if true_pose.shape != (4, 4):
+            raise ValueError("pose must be a 4x4 matrix")
+        dist = float(np.linalg.norm(true_pose[:3, 3] - self.source))
+        if dist > self.max_range:
+            return self._last_good.copy(), False
+        sensed = true_pose.copy()
+        # Noise grows with distance from the source (weaker field).
+        scale = self.noise_std * (1.0 + dist / self.max_range)
+        sensed[:3, 3] += self._rng.normal(0.0, scale, size=3)
+        self._last_good = sensed.copy()
+        return sensed, True
+
+
+@dataclass
+class Calibration:
+    """Per-user mapping from raw fiber readings to bend fractions.
+
+    Fit from an open-hand sample and a fist sample (the classic DataGlove
+    calibration gesture pair); maps raw values linearly to [0, 1] where 0
+    is fully extended and 1 fully bent.
+    """
+
+    raw_open: np.ndarray = field(
+        default_factory=lambda: np.zeros(N_BEND_SENSORS)
+    )
+    raw_fist: np.ndarray = field(
+        default_factory=lambda: np.ones(N_BEND_SENSORS)
+    )
+
+    def __post_init__(self) -> None:
+        self.raw_open = np.asarray(self.raw_open, dtype=np.float64)
+        self.raw_fist = np.asarray(self.raw_fist, dtype=np.float64)
+        if self.raw_open.shape != (N_BEND_SENSORS,) or self.raw_fist.shape != (
+            N_BEND_SENSORS,
+        ):
+            raise ValueError(f"calibration needs {N_BEND_SENSORS} sensor values")
+        if np.any(np.abs(self.raw_fist - self.raw_open) < 1e-12):
+            raise ValueError("open and fist samples must differ on every sensor")
+
+    @classmethod
+    def fit(cls, open_sample, fist_sample) -> "Calibration":
+        return cls(np.asarray(open_sample), np.asarray(fist_sample))
+
+    def apply(self, raw: np.ndarray) -> np.ndarray:
+        """Raw sensor values -> bend fractions clipped to [0, 1]."""
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.shape != (N_BEND_SENSORS,):
+            raise ValueError(f"expected {N_BEND_SENSORS} raw values, got {raw.shape}")
+        return np.clip(
+            (raw - self.raw_open) / (self.raw_fist - self.raw_open), 0.0, 1.0
+        )
+
+
+@dataclass(frozen=True)
+class GloveSample:
+    """One glove reading: sensed pose, calibrated bends, tracker validity."""
+
+    pose: np.ndarray  # 4x4 hand pose
+    bends: np.ndarray  # (10,) in [0, 1]
+    in_range: bool
+
+    @property
+    def position(self) -> np.ndarray:
+        return self.pose[:3, 3]
+
+
+class DataGlove:
+    """The full glove pipeline: tracker + calibrated bend sensors.
+
+    Feed it ground truth (from a :class:`~repro.vr.motion.MotionScript`
+    or a test); it returns what the host computer would see.
+    """
+
+    def __init__(
+        self,
+        tracker: PolhemusTracker | None = None,
+        calibration: Calibration | None = None,
+    ) -> None:
+        self.tracker = tracker or PolhemusTracker()
+        self.calibration = calibration or Calibration()
+
+    def read(self, true_pose: np.ndarray, raw_bends: np.ndarray) -> GloveSample:
+        """Sense the hand.  ``raw_bends`` are the (uncalibrated) fiber values."""
+        pose, in_range = self.tracker.read(true_pose)
+        if not is_rigid(pose, tol=1e-6):
+            raise ValueError("sensed pose is not rigid; bad input pose?")
+        bends = self.calibration.apply(raw_bends)
+        return GloveSample(pose=pose, bends=bends, in_range=in_range)

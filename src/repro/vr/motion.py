@@ -1,0 +1,106 @@
+"""Scripted device motion: the reproducible stand-in for a human operator.
+
+The original system was driven by a person wearing the glove under the
+BOOM.  For a reproduction that must run headless and deterministically,
+:class:`MotionScript` plays back keyframed hand poses, finger bends, and
+boom joint angles with linear interpolation — the examples and end-to-end
+benchmarks use scripts to 'perform' interactions like grabbing a rake and
+sweeping it through the wake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.transforms import compose, rotation_z, translation
+from repro.vr.glove import N_BEND_SENSORS
+
+__all__ = ["Keyframe", "MotionScript"]
+
+
+@dataclass(frozen=True)
+class Keyframe:
+    """State of the operator at one instant.
+
+    ``hand_position`` (3,), ``hand_yaw`` (radians about z), ``bends``
+    (10,), ``boom_angles`` (6,).
+    """
+
+    time: float
+    hand_position: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    hand_yaw: float = 0.0
+    bends: tuple = tuple([0.0] * N_BEND_SENSORS)
+    boom_angles: tuple = (0.0,) * 6
+
+    def __post_init__(self) -> None:
+        if len(self.bends) != N_BEND_SENSORS:
+            raise ValueError(f"keyframe needs {N_BEND_SENSORS} bends")
+        if len(self.boom_angles) != 6:
+            raise ValueError("keyframe needs 6 boom angles")
+
+
+class MotionScript:
+    """Piecewise-linear interpolation over a sorted list of keyframes."""
+
+    def __init__(self, keyframes: list[Keyframe]) -> None:
+        if not keyframes:
+            raise ValueError("a motion script needs at least one keyframe")
+        self.keyframes = sorted(keyframes, key=lambda k: k.time)
+        times = [k.time for k in self.keyframes]
+        if len(set(times)) != len(times):
+            raise ValueError("keyframe times must be distinct")
+        self._times = np.array(times)
+
+    @property
+    def duration(self) -> float:
+        return float(self._times[-1])
+
+    def _bracket(self, t: float) -> tuple[Keyframe, Keyframe, float]:
+        if t <= self._times[0]:
+            k = self.keyframes[0]
+            return k, k, 0.0
+        if t >= self._times[-1]:
+            k = self.keyframes[-1]
+            return k, k, 0.0
+        hi = int(np.searchsorted(self._times, t, side="right"))
+        a, b = self.keyframes[hi - 1], self.keyframes[hi]
+        frac = (t - a.time) / (b.time - a.time)
+        return a, b, frac
+
+    @staticmethod
+    def _lerp(a, b, f: float) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        return a + f * (b - a)
+
+    def hand_pose(self, t: float) -> np.ndarray:
+        """4x4 true hand pose at time ``t`` (feed to the glove tracker)."""
+        a, b, f = self._bracket(t)
+        pos = self._lerp(a.hand_position, b.hand_position, f)
+        yaw = float(self._lerp(a.hand_yaw, b.hand_yaw, f))
+        return compose(translation(pos), rotation_z(yaw))
+
+    def bends(self, t: float) -> np.ndarray:
+        """Raw bend vector at time ``t``.
+
+        Bends snap rather than interpolate across keyframes whose bend
+        vectors differ discretely — a gesture change is an event, not a
+        morph — unless both keyframes share the same vector.
+        """
+        a, b, f = self._bracket(t)
+        if a.bends == b.bends:
+            return np.asarray(a.bends, dtype=np.float64)
+        return np.asarray((a if f < 0.5 else b).bends, dtype=np.float64)
+
+    def boom_angles(self, t: float) -> np.ndarray:
+        a, b, f = self._bracket(t)
+        return self._lerp(a.boom_angles, b.boom_angles, f)
+
+    def sample_times(self, fps: float) -> np.ndarray:
+        """Frame times covering the script at ``fps``."""
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        n = max(2, int(np.ceil(self.duration * fps)) + 1)
+        return np.linspace(0.0, self.duration, n)

@@ -1,0 +1,197 @@
+"""Tests for the ComputeEngine and the frame-budget governor."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeEngine, Environment, FrameBudgetGovernor, ToolSettings
+from repro.diskio import TimestepLoader
+from repro.flow import MemoryDataset, RigidRotation, UniformFlow, sample_on_grid
+from repro.grid import cartesian_grid
+from repro.tracers import Rake
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    grid = cartesian_grid((9, 9, 5), lo=(0, 0, 0), hi=(8, 8, 4))
+    field = RigidRotation(omega=[0, 0, 1.0], center=[4, 4, 0]) + UniformFlow(
+        [0.05, 0, 0]
+    )
+    vel = sample_on_grid(field, grid, np.arange(6) * 0.2, dtype=np.float64)
+    return MemoryDataset(grid, vel, dt=0.2)
+
+
+@pytest.fixture()
+def engine(dataset):
+    return ComputeEngine(dataset, ToolSettings(streamline_steps=20, streakline_length=8))
+
+
+class TestSeedConversion:
+    def test_seeds_convert_to_grid_coords(self, engine):
+        rake = Rake([2.0, 4.0, 2.0], [6.0, 4.0, 2.0], n_seeds=5, rake_id=1)
+        seeds = engine.rake_seeds_grid(rake)
+        assert seeds.shape == (5, 3)
+        # Cartesian unit grid: physical == grid coords.
+        np.testing.assert_allclose(seeds[:, 0], np.linspace(2, 6, 5), atol=1e-8)
+
+    def test_seed_cache_hit(self, engine):
+        rake = Rake([2, 4, 2], [6, 4, 2], n_seeds=5, rake_id=2)
+        a = engine.rake_seeds_grid(rake)
+        b = engine.rake_seeds_grid(rake)
+        assert a is b  # cached, no re-search
+
+    def test_moved_rake_recomputes(self, engine):
+        rake = Rake([2, 4, 2], [6, 4, 2], n_seeds=5, rake_id=3)
+        a = engine.rake_seeds_grid(rake).copy()
+        rake.move_to = None
+        from repro.tracers import GrabPoint
+
+        rake.move(GrabPoint.CENTER, [4.0, 5.0, 2.0])
+        b = engine.rake_seeds_grid(rake)
+        assert not np.allclose(a, b)
+
+    def test_out_of_domain_seeds_dropped(self, engine):
+        rake = Rake([-10, 4, 2], [6, 4, 2], n_seeds=5, rake_id=4)
+        seeds = engine.rake_seeds_grid(rake)
+        assert seeds.shape[0] < 5
+
+
+class TestComputeRake:
+    def test_streamline(self, engine):
+        rake = Rake([2, 4, 2], [6, 4, 2], n_seeds=4, kind="streamline", rake_id=10)
+        res = engine.compute_rake(rake, 0)
+        assert res.n_paths == 4
+        assert res.grid_paths.shape[1] == 21
+
+    def test_particle_path(self, engine):
+        rake = Rake([2, 4, 2], [6, 4, 2], n_seeds=3, kind="particle_path", rake_id=11)
+        res = engine.compute_rake(rake, 0)
+        assert res.n_paths == 3
+        assert res.grid_paths.shape[1] <= 6  # clamped by dataset length
+
+    def test_streakline_persists_across_frames(self, engine):
+        rake = Rake([2, 4, 2], [6, 4, 2], n_seeds=3, kind="streakline", rake_id=12)
+        r1 = engine.compute_rake(rake, 0)
+        r2 = engine.compute_rake(rake, 1)
+        assert r2.grid_paths.shape[1] == 2  # two frames of particles
+        # Same timestep twice does not double-advance.
+        r3 = engine.compute_rake(rake, 1)
+        assert r3.grid_paths.shape[1] == 2
+
+    def test_points_computed_accumulates(self, engine):
+        rake = Rake([2, 4, 2], [6, 4, 2], n_seeds=2, rake_id=13)
+        before = engine.points_computed
+        engine.compute_rake(rake, 0)
+        assert engine.points_computed > before
+
+
+class TestComputeEnvironment:
+    def test_all_rakes_computed(self, dataset):
+        engine = ComputeEngine(dataset, ToolSettings(streamline_steps=10))
+        env = Environment(dataset.n_timesteps)
+        id1 = env.add_rake(Rake([2, 4, 2], [6, 4, 2], n_seeds=3))
+        id2 = env.add_rake(Rake([4, 2, 2], [4, 6, 2], n_seeds=4, kind="streakline"))
+        results = engine.compute_environment(env, 0)
+        assert set(results) == {id1, id2}
+
+    def test_removed_rake_state_gc(self, dataset):
+        engine = ComputeEngine(dataset, ToolSettings(streakline_length=4))
+        env = Environment(dataset.n_timesteps)
+        rid = env.add_rake(Rake([2, 4, 2], [6, 4, 2], n_seeds=3, kind="streakline"))
+        engine.compute_environment(env, 0)
+        assert rid in engine._streaks
+        env.remove_rake(rid)
+        engine.compute_environment(env, 1)
+        assert rid not in engine._streaks
+
+    def test_quality_scales_path_length(self, dataset):
+        engine = ComputeEngine(dataset, ToolSettings(streamline_steps=100))
+        env = Environment(dataset.n_timesteps)
+        rid = env.add_rake(Rake([2, 4, 2], [6, 4, 2], n_seeds=2))
+        full = engine.compute_environment(env, 0)[rid]
+        low = engine.compute_environment(env, 0, quality=0.25)[rid]
+        assert low.grid_paths.shape[1] < full.grid_paths.shape[1]
+
+    def test_engine_with_loader(self, dataset):
+        loader = TimestepLoader(dataset, prefetch=False)
+        engine = ComputeEngine(
+            dataset, ToolSettings(streamline_steps=5), loader=loader
+        )
+        env = Environment(dataset.n_timesteps)
+        env.add_rake(Rake([2, 4, 2], [6, 4, 2], n_seeds=2))
+        engine.compute_environment(env, 0)
+        assert loader.misses == 1
+
+
+class TestToolSettings:
+    def test_scaled(self):
+        s = ToolSettings(streamline_steps=200, particle_path_steps=100)
+        half = s.scaled(0.5)
+        assert half.streamline_steps == 100
+        assert half.particle_path_steps == 50
+
+    def test_scaled_floor(self):
+        s = ToolSettings(streamline_steps=200)
+        tiny = s.scaled(0.001)
+        assert tiny.streamline_steps >= 2
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            ToolSettings().scaled(0.0)
+        with pytest.raises(ValueError):
+            ToolSettings().scaled(1.5)
+
+
+class TestGovernor:
+    def test_over_budget_cuts_quality(self):
+        g = FrameBudgetGovernor(budget=0.125)
+        q = g.record(0.5)
+        assert q < 1.0
+
+    def test_headroom_restores_quality(self):
+        g = FrameBudgetGovernor(budget=0.125)
+        g.record(0.5)
+        low = g.quality
+        for _ in range(50):
+            g.record(0.01)
+        assert g.quality > low
+
+    def test_quality_bounded(self):
+        g = FrameBudgetGovernor(budget=0.125, min_quality=0.1)
+        for _ in range(100):
+            g.record(10.0)
+        assert g.quality == pytest.approx(0.1)
+        for _ in range(500):
+            g.record(0.0)
+        assert g.quality == 1.0
+
+    def test_over_budget_fraction(self):
+        g = FrameBudgetGovernor(budget=0.125)
+        g.record(0.2)
+        g.record(0.05)
+        assert g.over_budget_fraction == pytest.approx(0.5)
+
+    def test_converges_near_target_for_linear_workload(self):
+        """With compute ~ quality, the governor settles inside the budget."""
+        g = FrameBudgetGovernor(budget=0.125)
+        base = 0.4  # a workload 3.2x over budget at quality 1
+        for _ in range(60):
+            g.record(base * g.quality)
+        assert base * g.quality <= 0.125
+
+    def test_reset(self):
+        g = FrameBudgetGovernor()
+        g.record(10.0)
+        g.reset()
+        assert g.quality == 1.0 and g.frames_recorded == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameBudgetGovernor(budget=0)
+        with pytest.raises(ValueError):
+            FrameBudgetGovernor(target_fraction=2.0)
+        with pytest.raises(ValueError):
+            FrameBudgetGovernor(min_quality=0)
+        with pytest.raises(ValueError):
+            FrameBudgetGovernor(decrease=1.5)
+        with pytest.raises(ValueError):
+            FrameBudgetGovernor().record(-1.0)

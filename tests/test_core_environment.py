@@ -1,0 +1,190 @@
+"""Tests for the shared Environment: rakes, users, FCFS locking."""
+
+import numpy as np
+import pytest
+
+from repro.core import Environment
+from repro.tracers import GrabPoint, Rake
+
+
+@pytest.fixture()
+def env():
+    return Environment(n_timesteps=10)
+
+
+@pytest.fixture()
+def env_with_rake(env):
+    rake = Rake([0, 0, 0], [2, 0, 0], n_seeds=5)
+    rake_id = env.add_rake(rake)
+    return env, rake_id
+
+
+class TestUsers:
+    def test_add_users_unique_ids(self, env):
+        a = env.add_user("alice")
+        b = env.add_user("bob")
+        assert a.client_id != b.client_id
+        assert env.users[a.client_id].name == "alice"
+
+    def test_remove_user_releases_locks(self, env_with_rake):
+        env, rake_id = env_with_rake
+        user = env.add_user()
+        assert env.try_grab(user.client_id, [0, 0, 0])
+        env.remove_user(user.client_id)
+        assert env.rake_owner(rake_id) is None
+
+    def test_remove_unknown_user(self, env):
+        with pytest.raises(KeyError):
+            env.remove_user(99)
+
+    def test_version_bumps_on_mutation(self, env):
+        v0 = env.version
+        env.add_user()
+        assert env.version > v0
+
+
+class TestRakes:
+    def test_add_assigns_id(self, env):
+        rid = env.add_rake(Rake([0, 0, 0], [1, 0, 0]))
+        assert env.rakes[rid].rake_id == rid
+
+    def test_remove_held_rake_refused(self, env_with_rake):
+        env, rake_id = env_with_rake
+        user = env.add_user()
+        env.try_grab(user.client_id, [0, 0, 0])
+        with pytest.raises(PermissionError):
+            env.remove_rake(rake_id)
+
+    def test_remove_unknown(self, env):
+        with pytest.raises(KeyError):
+            env.remove_rake(5)
+
+
+class TestFCFSLocking:
+    def test_first_come_first_served(self, env_with_rake):
+        """Section 5.1: the first grabber wins; the second is locked out."""
+        env, rake_id = env_with_rake
+        alice = env.add_user("alice")
+        bob = env.add_user("bob")
+        assert env.try_grab(alice.client_id, [0, 0, 0])
+        assert not env.try_grab(bob.client_id, [0, 0, 0])
+        assert env.rake_owner(rake_id) == alice.client_id
+
+    def test_release_lets_second_user_in(self, env_with_rake):
+        env, rake_id = env_with_rake
+        alice = env.add_user()
+        bob = env.add_user()
+        env.try_grab(alice.client_id, [0, 0, 0])
+        env.release(alice.client_id)
+        assert env.try_grab(bob.client_id, [0, 0, 0])
+        assert env.rake_owner(rake_id) == bob.client_id
+
+    def test_other_rakes_unaffected_by_lock(self, env_with_rake):
+        """'Other rakes are unaffected by this locking.'"""
+        env, _ = env_with_rake
+        other_id = env.add_rake(Rake([10, 0, 0], [12, 0, 0]))
+        alice = env.add_user()
+        bob = env.add_user()
+        env.try_grab(alice.client_id, [0, 0, 0])
+        assert env.try_grab(bob.client_id, [10, 0, 0])
+        assert env.rake_owner(other_id) == bob.client_id
+
+    def test_grab_out_of_reach_fails(self, env_with_rake):
+        env, _ = env_with_rake
+        user = env.add_user()
+        assert not env.try_grab(user.client_id, [50, 50, 50])
+
+    def test_grab_while_holding_is_idempotent(self, env_with_rake):
+        env, rake_id = env_with_rake
+        user = env.add_user()
+        assert env.try_grab(user.client_id, [0, 0, 0])
+        assert env.try_grab(user.client_id, [2, 0, 0])
+        # Still holding the original grab point.
+        assert env.users[user.client_id].holding[0] == rake_id
+
+    def test_release_without_holding_is_noop(self, env):
+        user = env.add_user()
+        env.release(user.client_id)  # no exception
+
+
+class TestGestureDrivenInteraction:
+    def test_fist_grabs_and_drags(self, env_with_rake):
+        env, rake_id = env_with_rake
+        user = env.add_user()
+        # Fist near end A grabs it; moving the hand drags that end.
+        env.update_user(user.client_id, [0, 0, 1], [0.1, 0, 0], "fist")
+        assert env.users[user.client_id].holding is not None
+        env.update_user(user.client_id, [0, 0, 1], [0, 3, 0], "fist")
+        np.testing.assert_allclose(env.rakes[rake_id].end_a, [0, 3, 0])
+        np.testing.assert_allclose(env.rakes[rake_id].end_b, [2, 0, 0])
+
+    def test_center_grab_translates(self, env_with_rake):
+        env, rake_id = env_with_rake
+        user = env.add_user()
+        env.update_user(user.client_id, [0, 0, 1], [1.0, 0, 0], "fist")
+        holding = env.users[user.client_id].holding
+        assert holding[1] is GrabPoint.CENTER
+        env.update_user(user.client_id, [0, 0, 1], [5.0, 1.0, 0], "fist")
+        np.testing.assert_allclose(env.rakes[rake_id].center, [5, 1, 0])
+        assert env.rakes[rake_id].length == pytest.approx(2.0)
+
+    def test_open_releases(self, env_with_rake):
+        env, rake_id = env_with_rake
+        user = env.add_user()
+        env.update_user(user.client_id, [0, 0, 1], [0, 0, 0], "fist")
+        env.update_user(user.client_id, [0, 0, 1], [0, 0, 0], "open")
+        assert env.users[user.client_id].holding is None
+        assert env.rake_owner(rake_id) is None
+
+    def test_point_gesture_changes_nothing(self, env_with_rake):
+        env, rake_id = env_with_rake
+        user = env.add_user()
+        v = env.version
+        env.update_user(user.client_id, [0, 0, 1], [0, 0, 0], "point")
+        assert env.users[user.client_id].holding is None
+        assert env.rakes[rake_id].length == pytest.approx(2.0)
+
+    def test_locked_out_user_cannot_drag(self, env_with_rake):
+        """The losing grabber's fist does not move the contested rake."""
+        env, rake_id = env_with_rake
+        alice = env.add_user()
+        bob = env.add_user()
+        env.update_user(alice.client_id, [0, 0, 1], [0, 0, 0], "fist")
+        end_a_before = env.rakes[rake_id].end_a.copy()
+        env.update_user(bob.client_id, [0, 0, 1], [2.0, 0, 0], "fist")
+        env.update_user(bob.client_id, [0, 0, 1], [9.0, 9, 9], "fist")
+        # Bob holds nothing; the rake's B end is where it was.
+        np.testing.assert_allclose(env.rakes[rake_id].end_b, [2, 0, 0])
+        np.testing.assert_allclose(env.rakes[rake_id].end_a, end_a_before)
+
+
+class TestSnapshot:
+    def test_snapshot_wire_safe(self, env_with_rake):
+        import json
+
+        env, rake_id = env_with_rake
+        user = env.add_user("carol")
+        env.try_grab(user.client_id, [0, 0, 0])
+        snap = env.snapshot(wall=0.5)
+        assert snap["rakes"][str(rake_id)]["owner"] == user.client_id
+        assert str(user.client_id) in snap["users"]
+        assert snap["clock"]["n_timesteps"] == 10
+        # Everything except numpy arrays must be JSON-safe; arrays are
+        # dlib-wire-safe.  Spot check by flattening.
+        def check(v):
+            if isinstance(v, dict):
+                for x in v.values():
+                    check(x)
+            elif isinstance(v, (list, tuple)):
+                for x in v:
+                    check(x)
+            elif v is not None and not isinstance(
+                v, (bool, int, float, str, np.ndarray)
+            ):
+                raise AssertionError(f"non-wire value {type(v)}")
+
+        check(snap)
+
+    def test_grab_radius_validation(self):
+        with pytest.raises(ValueError):
+            Environment(5, grab_radius=0)

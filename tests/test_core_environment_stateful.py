@@ -1,0 +1,109 @@
+"""Stateful property testing of the shared Environment.
+
+Hypothesis drives random sequences of user joins/leaves, rake
+add/removals, grabs, drags, and releases, checking the section 5.1
+invariants after every step:
+
+* a rake is locked iff exactly one user is holding it;
+* a locked rake's owner exists and is holding that rake;
+* no user holds more than one rake;
+* locks never point at removed rakes or departed users.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import Environment
+from repro.tracers import Rake
+
+positions = st.tuples(
+    st.floats(-5, 5, allow_nan=False),
+    st.floats(-5, 5, allow_nan=False),
+    st.floats(-5, 5, allow_nan=False),
+).map(np.array)
+
+
+class EnvironmentMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.env = Environment(n_timesteps=10, grab_radius=2.0)
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule()
+    def add_user(self):
+        if len(self.env.users) < 6:
+            self.env.add_user()
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.env.users)
+    def remove_user(self, data):
+        uid = data.draw(st.sampled_from(sorted(self.env.users)))
+        self.env.remove_user(uid)
+
+    @rule(a=positions, b=positions)
+    def add_rake(self, a, b):
+        if len(self.env.rakes) < 6:
+            self.env.add_rake(Rake(a, b, n_seeds=3))
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.env.rakes)
+    def remove_unlocked_rake(self, data):
+        rid = data.draw(st.sampled_from(sorted(self.env.rakes)))
+        if rid not in self.env.locks:
+            self.env.remove_rake(rid)
+
+    @rule(data=st.data(), hand=positions)
+    @precondition(lambda self: self.env.users)
+    def fist(self, data, hand):
+        uid = data.draw(st.sampled_from(sorted(self.env.users)))
+        self.env.update_user(uid, [0, 0, 0], hand, "fist")
+
+    @rule(data=st.data(), hand=positions)
+    @precondition(lambda self: self.env.users)
+    def open_hand(self, data, hand):
+        uid = data.draw(st.sampled_from(sorted(self.env.users)))
+        self.env.update_user(uid, [0, 0, 0], hand, "open")
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.env.users)
+    def release(self, data):
+        uid = data.draw(st.sampled_from(sorted(self.env.users)))
+        self.env.release(uid)
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def locks_match_holdings(self):
+        held = {
+            user.holding[0]: uid
+            for uid, user in self.env.users.items()
+            if user.holding is not None
+        }
+        assert held == self.env.locks
+
+    @invariant()
+    def locks_reference_live_objects(self):
+        for rid, uid in self.env.locks.items():
+            assert rid in self.env.rakes
+            assert uid in self.env.users
+
+    @invariant()
+    def one_rake_per_user(self):
+        holders = [
+            u.holding[0] for u in self.env.users.values() if u.holding is not None
+        ]
+        assert len(holders) == len(set(holders))
+
+    @invariant()
+    def snapshot_always_serializable(self):
+        snap = self.env.snapshot(0.0)
+        assert snap["version"] == self.env.version
+
+
+TestEnvironmentStateMachine = EnvironmentMachine.TestCase
+TestEnvironmentStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,107 @@
+"""Tests for the extension RPCs: runtime tool settings and isosurfaces."""
+
+import numpy as np
+import pytest
+
+from repro.core import ToolSettings, WindtunnelClient, WindtunnelServer
+from repro.dlib import DlibRemoteError
+from repro.flow import MemoryDataset, RigidRotation, sample_on_grid
+from repro.grid import cartesian_grid
+from repro.render import Camera, Framebuffer, Scene, TriangleMesh
+from repro.util import look_at
+
+
+@pytest.fixture(scope="module")
+def server():
+    grid = cartesian_grid((12, 12, 6), lo=(-2, -2, 0), hi=(2, 2, 1))
+    vel = sample_on_grid(
+        RigidRotation(omega=[0, 0, 1.0]), grid, np.arange(4) * 0.2, dtype=np.float64
+    )
+    srv = WindtunnelServer(
+        MemoryDataset(grid, vel, dt=0.2),
+        settings=ToolSettings(streamline_steps=30),
+        time_fn=lambda: 0.0,
+    )
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestToolSettingsRPC:
+    def test_change_applies_to_next_frame(self, server):
+        with WindtunnelClient(*server.address) as c:
+            rid = c.add_rake([-1, 0, 0.5], [1, 0, 0.5], n_seeds=3)
+            before = c.fetch_frame()
+            out = c.set_tool_settings(streamline_steps=10)
+            assert out["streamline_steps"] == 10
+            after = c.fetch_frame()
+            n_before = before["paths"][str(rid)]["vertices"].shape[1]
+            n_after = after["paths"][str(rid)]["vertices"].shape[1]
+            assert n_after == 11 < n_before
+            c.remove_rake(rid)
+            c.set_tool_settings(streamline_steps=30)
+
+    def test_settings_shared_between_users(self, server):
+        with WindtunnelClient(*server.address) as a, WindtunnelClient(
+            *server.address
+        ) as b:
+            a.set_tool_settings(streakline_length=17)
+            out = b.set_tool_settings(streamline_dt=0.04)
+            assert out["streakline_length"] == 17
+
+    def test_unknown_setting_rejected(self, server):
+        with WindtunnelClient(*server.address) as c:
+            with pytest.raises(DlibRemoteError):
+                c.set_tool_settings(warp_factor=9)
+
+    def test_nonpositive_rejected(self, server):
+        with WindtunnelClient(*server.address) as c:
+            with pytest.raises(DlibRemoteError):
+                c.set_tool_settings(streamline_steps=0)
+
+
+class TestIsosurfaceRPC:
+    def test_returns_triangles(self, server):
+        with WindtunnelClient(*server.address) as c:
+            out = c.request_isosurface(0.5)
+            assert out["n_triangles"] > 0
+            assert out["triangles"].dtype == np.float32
+            assert out["triangles"].shape == (out["n_triangles"], 3, 3)
+            # Rotation speed = radius: the |v| contour is a cylinder of
+            # that radius around the z axis.
+            radii = np.linalg.norm(
+                out["triangles"].reshape(-1, 3)[:, :2], axis=1
+            )
+            np.testing.assert_allclose(radii, out["level"], atol=0.15)
+
+    def test_cached_across_clients(self, server):
+        with WindtunnelClient(*server.address) as a, WindtunnelClient(
+            *server.address
+        ) as b:
+            ta = a.request_isosurface(0.5)["triangles"]
+            tb = b.request_isosurface(0.5)["triangles"]
+            np.testing.assert_array_equal(ta, tb)
+
+    def test_level_validation(self, server):
+        with WindtunnelClient(*server.address) as c:
+            with pytest.raises(DlibRemoteError):
+                c.request_isosurface(1.5)
+
+    def test_renders_as_wireframe(self, server):
+        with WindtunnelClient(*server.address) as c:
+            out = c.request_isosurface(0.5)
+        fb = Framebuffer(96, 72)
+        cam = Camera(look_at([0, -6, 2], [0, 0, 0.5], up=[0, 0, 1]))
+        scene = Scene([TriangleMesh(out["triangles"].astype(np.float64))])
+        written = scene.draw(fb, cam)
+        assert written > 50
+
+    def test_empty_mesh_draws_nothing(self):
+        fb = Framebuffer(32, 32)
+        cam = Camera()
+        assert TriangleMesh(np.empty((0, 3, 3))).draw(fb, cam, None) == 0
+
+    def test_mesh_validation(self):
+        fb = Framebuffer(32, 32)
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((2, 3))).draw(fb, Camera(), None)

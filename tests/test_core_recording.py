@@ -1,0 +1,131 @@
+"""Tests for session recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import ToolSettings, WindtunnelClient, WindtunnelServer
+from repro.core.recording import SessionPlayer, SessionRecorder, attach_recorder
+from repro.flow import MemoryDataset, UniformFlow, sample_on_grid
+from repro.grid import cartesian_grid
+
+
+def make_dataset():
+    grid = cartesian_grid((9, 9, 5), lo=(0, 0, 0), hi=(8, 8, 4))
+    vel = sample_on_grid(UniformFlow([0.5, 0, 0]), grid, np.arange(4) * 0.2)
+    return MemoryDataset(grid, vel, dt=0.2)
+
+
+@pytest.fixture()
+def server():
+    srv = WindtunnelServer(
+        make_dataset(), settings=ToolSettings(streamline_steps=10),
+        time_fn=lambda: 0.0,
+    )
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestRecorder:
+    def test_records_events_with_timestamps(self):
+        clock = iter([0.0, 1.0, 2.5]).__next__
+        rec = SessionRecorder(clock=clock)
+        rec.record("note", text="start")
+        rec.record("time", op="pause", value=0.0)
+        assert len(rec) == 2
+        assert rec.events[0]["t"] == pytest.approx(1.0)
+        assert rec.events[1]["t"] == pytest.approx(2.5)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SessionRecorder().record("teleport")
+
+    def test_numpy_payloads_jsonable(self, tmp_path):
+        rec = SessionRecorder()
+        rec.record(
+            "input",
+            head_position=np.array([1.0, 2.0, 3.0]),
+            hand_position=np.zeros(3),
+            gesture="open",
+        )
+        path = rec.save(tmp_path / "session.jsonl")
+        player = SessionPlayer.load(path)
+        assert player.events[0]["head_position"] == [1.0, 2.0, 3.0]
+
+    def test_load_rejects_malformed(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"t": 0.0, "kind": "warp"}\n')
+        with pytest.raises(ValueError):
+            SessionPlayer.load(p)
+
+    def test_duration(self):
+        player = SessionPlayer([{"t": 0.0, "kind": "note"}, {"t": 3.5, "kind": "note"}])
+        assert player.duration == 3.5
+        assert SessionPlayer([]).duration == 0.0
+
+
+class TestRecordReplayRoundtrip:
+    def test_replay_reproduces_environment(self, server, tmp_path):
+        """Record a session; replay it on a fresh server; states match."""
+        rec = SessionRecorder()
+        with WindtunnelClient(*server.address) as client:
+            attach_recorder(client, rec)
+            rid = client.add_rake([1, 1, 1], [1, 5, 1], n_seeds=4)
+            client.send_input([0, -5, 2], [1.0, 1.0, 1.0], "fist")
+            client.send_input([0, -5, 2], [2.0, 3.0, 1.5], "fist")
+            client.send_input([0, -5, 2], [2.0, 3.0, 1.5], "open")
+            client.time_control("scrub", 2.0)
+            recorded_rake = server.env.rakes[rid].to_dict()
+            recorded_clock = server.env.clock.position(0.0)
+        path = rec.save(tmp_path / "session.jsonl")
+
+        replay_server = WindtunnelServer(
+            make_dataset(), settings=ToolSettings(streamline_steps=10),
+            time_fn=lambda: 0.0,
+        )
+        replay_server.start()
+        try:
+            with WindtunnelClient(*replay_server.address) as client2:
+                summary = SessionPlayer.load(path).replay(client2)
+            assert summary["counts"] == {"add_rake": 1, "input": 3, "time": 1}
+            new_id = summary["rake_map"][rid]
+            replayed = replay_server.env.rakes[new_id].to_dict()
+            np.testing.assert_allclose(replayed["end_a"], recorded_rake["end_a"])
+            np.testing.assert_allclose(replayed["end_b"], recorded_rake["end_b"])
+            assert replay_server.env.clock.position(0.0) == pytest.approx(
+                recorded_clock
+            )
+        finally:
+            replay_server.stop()
+
+    def test_remove_rake_uses_id_mapping(self, server, tmp_path):
+        rec = SessionRecorder()
+        with WindtunnelClient(*server.address) as client:
+            attach_recorder(client, rec)
+            rid = client.add_rake([1, 1, 1], [1, 5, 1])
+            client.remove_rake(rid)
+        path = rec.save(tmp_path / "s.jsonl")
+        replay_server = WindtunnelServer(make_dataset(), time_fn=lambda: 0.0)
+        replay_server.start()
+        try:
+            with WindtunnelClient(*replay_server.address) as c2:
+                SessionPlayer.load(path).replay(c2)
+            assert len(replay_server.env.rakes) == 0
+        finally:
+            replay_server.stop()
+
+    def test_realtime_pacing_sleeps(self):
+        slept = []
+        player = SessionPlayer(
+            [
+                {"t": 0.0, "kind": "note"},
+                {"t": 0.5, "kind": "note"},
+                {"t": 1.5, "kind": "note"},
+            ]
+        )
+
+        class DummyClient:
+            pass
+
+        player.replay(DummyClient(), realtime=True, sleep=slept.append)
+        np.testing.assert_allclose(slept, [0.5, 1.0])

@@ -1,0 +1,153 @@
+"""Robustness and integration edge cases for the core system."""
+
+import numpy as np
+import pytest
+
+from repro.core import ToolSettings, WindtunnelClient, WindtunnelServer
+from repro.dlib import DlibRemoteError
+from repro.dlib.transport import connect_tcp
+from repro.flow import MemoryDataset, RigidRotation, sample_on_grid
+from repro.grid import cartesian_grid
+from repro.netsim import NetworkModel, ThrottledChannel
+from repro.util import look_at
+
+HEAD = look_at([4.0, -6.0, 2.0], [4.0, 4.0, 2.0], up=[0, 0, 1])
+
+
+def make_dataset(n_times=4):
+    grid = cartesian_grid((9, 9, 5), lo=(0, 0, 0), hi=(8, 8, 4))
+    vel = sample_on_grid(
+        RigidRotation(omega=[0, 0, 0.5], center=[4, 4, 0]), grid,
+        np.arange(n_times) * 0.2, dtype=np.float64,
+    )
+    return MemoryDataset(grid, vel, dt=0.2)
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = WindtunnelServer(
+        make_dataset(), settings=ToolSettings(streamline_steps=15),
+        time_fn=lambda: 0.0,
+    )
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestInvalidRequests:
+    def test_update_unknown_client(self, server):
+        with WindtunnelClient(*server.address) as c:
+            with pytest.raises(DlibRemoteError):
+                c._rpc.call("wt.update", 9999, [0, 0, 0], [0, 0, 0], "open")
+
+    def test_add_rake_unknown_client(self, server):
+        with WindtunnelClient(*server.address) as c:
+            with pytest.raises(DlibRemoteError):
+                c._rpc.call("wt.add_rake", 9999, {
+                    "end_a": [0, 0, 0], "end_b": [1, 0, 0],
+                    "n_seeds": 3, "kind": "streamline", "rake_id": None,
+                })
+
+    def test_bad_rake_kind_rejected_client_side(self, server):
+        """Rake validation fires locally, before any bytes hit the wire."""
+        with WindtunnelClient(*server.address) as c:
+            with pytest.raises(ValueError):
+                c.add_rake([0, 0, 0], [1, 0, 0], kind="isosurface")
+
+    def test_remove_unknown_rake(self, server):
+        with WindtunnelClient(*server.address) as c:
+            with pytest.raises(DlibRemoteError):
+                c.remove_rake(424242)
+
+    def test_leave_twice(self, server):
+        c = WindtunnelClient(*server.address)
+        c.close()
+        # Second leave (of a departed id) fails remotely but must not
+        # wedge the server.
+        with WindtunnelClient(*server.address) as c2:
+            with pytest.raises(DlibRemoteError):
+                c2._rpc.call("wt.leave", c.client_id)
+            assert c2.fetch_frame() is not None
+
+
+class TestRakeOutsideDomain:
+    def test_fully_outside_rake_yields_empty_paths(self, server):
+        with WindtunnelClient(*server.address) as c:
+            rid = c.add_rake([50, 50, 50], [60, 60, 60], n_seeds=4)
+            try:
+                state = c.fetch_frame()
+                path = state["paths"][str(rid)]
+                assert path["vertices"].shape[0] == 0
+                # And it still renders without error (empty bundle).
+                fb = c.render(HEAD)
+                assert fb is not None
+            finally:
+                c.remove_rake(rid)
+
+    def test_partially_outside_rake_keeps_inside_seeds(self, server):
+        with WindtunnelClient(*server.address) as c:
+            rid = c.add_rake([4.0, 4.0, 2.0], [4.0, 40.0, 2.0], n_seeds=8)
+            try:
+                state = c.fetch_frame()
+                s = state["paths"][str(rid)]["vertices"].shape[0]
+                assert 0 < s < 8
+            finally:
+                c.remove_rake(rid)
+
+
+class TestThrottledEndToEnd:
+    def test_client_over_slow_network_still_correct(self, server):
+        """The full windtunnel runs over a bandwidth-limited channel."""
+        raw = connect_tcp(*server.address)
+        chan = ThrottledChannel(raw, NetworkModel("slowish", 2.0 * 2**20))
+        with WindtunnelClient(stream=chan, width=120, height=90) as c:
+            rid = c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=4)
+            try:
+                fb = c.frame(HEAD, [4, 4, 2])
+                assert fb.nonblack_pixels() > 0
+                assert chan.modeled_delay_total > 0
+            finally:
+                c.remove_rake(rid)
+
+
+class TestManyClients:
+    def test_six_clients_share_one_compute(self, server):
+        clients = [WindtunnelClient(*server.address) for _ in range(6)]
+        try:
+            rid = clients[0].add_rake([2, 2, 2], [2, 6, 2], n_seeds=4)
+            computed_before = server.frames_computed
+            states = [c.fetch_frame() for c in clients]
+            assert server.frames_computed == computed_before + 1
+            ref = list(states[0]["paths"].values())[0]["vertices"]
+            for s in states[1:]:
+                np.testing.assert_array_equal(
+                    list(s["paths"].values())[0]["vertices"], ref
+                )
+            clients[0].remove_rake(rid)
+        finally:
+            for c in clients:
+                c.close()
+
+    def test_user_count_tracks_sessions(self, server):
+        before = len(server.env.users)
+        a = WindtunnelClient(*server.address)
+        b = WindtunnelClient(*server.address)
+        assert len(server.env.users) == before + 2
+        a.close()
+        b.close()
+        assert len(server.env.users) == before
+
+
+class TestTimerBudgetAccounting:
+    def test_slow_network_blows_the_budget_and_is_recorded(self, server):
+        raw = connect_tcp(*server.address)
+        # 20 kB/s: a ~2 kB frame payload costs ~0.1 s of modeled delay.
+        chan = ThrottledChannel(raw, NetworkModel("awful", 20_000.0))
+        with WindtunnelClient(stream=chan, width=80, height=60) as c:
+            rid = c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=6)
+            try:
+                c.frame(HEAD, [4, 4, 2])
+                assert c.timer.frames.max > 0.05
+                assert "fetch" in c.timer.stages
+            finally:
+                c.remove_rake(rid)

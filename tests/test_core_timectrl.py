@@ -1,0 +1,88 @@
+"""Tests for TimeControl — the paper's interactive time control."""
+
+import pytest
+
+from repro.core import TimeControl
+
+
+class TestPlayback:
+    def test_forward_playback(self):
+        tc = TimeControl(100, speed=10.0)
+        assert tc.position(0.0) == 0.0
+        assert tc.position(1.0) == pytest.approx(10.0)
+        assert tc.timestep_index(1.55) == 15
+
+    def test_wraps_by_default(self):
+        tc = TimeControl(10, speed=10.0)
+        assert tc.position(1.5) == pytest.approx(5.0)
+        assert tc.timestep_index(1.5) == 5
+
+    def test_clamp_mode(self):
+        tc = TimeControl(10, speed=10.0, wrap=False)
+        assert tc.position(99.0) == pytest.approx(9.0)
+        tc2 = TimeControl(10, speed=-10.0, wrap=False)
+        assert tc2.position(99.0) == 0.0
+
+    def test_single_timestep(self):
+        tc = TimeControl(1, speed=10.0)
+        assert tc.position(123.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeControl(0)
+
+
+class TestControls:
+    def test_backwards(self):
+        """'run backwards' — negative speed, wrapping below zero."""
+        tc = TimeControl(100, speed=-10.0)
+        assert tc.position(1.0) == pytest.approx(90.0)
+        assert tc.direction == -1
+
+    def test_pause_freezes_position(self):
+        tc = TimeControl(100, speed=10.0)
+        tc.pause(wall=2.0)
+        assert tc.position(50.0) == pytest.approx(20.0)
+        assert not tc.playing
+
+    def test_resume_continues_from_pause_point(self):
+        tc = TimeControl(100, speed=10.0)
+        tc.pause(wall=2.0)
+        tc.resume(wall=10.0)
+        assert tc.position(11.0) == pytest.approx(30.0)
+
+    def test_speed_change_reanchors(self):
+        """'sped up, slowed down' without a position jump."""
+        tc = TimeControl(1000, speed=10.0)
+        tc.set_speed(100.0, wall=2.0)
+        assert tc.position(2.0) == pytest.approx(20.0)  # continuous
+        assert tc.position(3.0) == pytest.approx(120.0)
+
+    def test_reverse_is_continuous(self):
+        tc = TimeControl(1000, speed=10.0)
+        tc.reverse(wall=5.0)
+        assert tc.position(5.0) == pytest.approx(50.0)
+        assert tc.position(6.0) == pytest.approx(40.0)
+        assert tc.speed == -10.0
+
+    def test_scrub(self):
+        tc = TimeControl(100, speed=10.0)
+        tc.scrub(42.0, wall=1.0)
+        assert tc.position(1.0) == pytest.approx(42.0)
+
+    def test_step_while_paused(self):
+        """'stopped completely for detailed examination' + frame stepping."""
+        tc = TimeControl(100, speed=10.0)
+        tc.pause(wall=1.0)
+        tc.step(+1, wall=5.0)
+        assert tc.timestep_index(9.0) == 11
+        tc.step(-2, wall=9.0)
+        assert tc.timestep_index(9.0) == 9
+
+    def test_snapshot(self):
+        tc = TimeControl(50, speed=5.0)
+        snap = tc.snapshot(2.0)
+        assert snap["timestep"] == 10
+        assert snap["speed"] == 5.0
+        assert snap["playing"] is True
+        assert snap["n_timesteps"] == 50

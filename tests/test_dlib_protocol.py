@@ -1,0 +1,168 @@
+"""Tests for the dlib wire protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.dlib import (
+    DlibProtocolError,
+    MessageKind,
+    decode_message,
+    decode_value,
+    encode_message,
+    encode_value,
+)
+
+# Strategy for arbitrary wire-representable values.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def assert_wire_equal(a, b):
+    """Deep equality modulo list/tuple where both sides agree."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        np.testing.assert_array_equal(a, b)
+    elif isinstance(a, (list, tuple)):
+        assert type(a) is type(b) and len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_wire_equal(x, y)
+    elif isinstance(a, dict):
+        assert set(a) == set(b)
+        for k in a:
+            assert_wire_equal(a[k], b[k])
+    else:
+        assert a == b
+
+
+class TestValueRoundtrip:
+    @given(values)
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, value):
+        assert_wire_equal(decode_value(encode_value(value)), value)
+
+    @given(
+        arrays(
+            dtype=st.sampled_from([np.float32, np.float64, np.int32, np.int64, np.uint8]),
+            shape=array_shapes(max_dims=3, max_side=5),
+            elements=st.integers(0, 200),
+        )
+    )
+    @settings(max_examples=60)
+    def test_array_roundtrip_property(self, arr):
+        back = decode_value(encode_value(arr))
+        assert back.dtype == arr.dtype.newbyteorder("<") or back.dtype == arr.dtype
+        np.testing.assert_array_equal(back, arr)
+
+    def test_float32_paths_are_compact(self):
+        """A 20,000-point path batch costs ~12 bytes/point on the wire."""
+        paths = np.zeros((100, 200, 3), dtype=np.float32)
+        wire = encode_value(paths)
+        overhead = len(wire) - paths.nbytes
+        assert paths.nbytes == 240000  # the paper's benchmark transfer
+        assert overhead < 64
+
+    def test_bool_vs_int_distinguished(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_big_int(self):
+        v = 2**100
+        assert decode_value(encode_value(v)) == v
+
+    def test_numpy_scalar_becomes_python(self):
+        assert decode_value(encode_value(np.float64(2.5))) == 2.5
+        assert decode_value(encode_value(np.int32(7))) == 7
+
+    def test_tuple_vs_list_preserved(self):
+        assert decode_value(encode_value((1, 2))) == (1, 2)
+        assert decode_value(encode_value([1, 2])) == [1, 2]
+
+    def test_noncontiguous_array(self):
+        arr = np.arange(24, dtype=np.float64).reshape(4, 6)[::2, ::3]
+        np.testing.assert_array_equal(decode_value(encode_value(arr)), arr)
+
+    def test_empty_array(self):
+        arr = np.empty((0, 3), dtype=np.float32)
+        back = decode_value(encode_value(arr))
+        assert back.shape == (0, 3)
+
+
+class TestRejection:
+    def test_unserializable_type(self):
+        with pytest.raises(DlibProtocolError):
+            encode_value(object())
+
+    def test_object_array_rejected(self):
+        with pytest.raises(DlibProtocolError):
+            encode_value(np.array([object()], dtype=object))
+
+    def test_deep_nesting_rejected(self):
+        v = [1]
+        for _ in range(50):
+            v = [v]
+        with pytest.raises(DlibProtocolError):
+            encode_value(v)
+
+    def test_truncated_data(self):
+        wire = encode_value([1, 2, 3])
+        with pytest.raises(DlibProtocolError):
+            decode_value(wire[:-3])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(DlibProtocolError):
+            decode_value(encode_value(1) + b"xx")
+
+    def test_unknown_tag(self):
+        with pytest.raises(DlibProtocolError):
+            decode_value(b"Z")
+
+    def test_forged_array_dtype_rejected(self):
+        # Craft an array header claiming an unlisted dtype.
+        wire = bytearray(encode_value(np.zeros(2, dtype=np.float32)))
+        assert b"<f4" in wire
+        forged = bytes(wire).replace(b"<f4", b"<M8")
+        with pytest.raises(DlibProtocolError):
+            decode_value(forged)
+
+    def test_array_shape_byte_mismatch(self):
+        wire = bytearray(encode_value(np.zeros(4, dtype=np.uint8)))
+        wire[-5] = 99  # corrupt the trailing payload length region
+        with pytest.raises(DlibProtocolError):
+            decode_value(bytes(wire))
+
+
+class TestMessages:
+    @given(st.sampled_from(list(MessageKind)), st.integers(0, 2**32 - 1), values)
+    @settings(max_examples=50)
+    def test_message_roundtrip(self, kind, rid, payload):
+        kind2, rid2, payload2 = decode_message(encode_message(kind, rid, payload))
+        assert kind2 is kind and rid2 == rid
+        assert_wire_equal(payload2, payload)
+
+    def test_short_message(self):
+        with pytest.raises(DlibProtocolError):
+            decode_message(b"\x01")
+
+    def test_unknown_kind(self):
+        msg = bytearray(encode_message(MessageKind.CALL, 1, None))
+        msg[0] = 99
+        with pytest.raises(DlibProtocolError):
+            decode_message(bytes(msg))

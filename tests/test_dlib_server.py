@@ -1,0 +1,213 @@
+"""Integration tests for the dlib client/server over real sockets."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dlib import DlibClient, DlibRemoteError, DlibServer
+
+
+@pytest.fixture()
+def server():
+    srv = DlibServer()
+
+    @srv.procedure
+    def echo(ctx, value):
+        return value
+
+    @srv.procedure
+    def add(ctx, a, b=0):
+        return a + b
+
+    @srv.procedure
+    def remember(ctx, key, value):
+        ctx.state[key] = value
+        return sorted(ctx.state)
+
+    @srv.procedure
+    def recall(ctx, key):
+        return ctx.state[key]
+
+    @srv.procedure
+    def counter(ctx):
+        ctx.state["n"] = ctx.state.get("n", 0) + 1
+        return ctx.state["n"]
+
+    @srv.procedure
+    def boom(ctx):
+        raise RuntimeError("remote failure")
+
+    @srv.procedure
+    def scale_array(ctx, arr, factor):
+        return np.asarray(arr) * factor
+
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with DlibClient(*server.address) as c:
+        yield c
+
+
+class TestBasicCalls:
+    def test_echo(self, client):
+        assert client.call("echo", "hello") == "hello"
+
+    def test_kwargs(self, client):
+        assert client.call("add", 2, b=3) == 5
+
+    def test_array_payload(self, client):
+        arr = np.arange(12, dtype=np.float32).reshape(4, 3)
+        out = client.call("scale_array", arr, 2.0)
+        np.testing.assert_allclose(out, arr * 2)
+
+    def test_ping(self, client):
+        assert client.ping({"x": 1}) == {"x": 1}
+
+    def test_stub_calls(self, client):
+        assert client.stub.add(1, 2) == 3
+        assert client.stub.dlib.ping("ok") == "ok"
+
+    def test_stub_root_not_callable(self, client):
+        with pytest.raises(TypeError):
+            client.stub()
+
+    def test_unknown_procedure(self, client):
+        with pytest.raises(DlibRemoteError) as exc_info:
+            client.call("nonexistent")
+        assert exc_info.value.remote_type == "LookupError"
+
+    def test_remote_exception(self, client):
+        with pytest.raises(DlibRemoteError) as exc_info:
+            client.call("boom")
+        assert exc_info.value.remote_type == "RuntimeError"
+        assert "remote failure" in str(exc_info.value)
+        assert "boom" in exc_info.value.remote_traceback
+
+    def test_builtin_procedures_listed(self, client):
+        procs = client.call("dlib.procedures")
+        assert "dlib.ping" in procs and "echo" in procs
+
+
+class TestPersistentContext:
+    def test_state_persists_across_calls(self, client):
+        client.call("remember", "grid", [1, 2, 3])
+        assert client.call("recall", "grid") == [1, 2, 3]
+
+    def test_state_shared_across_clients(self, server, client):
+        """Section 4: multiple clients share one server process environment."""
+        client.call("remember", "shared", 42)
+        with DlibClient(*server.address) as second:
+            assert second.call("recall", "shared") == 42
+
+    def test_stats(self, client):
+        client.ping()
+        stats = client.call("dlib.stats")
+        assert stats["calls_served"] >= 1
+        assert stats["clients_connected"] >= 1
+
+
+class TestRemoteMemory:
+    def test_alloc_write_read_free(self, client):
+        handle = client.alloc(64)
+        client.write_segment(handle, b"abcdef", offset=3)
+        assert client.read_segment(handle, offset=3, nbytes=6) == b"abcdef"
+        client.free(handle)
+        with pytest.raises(DlibRemoteError):
+            client.read_segment(handle)
+
+    def test_put_array(self, client):
+        arr = np.arange(100, dtype=np.float32)
+        handle = client.put_array(arr)
+        raw = client.read_segment(handle)
+        np.testing.assert_array_equal(np.frombuffer(raw, dtype=np.float32), arr)
+
+    def test_overrun_rejected(self, client):
+        handle = client.alloc(8)
+        with pytest.raises(DlibRemoteError):
+            client.write_segment(handle, b"123456789", offset=4)
+
+    def test_budget_enforced(self):
+        srv = DlibServer(memory_budget=100)
+        srv.start()
+        try:
+            with DlibClient(*srv.address) as c:
+                c.alloc(60)
+                with pytest.raises(DlibRemoteError) as exc_info:
+                    c.alloc(60)
+                assert exc_info.value.remote_type == "MemoryError"
+        finally:
+            srv.stop()
+
+
+class TestMultiClientSerial:
+    def test_serial_counter_no_lost_updates(self, server):
+        """Concurrent clients increment a shared counter; serial execution
+        means every increment lands (no read-modify-write races)."""
+        n_clients, n_calls = 4, 25
+        results = [[] for _ in range(n_clients)]
+
+        def worker(i):
+            with DlibClient(*server.address) as c:
+                for _ in range(n_calls):
+                    results[i].append(c.call("counter"))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seen = sorted(x for r in results for x in r)
+        assert seen == list(range(1, n_clients * n_calls + 1))
+
+    def test_each_client_sees_monotonic_results(self, server):
+        with DlibClient(*server.address) as a, DlibClient(*server.address) as b:
+            va1 = a.call("counter")
+            vb1 = b.call("counter")
+            va2 = a.call("counter")
+            assert va1 < vb1 < va2
+
+
+class TestLifecycle:
+    def test_context_manager(self):
+        with DlibServer() as srv:
+            with DlibClient(*srv.address) as c:
+                assert c.ping(1) == 1
+
+    def test_address_before_start(self):
+        with pytest.raises(RuntimeError):
+            DlibServer().address
+
+    def test_double_start_rejected(self, server):
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_register_validation(self, server):
+        with pytest.raises(ValueError):
+            server.register("", lambda ctx: None)
+        with pytest.raises(ValueError):
+            server.register("_private", lambda ctx: None)
+
+    def test_client_requires_address_or_stream(self):
+        with pytest.raises(ValueError):
+            DlibClient()
+
+    def test_server_survives_client_disconnect(self, server):
+        c1 = DlibClient(*server.address)
+        c1.ping()
+        c1.close()
+        time.sleep(0.1)
+        with DlibClient(*server.address) as c2:
+            assert c2.ping("still alive") == "still alive"
+
+    def test_large_transfer(self, client):
+        """A full 100k-particle frame (1.2 MB, Table 1 row 3) round-trips."""
+        arr = np.random.default_rng(0).normal(size=(100000, 3)).astype(np.float32)
+        out = client.call("echo", arr)
+        np.testing.assert_array_equal(out, arr)
+        assert arr.nbytes == 1200000

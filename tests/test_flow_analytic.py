@@ -1,0 +1,179 @@
+"""Tests for analytic fields and field composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import (
+    ABCFlow,
+    LambOseenVortex,
+    OscillatingShearLayer,
+    RigidRotation,
+    Superposition,
+    UniformFlow,
+)
+
+pts_strategy = st.lists(
+    st.tuples(*[st.floats(-5, 5, allow_nan=False)] * 3), min_size=1, max_size=10
+).map(np.array)
+
+
+class TestUniformFlow:
+    def test_constant_everywhere(self):
+        f = UniformFlow([1.0, 2.0, 3.0])
+        out = f(np.zeros((4, 3)), t=7.0)
+        np.testing.assert_allclose(out, np.tile([1.0, 2.0, 3.0], (4, 1)))
+
+    def test_single_point(self):
+        out = UniformFlow()(np.zeros(3))
+        assert out.shape == (3,)
+        np.testing.assert_allclose(out, [1, 0, 0])
+
+    def test_bad_velocity(self):
+        with pytest.raises(ValueError):
+            UniformFlow([1.0, 2.0])
+
+    def test_bad_points_shape(self):
+        with pytest.raises(ValueError):
+            UniformFlow()(np.zeros((2, 2)))
+
+
+class TestRigidRotation:
+    def test_velocity_perpendicular_to_radius(self):
+        f = RigidRotation(omega=[0, 0, 2.0])
+        p = np.array([[1.0, 0.0, 0.0]])
+        v = f(p)
+        np.testing.assert_allclose(v, [[0.0, 2.0, 0.0]])
+
+    @given(pts_strategy)
+    def test_speed_proportional_to_radius(self, pts):
+        f = RigidRotation(omega=[0, 0, 1.0])
+        v = f(pts, 0.0)
+        r = np.linalg.norm(pts[:, :2], axis=1)
+        np.testing.assert_allclose(np.linalg.norm(v, axis=1), r, atol=1e-12)
+
+    def test_center_offset(self):
+        f = RigidRotation(omega=[0, 0, 1.0], center=[1.0, 0.0, 0.0])
+        np.testing.assert_allclose(f(np.array([1.0, 0.0, 0.0])), 0.0)
+
+
+class TestLambOseenVortex:
+    def test_finite_at_core(self):
+        f = LambOseenVortex(gamma=1.0, core_radius=0.2)
+        v = f(np.array([[0.0, 0.0, 0.0]]))
+        assert np.all(np.isfinite(v))
+        np.testing.assert_allclose(v, 0.0, atol=1e-12)
+
+    def test_far_field_ideal(self):
+        gamma = 2.0
+        f = LambOseenVortex(gamma=gamma, core_radius=0.1)
+        r = 5.0
+        v = f(np.array([[r, 0.0, 0.0]]))[0]
+        np.testing.assert_allclose(v[1], gamma / (2 * np.pi * r), rtol=1e-6)
+        np.testing.assert_allclose(v[0], 0.0, atol=1e-12)
+
+    def test_circulation_sign(self):
+        f = LambOseenVortex(gamma=-1.0)
+        v = f(np.array([[1.0, 0.0, 0.0]]))[0]
+        assert v[1] < 0  # clockwise
+
+    def test_advection_moves_center(self):
+        f = LambOseenVortex(gamma=1.0, advect=[1.0, 0.0, 0.0])
+        v0 = f(np.array([[2.0, 0.0, 0.0]]), t=2.0)[0]
+        np.testing.assert_allclose(v0, 0.0, atol=1e-12)  # point is at center now
+
+    def test_invalid_core(self):
+        with pytest.raises(ValueError):
+            LambOseenVortex(gamma=1.0, core_radius=0.0)
+
+
+class TestABCFlow:
+    def test_is_steady(self):
+        f = ABCFlow()
+        p = np.random.default_rng(0).normal(size=(5, 3))
+        np.testing.assert_allclose(f(p, 0.0), f(p, 10.0))
+
+    def test_beltrami_property(self):
+        """ABC flow is a Beltrami flow: curl(v) = v (for these coefficients)."""
+        f = ABCFlow(a=1.0, b=0.7, c=0.4)
+        p = np.array([[0.3, 1.2, -0.7]])
+        eps = 1e-6
+        jac = np.empty((3, 3))
+        for b in range(3):
+            dp = np.zeros(3)
+            dp[b] = eps
+            jac[:, b] = (f(p + dp)[0] - f(p - dp)[0]) / (2 * eps)
+        curl = np.array(
+            [jac[2, 1] - jac[1, 2], jac[0, 2] - jac[2, 0], jac[1, 0] - jac[0, 1]]
+        )
+        np.testing.assert_allclose(curl, f(p)[0], atol=1e-5)
+
+
+class TestShearLayerAndSuperposition:
+    def test_shear_layer_unsteady(self):
+        f = OscillatingShearLayer()
+        p = np.array([[1.0, 0.0, 0.0]])
+        assert not np.allclose(f(p, 0.0), f(p, 1.0))
+
+    def test_superposition_adds(self):
+        a = UniformFlow([1.0, 0.0, 0.0])
+        b = UniformFlow([0.0, 2.0, 0.0])
+        f = a + b
+        np.testing.assert_allclose(f(np.zeros(3)), [1.0, 2.0, 0.0])
+
+    def test_superposition_flattens(self):
+        f = UniformFlow() + UniformFlow() + UniformFlow()
+        assert isinstance(f, Superposition)
+        assert len(f.components) == 3
+
+    def test_empty_superposition_rejected(self):
+        with pytest.raises(ValueError):
+            Superposition([])
+
+    @given(pts_strategy, st.floats(0, 5, allow_nan=False))
+    @settings(max_examples=25)
+    def test_superposition_is_linear(self, pts, t):
+        a = RigidRotation()
+        b = UniformFlow([0.5, -1.0, 0.25])
+        np.testing.assert_allclose(
+            (a + b)(pts, t), a(pts, t) + b(pts, t), atol=1e-12
+        )
+
+
+class TestDoubleGyre:
+    def test_walls_are_impermeable(self):
+        """v = 0 on y=0 and y=1; u = 0 on x=0 and x=2 (closed box)."""
+        from repro.flow import DoubleGyre
+
+        f = DoubleGyre()
+        for t in (0.0, 2.5, 7.1):
+            top = f(np.stack([np.linspace(0, 2, 9), np.ones(9), np.zeros(9)], 1), t)
+            bottom = f(np.stack([np.linspace(0, 2, 9), np.zeros(9), np.zeros(9)], 1), t)
+            np.testing.assert_allclose(top[:, 1], 0.0, atol=1e-12)
+            np.testing.assert_allclose(bottom[:, 1], 0.0, atol=1e-12)
+            left = f(np.stack([np.zeros(9), np.linspace(0, 1, 9), np.zeros(9)], 1), t)
+            right = f(np.stack([2 * np.ones(9), np.linspace(0, 1, 9), np.zeros(9)], 1), t)
+            np.testing.assert_allclose(left[:, 0], 0.0, atol=1e-12)
+            np.testing.assert_allclose(right[:, 0], 0.0, atol=1e-12)
+
+    def test_time_periodic(self):
+        from repro.flow import DoubleGyre
+
+        f = DoubleGyre(omega=2 * np.pi / 10.0)
+        p = np.array([[0.7, 0.3, 0.0]])
+        np.testing.assert_allclose(f(p, 1.3), f(p, 11.3), atol=1e-12)
+
+    def test_unsteady_when_perturbed(self):
+        from repro.flow import DoubleGyre
+
+        f = DoubleGyre(eps=0.25)
+        p = np.array([[0.7, 0.3, 0.0]])
+        assert not np.allclose(f(p, 0.0), f(p, 2.5))
+
+    def test_steady_when_unperturbed(self):
+        from repro.flow import DoubleGyre
+
+        f = DoubleGyre(eps=0.0)
+        p = np.array([[0.7, 0.3, 0.0]])
+        np.testing.assert_allclose(f(p, 0.0), f(p, 3.7), atol=1e-12)

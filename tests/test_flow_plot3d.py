@@ -1,0 +1,105 @@
+"""Tests for the PLOT3D-style file format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import read_grid, read_solution, write_grid, write_solution
+from repro.grid import cartesian_grid, cylindrical_grid
+
+
+class TestGridFiles:
+    def test_single_block_roundtrip(self, tmp_path):
+        g = cylindrical_grid((5, 9, 4))
+        path = tmp_path / "grid.x"
+        write_grid(path, g)
+        back = read_grid(path)
+        assert len(back) == 1
+        np.testing.assert_allclose(back[0].xyz, g.xyz, atol=1e-6)
+
+    def test_multi_block_roundtrip(self, tmp_path):
+        gs = [cartesian_grid((3, 4, 5)), cylindrical_grid((4, 6, 3))]
+        path = tmp_path / "grid.x"
+        write_grid(path, gs)
+        back = read_grid(path)
+        assert len(back) == 2
+        for a, b in zip(gs, back):
+            assert a.shape == b.shape
+            np.testing.assert_allclose(b.xyz, a.xyz, atol=1e-6)
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_grid(tmp_path / "g.x", [])
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "grid.x"
+        write_grid(path, cartesian_grid((3, 3, 3)))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises((EOFError, ValueError)):
+            read_grid(path)
+
+    def test_corrupt_marker_detected(self, tmp_path):
+        path = tmp_path / "grid.x"
+        write_grid(path, cartesian_grid((3, 3, 3)))
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # clobber the final record marker
+        path.write_bytes(bytes(data))
+        with pytest.raises((EOFError, ValueError)):
+            read_grid(path)
+
+    def test_fortran_ordering_on_disk(self, tmp_path):
+        """X data is written i-fastest (PLOT3D convention)."""
+        g = cartesian_grid((2, 2, 2), hi=(1.0, 1.0, 1.0))
+        path = tmp_path / "grid.x"
+        write_grid(path, g)
+        raw = path.read_bytes()
+        # Records: [4|nblocks|4] [4|dims(12B)|4] [4|payload...]
+        offset = 4 + 4 + 4 + 4 + 12 + 4 + 4
+        x_vals = np.frombuffer(raw[offset : offset + 8 * 4], dtype="<f4")
+        # i-fastest: x alternates 0,1 every element.
+        np.testing.assert_allclose(x_vals, [0, 1, 0, 1, 0, 1, 0, 1])
+
+
+class TestSolutionFiles:
+    @given(
+        ni=st.integers(2, 4),
+        nj=st.integers(2, 4),
+        nk=st.integers(2, 4),
+        nvar=st.integers(1, 4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, ni, nj, nk, nvar, tmp_path_factory):
+        rng = np.random.default_rng(ni * 100 + nj * 10 + nk + nvar)
+        field = rng.normal(size=(ni, nj, nk, nvar)).astype(np.float32)
+        path = tmp_path_factory.mktemp("p3d") / "sol.f"
+        write_solution(path, field)
+        back = read_solution(path)
+        assert len(back) == 1
+        np.testing.assert_array_equal(back[0], field)
+
+    def test_multi_block(self, tmp_path):
+        a = np.ones((2, 3, 4, 3), dtype=np.float32)
+        b = np.full((3, 2, 2, 5), 2.0, dtype=np.float32)
+        path = tmp_path / "sol.f"
+        write_solution(path, [a, b])
+        back = read_solution(path)
+        np.testing.assert_array_equal(back[0], a)
+        np.testing.assert_array_equal(back[1], b)
+
+    def test_velocity_timestep_roundtrip(self, tmp_path):
+        """The windtunnel use case: one velocity timestep per function file."""
+        rng = np.random.default_rng(3)
+        vel = rng.normal(size=(4, 5, 6, 3)).astype(np.float32)
+        path = tmp_path / "vel000.f"
+        write_solution(path, vel)
+        np.testing.assert_array_equal(read_solution(path)[0], vel)
+
+    def test_bad_rank_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_solution(tmp_path / "x.f", np.zeros((2, 2, 2)))
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_solution(tmp_path / "x.f", [])

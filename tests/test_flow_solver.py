@@ -1,0 +1,114 @@
+"""Tests for the 2-D Navier-Stokes solver substrate."""
+
+import numpy as np
+import pytest
+
+from repro.flow import NavierStokes2D, SolverConfig, cylinder_mask, solver_dataset
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return SolverConfig(nx=48, ny=32, lx=6.0, ly=4.0, nu=5e-3, dt=0.02)
+
+
+class TestSolverBasics:
+    def test_initial_state(self, small_config):
+        sim = NavierStokes2D(small_config)
+        assert sim.u.shape == (48, 32)
+        assert sim.time == 0.0
+
+    def test_divergence_free_after_step(self, small_config):
+        sim = NavierStokes2D(small_config)
+        sim.run(5)
+        assert np.abs(sim.divergence()).max() < 1e-10
+
+    def test_divergence_free_with_obstacle(self, small_config):
+        mask = cylinder_mask(small_config, center=(1.5, 2.0), radius=0.4)
+        sim = NavierStokes2D(small_config, obstacle=mask)
+        sim.run(5)
+        assert np.abs(sim.divergence()).max() < 1e-10
+
+    def test_time_advances(self, small_config):
+        sim = NavierStokes2D(small_config)
+        sim.run(10)
+        np.testing.assert_allclose(sim.time, 10 * small_config.dt)
+        assert sim.steps_taken == 10
+
+    def test_obstacle_shape_validation(self, small_config):
+        with pytest.raises(ValueError):
+            NavierStokes2D(small_config, obstacle=np.zeros((3, 3), dtype=bool))
+
+    def test_reynolds(self):
+        assert SolverConfig(nu=0.01, u_inf=2.0).reynolds == pytest.approx(200.0)
+
+
+class TestPhysics:
+    def test_uniform_flow_is_steady_without_obstacle(self):
+        cfg = SolverConfig(nx=32, ny=32, nu=1e-3, dt=0.02)
+        sim = NavierStokes2D(cfg)
+        sim.v[:] = 0.0  # remove the seed perturbation
+        sim.run(20)
+        np.testing.assert_allclose(sim.u, cfg.u_inf, atol=1e-8)
+        np.testing.assert_allclose(sim.v, 0.0, atol=1e-8)
+
+    def test_energy_bounded(self, small_config):
+        mask = cylinder_mask(small_config, center=(1.5, 2.0), radius=0.4)
+        sim = NavierStokes2D(small_config, obstacle=mask)
+        sim.run(100)
+        # Energy stays of order the free-stream energy; no blow-up.
+        assert sim.kinetic_energy() < 5.0 * 0.5 * small_config.u_inf**2
+
+    def test_obstacle_slows_interior_flow(self, small_config):
+        mask = cylinder_mask(small_config, center=(1.5, 2.0), radius=0.5)
+        sim = NavierStokes2D(small_config, obstacle=mask)
+        sim.run(80)
+        interior_speed = np.hypot(sim.u[mask], sim.v[mask]).mean()
+        free_speed = np.hypot(sim.u[~mask], sim.v[~mask]).mean()
+        assert interior_speed < 0.35 * free_speed
+
+    def test_wake_forms_behind_obstacle(self, small_config):
+        mask = cylinder_mask(small_config, center=(1.5, 2.0), radius=0.5)
+        sim = NavierStokes2D(small_config, obstacle=mask)
+        sim.run(120)
+        # Mean streamwise velocity deficit downstream of the body.
+        jmid = small_config.ny // 2
+        i_wake = int(2.5 / small_config.dx)
+        assert sim.u[i_wake, jmid] < 0.9 * small_config.u_inf
+
+    def test_vorticity_generated_by_body(self, small_config):
+        mask = cylinder_mask(small_config, center=(1.5, 2.0), radius=0.5)
+        sim = NavierStokes2D(small_config, obstacle=mask)
+        sim.run(80)
+        assert np.abs(sim.vorticity()).max() > 1.0
+
+    def test_velocity_field_shape(self, small_config):
+        sim = NavierStokes2D(small_config)
+        vf = sim.velocity_field()
+        assert vf.shape == (48, 32, 2)
+        np.testing.assert_allclose(vf[..., 0], sim.u)
+
+
+class TestSolverDataset:
+    def test_extrusion_shape(self):
+        cfg = SolverConfig(nx=24, ny=16, lx=3.0, ly=2.0)
+        ds = solver_dataset(cfg, n_timesteps=3, sample_every=2, nk=4)
+        assert ds.velocity(0).shape == (24, 16, 4, 3)
+        assert ds.n_timesteps == 3
+        np.testing.assert_allclose(ds.dt, cfg.dt * 2)
+
+    def test_planes_identical_and_w_zero(self):
+        cfg = SolverConfig(nx=24, ny=16, lx=3.0, ly=2.0)
+        ds = solver_dataset(cfg, n_timesteps=2, sample_every=2, nk=3)
+        v = ds.velocity(1)
+        np.testing.assert_allclose(v[..., 0, :], v[..., 2, :])
+        np.testing.assert_allclose(v[..., 2], 0.0)
+
+    def test_timesteps_evolve(self):
+        cfg = SolverConfig(nx=24, ny=16, lx=3.0, ly=2.0)
+        mask = cylinder_mask(cfg, center=(0.8, 1.0), radius=0.3)
+        ds = solver_dataset(cfg, obstacle=mask, n_timesteps=2, sample_every=5)
+        assert not np.allclose(ds.velocity(0), ds.velocity(1))
+
+    def test_default_config(self):
+        ds = solver_dataset(n_timesteps=1, sample_every=1, nk=2)
+        assert ds.velocity(0).shape[:2] == (128, 64)

@@ -1,0 +1,125 @@
+"""Tests for the synthetic tapered-cylinder flow and dataset."""
+
+import numpy as np
+import pytest
+
+from repro.flow import TaperedCylinderFlow, tapered_cylinder_dataset
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return TaperedCylinderFlow()
+
+
+class TestGeometry:
+    def test_taper_reduces_radius(self, flow):
+        assert flow.body_radius(0.0) == pytest.approx(flow.r_base)
+        assert flow.body_radius(flow.height) == pytest.approx(
+            flow.r_base * (1 - flow.taper)
+        )
+
+    def test_radius_clamped_beyond_span(self, flow):
+        assert flow.body_radius(2 * flow.height) == flow.body_radius(flow.height)
+        assert flow.body_radius(-1.0) == flow.body_radius(0.0)
+
+    def test_shedding_frequency_increases_with_height(self, flow):
+        """The taper's signature: thinner body sheds faster (smaller T)."""
+        t_bottom = flow.shedding_period(np.array(0.0))
+        t_top = flow.shedding_period(np.array(flow.height))
+        assert t_top < t_bottom
+
+    def test_strouhal_relation(self, flow):
+        z = 1.0
+        a = flow.body_radius(z)
+        expected = 2 * a / (flow.strouhal * flow.u_inf)
+        np.testing.assert_allclose(flow.shedding_period(np.array(z)), expected)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TaperedCylinderFlow(taper=1.0)
+        with pytest.raises(ValueError):
+            TaperedCylinderFlow(u_inf=-1.0)
+        with pytest.raises(ValueError):
+            TaperedCylinderFlow(n_wake_vortices=0)
+
+
+class TestVelocityField:
+    def test_no_slip_inside_body(self, flow):
+        pts = np.array([[0.0, 0.0, 1.0], [0.2, 0.1, 2.0]])
+        np.testing.assert_allclose(flow(pts, t=3.0), 0.0, atol=1e-12)
+
+    def test_far_field_approaches_free_stream(self, flow):
+        pts = np.array([[-40.0, 30.0, 2.0]])
+        v = flow(pts, t=5.0)[0]
+        np.testing.assert_allclose(v, [flow.u_inf, 0.0, 0.0], atol=0.05)
+
+    def test_field_is_unsteady_in_wake(self, flow):
+        pts = np.array([[2.5, 0.3, 1.0]])
+        assert not np.allclose(flow(pts, 0.0), flow(pts, 1.3), atol=1e-4)
+
+    def test_wake_is_vortical(self, flow):
+        """Vertical velocity fluctuations appear downstream (the street)."""
+        x = np.linspace(1.5, 6.0, 25)
+        pts = np.stack([x, np.zeros_like(x), np.full_like(x, 1.0)], axis=1)
+        v = flow(pts, t=12.0)
+        assert np.abs(v[:, 1]).max() > 0.1 * flow.u_inf
+
+    def test_recirculation_behind_body(self, flow):
+        """Standing eddies produce reversed (u<0) flow just behind the body."""
+        t = 0.0
+        z = 0.5
+        a = float(flow.body_radius(z))
+        x = np.linspace(1.05 * a, 2.5 * a, 30)
+        pts = np.stack([x, np.zeros_like(x), np.full_like(x, z)], axis=1)
+        u = flow(pts, t)[:, 0]
+        assert u.min() < 0.0
+
+    def test_everything_finite(self, flow):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform([-10, -10, -1], [20, 10, 6], size=(500, 3))
+        for t in [0.0, 0.37, 8.0]:
+            assert np.all(np.isfinite(flow(pts, t)))
+
+    def test_spanwise_component_present(self, flow):
+        pts = np.array([[1.5, 0.0, 1.3]])
+        ws = [abs(flow(pts, t)[0, 2]) for t in np.linspace(0, 4, 9)]
+        assert max(ws) > 0.0
+
+    def test_shedding_alternates_sides(self, flow):
+        """v_y at a wake probe changes sign over one shedding period."""
+        z = 1.0
+        period = float(flow.shedding_period(np.array(z)))
+        pts = np.array([[3.0, 0.0, z]])
+        vy = [flow(pts, t)[0, 1] for t in np.linspace(5.0, 5.0 + period, 24)]
+        assert min(vy) < 0.0 < max(vy)
+
+
+class TestDataset:
+    def test_paper_footprint(self):
+        ds = tapered_cylinder_dataset(shape=(16, 16, 8), n_timesteps=3)
+        assert ds.n_timesteps == 3
+        assert ds.velocity(0).dtype == np.float32
+
+    def test_default_shape_matches_paper(self):
+        # Don't synthesize the full dataset here; just check the advertised
+        # default grid footprint equals the paper's 131,072 points.
+        import inspect
+
+        sig = inspect.signature(tapered_cylinder_dataset)
+        assert sig.parameters["shape"].default == (64, 64, 32)
+        ni, nj, nk = sig.parameters["shape"].default
+        assert ni * nj * nk == 131072
+
+    def test_grid_fits_body(self):
+        ds = tapered_cylinder_dataset(shape=(8, 12, 6), n_timesteps=2)
+        inner_r = np.linalg.norm(ds.grid.xyz[0, 0, 0, :2])
+        np.testing.assert_allclose(inner_r, 0.5, atol=1e-12)
+
+    def test_velocity_zero_on_body_surface_nodes(self):
+        ds = tapered_cylinder_dataset(shape=(8, 12, 6), n_timesteps=2)
+        surface_v = ds.velocity(1)[0]  # innermost ring = body surface
+        np.testing.assert_allclose(surface_v, 0.0, atol=1e-6)
+
+    def test_timesteps_differ(self):
+        ds = tapered_cylinder_dataset(shape=(8, 12, 6), n_timesteps=2, dt=0.5)
+        assert not np.allclose(ds.velocity(0), ds.velocity(1))

@@ -1,0 +1,204 @@
+"""Tests for CurvilinearGrid, grid factories, Jacobians, and point search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import (
+    CurvilinearGrid,
+    GridLocator,
+    cartesian_grid,
+    cylindrical_grid,
+    grid_jacobian,
+    physical_to_grid_velocity,
+)
+from repro.grid.jacobian import jacobian_at
+
+
+class TestCurvilinearGrid:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CurvilinearGrid(np.zeros((3, 3, 3)))
+        with pytest.raises(ValueError):
+            CurvilinearGrid(np.zeros((1, 3, 3, 3)))
+
+    def test_n_points_and_bytes_match_paper_table2(self):
+        # Paper Table 2, row 1: tapered cylinder, 131,072 points ->
+        # 1,572,864 bytes per timestep.
+        g = cartesian_grid((64, 64, 32))
+        assert g.n_points == 131072
+        assert g.timestep_nbytes == 1572864
+
+    def test_to_physical_on_cartesian_is_affine(self):
+        g = cartesian_grid((5, 5, 5), lo=(0, 0, 0), hi=(4, 8, 12))
+        pts = np.array([[1.0, 1.0, 1.0], [2.5, 0.5, 3.0]])
+        phys = g.to_physical(pts)
+        np.testing.assert_allclose(phys, pts * np.array([1.0, 2.0, 3.0]))
+
+    def test_bounding_box(self):
+        g = cartesian_grid((3, 3, 3), lo=(-1, -2, -3), hi=(1, 2, 3))
+        lo, hi = g.bounding_box()
+        np.testing.assert_allclose(lo, [-1, -2, -3])
+        np.testing.assert_allclose(hi, [1, 2, 3])
+
+    def test_contains(self):
+        g = cartesian_grid((3, 3, 3))
+        assert g.contains(np.array([1.0, 1.0, 1.0]))
+        assert not g.contains(np.array([2.5, 1.0, 1.0]))
+
+    def test_cell_corners_ordering(self):
+        g = cartesian_grid((3, 3, 3), hi=(2, 2, 2))
+        corners = g.cell_corners(np.array([0, 0, 0]))
+        assert corners.shape == (8, 3)
+        np.testing.assert_allclose(corners[0], [0, 0, 0])
+        np.testing.assert_allclose(corners[1], [0, 0, 1])  # k-offset is bit 0
+        np.testing.assert_allclose(corners[4], [1, 0, 0])  # i-offset is bit 2
+
+
+class TestCylindricalGrid:
+    def test_taper_shrinks_body(self):
+        g = cylindrical_grid((4, 8, 5), r_inner=1.0, r_outer=5.0, taper=0.5)
+        # Innermost ring (i=0) at bottom (k=0) has radius 1, at top 0.5.
+        r_bottom = np.linalg.norm(g.xyz[0, 0, 0, :2])
+        r_top = np.linalg.norm(g.xyz[0, 0, -1, :2])
+        np.testing.assert_allclose(r_bottom, 1.0)
+        np.testing.assert_allclose(r_top, 0.5)
+
+    def test_outer_radius(self):
+        g = cylindrical_grid((4, 8, 5), r_inner=1.0, r_outer=5.0)
+        r = np.linalg.norm(g.xyz[-1, :, :, :2], axis=-1)
+        np.testing.assert_allclose(r, 5.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            cylindrical_grid((4, 8, 5), taper=1.0)
+        with pytest.raises(ValueError):
+            cylindrical_grid((4, 8, 5), r_inner=2.0, r_outer=1.0)
+
+    def test_radial_clustering_near_body(self):
+        g = cylindrical_grid((16, 8, 4), r_inner=1.0, r_outer=9.0, radial_stretch=3.0)
+        r = np.linalg.norm(g.xyz[:, 0, 0, :2], axis=-1)
+        dr = np.diff(r)
+        assert dr[0] < dr[-1]  # finer spacing near the body
+        assert np.all(dr > 0)
+
+
+class TestJacobian:
+    def test_cartesian_jacobian_is_diagonal(self):
+        g = cartesian_grid((4, 4, 4), hi=(3.0, 6.0, 9.0))
+        jac = grid_jacobian(g.xyz)
+        expected = np.diag([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(jac, np.broadcast_to(expected, jac.shape))
+
+    def test_velocity_transform_cartesian(self):
+        g = cartesian_grid((4, 4, 4), hi=(3.0, 6.0, 9.0))
+        v = np.ones(g.shape + (3,))
+        vg = physical_to_grid_velocity(g.xyz, v)
+        np.testing.assert_allclose(vg, np.broadcast_to([1.0, 0.5, 1 / 3], vg.shape))
+
+    def test_velocity_transform_reuses_jacobian(self):
+        g = cartesian_grid((4, 4, 4))
+        jac = grid_jacobian(g.xyz)
+        v = np.random.default_rng(1).normal(size=g.shape + (3,))
+        a = physical_to_grid_velocity(g.xyz, v)
+        b = physical_to_grid_velocity(g.xyz, v, jac=jac)
+        np.testing.assert_allclose(a, b)
+
+    def test_shape_mismatch(self):
+        g = cartesian_grid((4, 4, 4))
+        with pytest.raises(ValueError):
+            physical_to_grid_velocity(g.xyz, np.zeros((3, 3, 3, 3)))
+
+    def test_jacobian_at_matches_finite_difference(self):
+        g = cylindrical_grid((6, 9, 5))
+        pt = np.array([[2.3, 4.1, 1.7]])
+        jac = jacobian_at(g.xyz, pt)[0]
+        eps = 1e-6
+        for b in range(3):
+            dp = np.zeros(3)
+            dp[b] = eps
+            fd = (g.to_physical(pt + dp) - g.to_physical(pt - dp))[0] / (2 * eps)
+            np.testing.assert_allclose(jac[:, b], fd, atol=1e-5)
+
+    def test_jacobian_at_single_point_shape(self):
+        g = cartesian_grid((3, 3, 3))
+        assert jacobian_at(g.xyz, np.array([0.5, 0.5, 0.5])).shape == (3, 3)
+
+
+class TestGridLocator:
+    def test_roundtrip_cartesian(self):
+        g = cartesian_grid((5, 5, 5), hi=(4, 4, 4))
+        loc = GridLocator(g)
+        rng = np.random.default_rng(3)
+        coords = rng.uniform(0, 4, size=(20, 3))
+        phys = g.to_physical(coords)
+        found_coords, found = loc.locate(phys)
+        assert found.all()
+        np.testing.assert_allclose(found_coords, coords, atol=1e-6)
+
+    def test_roundtrip_cylindrical(self):
+        g = cylindrical_grid((8, 17, 6), r_inner=0.5, r_outer=6.0, taper=0.3)
+        loc = GridLocator(g)
+        rng = np.random.default_rng(4)
+        ni, nj, nk = g.shape
+        coords = rng.uniform([0.2, 0.2, 0.2], [ni - 1.2, nj - 1.2, nk - 1.2], (30, 3))
+        phys = g.to_physical(coords)
+        out, found = loc.locate(phys)
+        assert found.all()
+        np.testing.assert_allclose(g.to_physical(out), phys, atol=1e-6)
+
+    def test_outside_not_found(self):
+        g = cartesian_grid((4, 4, 4), hi=(3, 3, 3))
+        loc = GridLocator(g)
+        _, found = loc.locate(np.array([[10.0, 10.0, 10.0]]))
+        assert not found[0]
+
+    def test_single_point_api(self):
+        g = cartesian_grid((4, 4, 4), hi=(3, 3, 3))
+        loc = GridLocator(g)
+        coords, found = loc.locate(np.array([1.5, 1.5, 1.5]))
+        assert found is True or found is np.True_ or found
+        np.testing.assert_allclose(coords, [1.5, 1.5, 1.5], atol=1e-8)
+
+    def test_warm_start_guess(self):
+        g = cartesian_grid((5, 5, 5), hi=(4, 4, 4))
+        loc = GridLocator(g)
+        target = np.array([[2.2, 2.2, 2.2]])
+        coords, found = loc.locate(target, guess=np.array([[2.0, 2.0, 2.0]]))
+        assert found.all()
+        np.testing.assert_allclose(coords, target, atol=1e-8)
+
+    def test_bad_shapes(self):
+        g = cartesian_grid((4, 4, 4))
+        loc = GridLocator(g)
+        with pytest.raises(ValueError):
+            loc.locate(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            loc.locate(np.zeros((2, 3)), guess=np.zeros((3, 3)))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 3.9, allow_nan=False),
+                st.floats(0.1, 3.9, allow_nan=False),
+                st.floats(0.1, 3.9, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_locate_inverts_to_physical(self, pts):
+        """Property: locate(to_physical(c)) == c on a warped grid."""
+        # Smoothly warped grid (non-trivial but invertible).
+        base = cartesian_grid((5, 5, 5), hi=(4, 4, 4)).xyz.copy()
+        base[..., 0] += 0.1 * np.sin(base[..., 1])
+        base[..., 2] += 0.1 * np.cos(base[..., 0])
+        g = CurvilinearGrid(base)
+        loc = GridLocator(g)
+        coords = np.array(pts)
+        phys = g.to_physical(coords)
+        out, found = loc.locate(phys)
+        assert found.all()
+        np.testing.assert_allclose(g.to_physical(out), phys, atol=1e-6)

@@ -1,0 +1,125 @@
+"""Tests for trilinear interpolation (repro.grid.interpolation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import in_domain_mask, trilinear_interpolate
+
+
+def affine_field(shape, coeffs, const):
+    """Node samples of an affine function of the grid indices."""
+    ni, nj, nk = shape
+    i, j, k = np.meshgrid(
+        np.arange(ni), np.arange(nj), np.arange(nk), indexing="ij"
+    )
+    return coeffs[0] * i + coeffs[1] * j + coeffs[2] * k + const
+
+
+coords_strategy = st.lists(
+    st.tuples(
+        st.floats(0.0, 4.0, allow_nan=False),
+        st.floats(0.0, 3.0, allow_nan=False),
+        st.floats(0.0, 2.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestExactness:
+    @given(
+        coords_strategy,
+        st.tuples(
+            st.floats(-3, 3, allow_nan=False),
+            st.floats(-3, 3, allow_nan=False),
+            st.floats(-3, 3, allow_nan=False),
+        ),
+        st.floats(-5, 5, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_affine_fields_reproduced_exactly(self, pts, coeffs, const):
+        """Trilinear interpolation is exact for fields affine in the indices."""
+        shape = (5, 4, 3)
+        field = affine_field(shape, coeffs, const)
+        pts = np.array(pts)
+        got = trilinear_interpolate(field, pts)
+        want = pts @ np.array(coeffs) + const
+        np.testing.assert_allclose(got, want, atol=1e-9 * (1 + np.abs(want).max()))
+
+    def test_node_values_recovered(self):
+        rng = np.random.default_rng(7)
+        field = rng.normal(size=(4, 5, 6))
+        for idx in [(0, 0, 0), (3, 4, 5), (2, 1, 3)]:
+            got = trilinear_interpolate(field, np.array(idx, dtype=float))
+            np.testing.assert_allclose(got, field[idx])
+
+    def test_cell_midpoint_is_corner_average(self):
+        field = np.zeros((2, 2, 2))
+        field[1, 1, 1] = 8.0
+        got = trilinear_interpolate(field, [0.5, 0.5, 0.5])
+        np.testing.assert_allclose(got, 1.0)
+
+    def test_upper_boundary_exact(self):
+        """Points exactly on the upper face of the grid are interpolable."""
+        field = affine_field((3, 3, 3), (1.0, 1.0, 1.0), 0.0)
+        got = trilinear_interpolate(field, [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(got, 6.0)
+
+
+class TestVectorFieldsAndShapes:
+    def test_vector_field(self):
+        rng = np.random.default_rng(0)
+        field = rng.normal(size=(3, 3, 3, 3))
+        pts = rng.uniform(0, 2, size=(10, 3))
+        out = trilinear_interpolate(field, pts)
+        assert out.shape == (10, 3)
+        # Componentwise equals per-component scalar interpolation.
+        for c in range(3):
+            np.testing.assert_allclose(
+                out[:, c], trilinear_interpolate(field[..., c], pts)
+            )
+
+    def test_single_point_shape(self):
+        field = np.zeros((2, 2, 2, 3))
+        out = trilinear_interpolate(field, [0.5, 0.5, 0.5])
+        assert out.shape == (3,)
+
+    def test_out_parameter(self):
+        field = np.ones((2, 2, 2, 2))
+        out = np.empty((4, 2))
+        res = trilinear_interpolate(field, np.full((4, 3), 0.5), out=out)
+        assert res is out
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_bad_coords_shape(self):
+        with pytest.raises(ValueError):
+            trilinear_interpolate(np.zeros((2, 2, 2)), np.zeros((3, 2)))
+
+    def test_bad_field_shape(self):
+        with pytest.raises(ValueError):
+            trilinear_interpolate(np.zeros((2, 2)), np.zeros((1, 3)))
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ValueError):
+            trilinear_interpolate(np.zeros((1, 2, 2)), np.zeros((1, 3)))
+
+
+class TestClamping:
+    def test_clamp_matches_boundary_value(self):
+        field = affine_field((3, 3, 3), (1.0, 0.0, 0.0), 0.0)
+        got = trilinear_interpolate(field, [10.0, 1.0, 1.0], clamp=True)
+        np.testing.assert_allclose(got, 2.0)
+
+    def test_noclamp_raises_outside(self):
+        field = np.zeros((3, 3, 3))
+        with pytest.raises(ValueError):
+            trilinear_interpolate(field, [-0.1, 0.0, 0.0], clamp=False)
+
+    def test_in_domain_mask(self):
+        mask = in_domain_mask(
+            np.array([[0.0, 0.0, 0.0], [2.0, 2.0, 2.0], [2.01, 0.0, 0.0], [-0.01, 1, 1]]),
+            (3, 3, 3),
+        )
+        np.testing.assert_array_equal(mask, [True, True, False, False])

@@ -1,0 +1,81 @@
+"""Tests for grid quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.grid import CurvilinearGrid, cartesian_grid, cylindrical_grid
+from repro.grid.metrics import (
+    aspect_ratio,
+    grid_report,
+    jacobian_determinant,
+    orthogonality,
+)
+
+
+class TestJacobianDeterminant:
+    def test_cartesian_equals_spacing_product(self):
+        g = cartesian_grid((5, 5, 5), hi=(4.0, 8.0, 12.0))
+        det = jacobian_determinant(g)
+        np.testing.assert_allclose(det, 1.0 * 2.0 * 3.0, atol=1e-12)
+
+    def test_cylindrical_positive(self):
+        g = cylindrical_grid((8, 17, 6))
+        assert jacobian_determinant(g).min() > 0
+
+    def test_mirrored_grid_negative(self):
+        g = cartesian_grid((4, 4, 4))
+        mirrored = CurvilinearGrid(g.xyz[::-1].copy())
+        assert jacobian_determinant(mirrored).max() < 0
+
+
+class TestOrthogonalityAndAspect:
+    def test_cartesian_orthogonal(self):
+        g = cartesian_grid((5, 5, 5), hi=(1, 2, 3))
+        np.testing.assert_allclose(orthogonality(g), 0.0, atol=1e-12)
+
+    def test_sheared_grid_not_orthogonal(self):
+        base = cartesian_grid((5, 5, 5)).xyz.copy()
+        base[..., 0] += 0.5 * base[..., 1]  # shear x by y
+        g = CurvilinearGrid(base)
+        assert orthogonality(g).min() > 0.1
+
+    def test_cartesian_aspect(self):
+        g = cartesian_grid((5, 5, 5), hi=(4.0, 8.0, 4.0))
+        np.testing.assert_allclose(aspect_ratio(g), 2.0, atol=1e-12)
+
+    def test_stretched_ogrid_aspect_bounded(self):
+        g = cylindrical_grid((12, 33, 8))
+        assert aspect_ratio(g).max() < 100
+
+
+class TestGridReport:
+    def test_report_keys_and_health(self):
+        g = cylindrical_grid((10, 25, 6))
+        rep = grid_report(g)
+        assert rep["n_points"] == 10 * 25 * 6
+        assert rep["inverted_nodes"] == 0
+        assert rep["min_det"] > 0
+        assert 0 <= rep["worst_orthogonality"] <= 1
+        assert rep["max_aspect_ratio"] >= 1
+
+    def test_report_flags_tangled_grid(self):
+        base = cartesian_grid((5, 5, 5)).xyz.copy()
+        base[2, 2, 2] = base[0, 0, 0]  # collapse a node: tangled cells
+        rep = grid_report(CurvilinearGrid(base))
+        assert rep["inverted_nodes"] > 0 or rep["min_det"] <= 0
+
+    def test_paper_grid_is_healthy(self):
+        """The tapered-cylinder O-grid our datasets use is well-formed."""
+        from repro.flow import TaperedCylinderFlow
+
+        flow = TaperedCylinderFlow()
+        g = cylindrical_grid(
+            (16, 16, 8),
+            r_inner=flow.r_base,
+            r_outer=12.0,
+            height=flow.height,
+            taper=flow.taper,
+        )
+        rep = grid_report(g)
+        assert rep["inverted_nodes"] == 0
+        assert rep["worst_orthogonality"] < 0.9

@@ -1,0 +1,67 @@
+"""Tests for the profiling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.perf.profiling import profile_call
+
+
+def slow_helper(n):
+    total = 0.0
+    for i in range(n):
+        total += i * 0.5
+    return total
+
+
+def caller(n):
+    return slow_helper(n) + slow_helper(n)
+
+
+class TestProfileCall:
+    def test_returns_result_and_rows(self):
+        report = profile_call(caller, 5000)
+        assert report.result == 2 * slow_helper(5000)
+        assert report.total_seconds > 0
+        assert len(report.rows) > 0
+
+    def test_finds_named_function(self):
+        report = profile_call(caller, 5000)
+        rows = report.find("slow_helper")
+        assert len(rows) == 1
+        assert rows[0].ncalls == 2
+
+    def test_sort_by_tottime(self):
+        report = profile_call(caller, 5000, sort="tottime")
+        tts = [r.tottime for r in report.rows]
+        assert tts == sorted(tts, reverse=True)
+
+    def test_summary_format(self):
+        report = profile_call(caller, 2000)
+        text = report.summary(5)
+        assert "total:" in text and "slow_helper" in text
+
+    def test_exception_propagates(self):
+        def boom():
+            raise RuntimeError("inside profiled call")
+
+        with pytest.raises(RuntimeError):
+            profile_call(boom)
+
+    def test_profiles_the_tracer_hot_loop(self):
+        """Profiling the benchmark scenario surfaces the interpolation."""
+        from repro.flow import MemoryDataset, RigidRotation, sample_on_grid
+        from repro.grid import cartesian_grid
+        from repro.tracers import integrate_steady
+
+        grid = cartesian_grid((9, 9, 5), lo=(-2, -2, 0), hi=(2, 2, 1))
+        ds = MemoryDataset(
+            grid, sample_on_grid(RigidRotation(), grid, [0.0], dtype=np.float64)
+        )
+        gv = ds.grid_velocity(0)
+        seeds = np.full((20, 3), 4.0)
+        report = profile_call(integrate_steady, gv, seeds, 50, 0.02)
+        assert report.find("trilinear_interpolate"), report.summary()
+
+    def test_top_limits(self):
+        report = profile_call(caller, 1000)
+        assert len(report.top(3)) <= 3

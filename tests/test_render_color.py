@@ -1,0 +1,105 @@
+"""Tests for colormaps and speed coloring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render.color import BLUE_RED, GRAYSCALE, HEAT, Colormap, speed_colors
+
+
+class TestColormap:
+    def test_endpoints(self):
+        np.testing.assert_array_equal(GRAYSCALE(np.array(0.0)), [0, 0, 0])
+        np.testing.assert_array_equal(GRAYSCALE(np.array(1.0)), [255, 255, 255])
+
+    def test_midpoint_interpolates(self):
+        mid = GRAYSCALE(np.array(0.5))
+        assert 120 <= mid[0] <= 135
+
+    def test_clipping(self):
+        np.testing.assert_array_equal(GRAYSCALE(np.array(-5.0)), [0, 0, 0])
+        np.testing.assert_array_equal(GRAYSCALE(np.array(9.0)), [255, 255, 255])
+
+    @given(
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=20).map(
+            np.array
+        )
+    )
+    @settings(max_examples=40)
+    def test_output_shape_and_dtype(self, values):
+        for cmap in (GRAYSCALE, HEAT, BLUE_RED):
+            out = cmap(values)
+            assert out.shape == values.shape + (3,)
+            assert out.dtype == np.uint8
+
+    def test_monotone_grayscale(self):
+        vals = np.linspace(0, 1, 32)
+        out = GRAYSCALE(vals)[:, 0].astype(int)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_normalized(self):
+        out = GRAYSCALE.normalized(np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_array_equal(out[0], [0, 0, 0])
+        np.testing.assert_array_equal(out[2], [255, 255, 255])
+
+    def test_normalized_constant_input(self):
+        out = GRAYSCALE.normalized(np.full(4, 7.0))
+        np.testing.assert_array_equal(out, 0)
+
+    def test_explicit_range(self):
+        out = GRAYSCALE.normalized(np.array([5.0]), vmin=0.0, vmax=10.0)
+        assert 120 <= out[0, 0] <= 135
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Colormap("bad", [[0, 0, 0]])
+        with pytest.raises(ValueError):
+            Colormap("bad", [[0, 0, 0], [300, 0, 0]])
+
+
+class TestSpeedColors:
+    def test_fast_path_hotter_than_slow(self):
+        paths = np.zeros((2, 10, 3))
+        paths[0, :, 0] = np.linspace(0, 1, 10)   # slow
+        paths[1, :, 0] = np.linspace(0, 9, 10)   # fast
+        colors = speed_colors(paths, colormap=GRAYSCALE)
+        assert colors.shape == (2, 10, 3)
+        assert colors[1].mean() > colors[0].mean()
+
+    def test_uniform_speed_uniform_color(self):
+        paths = np.zeros((1, 8, 3))
+        paths[0, :, 0] = np.arange(8.0)
+        colors = speed_colors(paths, colormap=GRAYSCALE, vmin=0.0, vmax=2.0)
+        assert np.ptp(colors[0, :, 0].astype(int)) <= 1
+
+    def test_frozen_tail_reuses_last_speed(self):
+        paths = np.zeros((1, 8, 3))
+        paths[0, :4, 0] = np.arange(4.0)
+        paths[0, 4:, 0] = 3.0  # frozen after death
+        lengths = np.array([4])
+        colors = speed_colors(paths, lengths, colormap=GRAYSCALE)
+        # Tail colored like the last live vertex, not like speed 0.
+        np.testing.assert_array_equal(colors[0, 4], colors[0, 3])
+
+    def test_single_vertex_paths(self):
+        colors = speed_colors(np.zeros((3, 1, 3)))
+        assert colors.shape == (3, 1, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speed_colors(np.zeros((2, 3)))
+
+    def test_renders_with_polylines(self):
+        """speed_colors output plugs straight into draw_polylines."""
+        from repro.render import Camera, Framebuffer, draw_polylines
+        from repro.util import look_at
+
+        paths = np.zeros((2, 6, 3))
+        paths[0, :, 0] = np.linspace(-1, 1, 6)
+        paths[1, :, 2] = np.linspace(-0.5, 0.5, 6)
+        colors = speed_colors(paths, colormap=HEAT)
+        fb = Framebuffer(64, 48)
+        cam = Camera(look_at([0, 5, 0], [0, 0, 0], up=[0, 0, 1]))
+        n = draw_polylines(fb, cam, paths, color=colors.astype(np.float64))
+        assert n > 0

@@ -1,0 +1,118 @@
+"""Property-based tests for the renderer's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.render import Camera, Framebuffer, WriteMask
+from repro.util import compose, look_at, rotation_z, translation
+
+finite3 = st.tuples(
+    st.floats(-10, 10, allow_nan=False),
+    st.floats(-10, 10, allow_nan=False),
+    st.floats(-10, 10, allow_nan=False),
+).map(np.array)
+
+samples = st.lists(
+    st.tuples(
+        st.integers(-5, 70),  # x (may be out of bounds)
+        st.integers(-5, 50),  # y
+        st.floats(0.1, 100.0, allow_nan=False),  # depth
+        st.tuples(*[st.integers(0, 255)] * 3),  # color
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestScatterProperties:
+    @given(samples)
+    @settings(max_examples=60)
+    def test_writemask_never_touches_masked_channels(self, pts):
+        fb = Framebuffer(64, 48)
+        fb.color[..., 1] = 123  # sentinel in the green plane
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        zs = np.array([p[2] for p in pts])
+        cols = np.array([p[3] for p in pts], dtype=np.uint8)
+        fb.scatter(xs, ys, zs, cols, WriteMask(red=True, green=False, blue=True))
+        assert np.all(fb.color[..., 1] == 123)
+
+    @given(samples)
+    @settings(max_examples=60)
+    def test_depth_buffer_never_increases(self, pts):
+        fb = Framebuffer(64, 48)
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        zs = np.array([p[2] for p in pts])
+        cols = np.array([p[3] for p in pts], dtype=np.uint8)
+        fb.scatter(xs, ys, zs, cols)
+        before = fb.depth.copy()
+        fb.scatter(xs, ys, zs + 1.0, cols)  # strictly farther samples
+        assert np.all(fb.depth <= before + 1e-6)
+
+    @given(samples)
+    @settings(max_examples=60)
+    def test_written_pixel_holds_nearest_sample_color(self, pts):
+        fb = Framebuffer(64, 48)
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        zs = np.array([p[2] for p in pts], dtype=np.float32)
+        cols = np.array([p[3] for p in pts], dtype=np.uint8)
+        fb.scatter(xs, ys, zs, cols)
+        inb = (xs >= 0) & (xs < 64) & (ys >= 0) & (ys < 48)
+        for x, y in {(int(a), int(b)) for a, b in zip(xs[inb], ys[inb])}:
+            here = inb & (xs == x) & (ys == y)
+            zmin = zs[here].min()
+            assert fb.depth[y, x] == pytest.approx(zmin)
+            winners = here & (zs == zmin)
+            candidate_colors = cols[winners]
+            assert any(
+                np.array_equal(fb.color[y, x], c) for c in candidate_colors
+            )
+
+
+class TestProjectionProperties:
+    @given(finite3)
+    @settings(max_examples=80)
+    def test_depth_equals_view_distance(self, p):
+        cam = Camera(look_at([0, 20, 0], [0, 0, 0], up=[0, 0, 1]))
+        _, depth, valid = cam.project(p[None, :], 64, 48)
+        expected = 20.0 - p[1]
+        if cam.near <= expected <= cam.far:
+            assert valid[0]
+            assert depth[0] == pytest.approx(expected, abs=1e-9)
+        else:
+            assert not valid[0]
+
+    @given(finite3, st.floats(-np.pi, np.pi, allow_nan=False))
+    @settings(max_examples=60)
+    def test_rigid_motion_of_camera_and_scene_is_invariant(self, p, angle):
+        """Moving camera and world together leaves the projection fixed."""
+        assume(abs(p[1]) < 9.0)
+        base = look_at([0, 15, 0], [0, 0, 0], up=[0, 0, 1])
+        cam1 = Camera(base)
+        xy1, d1, v1 = cam1.project(p[None, :], 64, 48)
+        m = compose(translation([3.0, -2.0, 1.0]), rotation_z(angle))
+        cam2 = Camera(m @ base)
+        p2 = (m[:3, :3] @ p) + m[:3, 3]
+        xy2, d2, v2 = cam2.project(p2[None, :], 64, 48)
+        assert v1[0] == v2[0]
+        if v1[0]:
+            np.testing.assert_allclose(xy1, xy2, atol=1e-6)
+            np.testing.assert_allclose(d1, d2, atol=1e-9)
+
+    @given(st.floats(0.01, 0.4, allow_nan=False))
+    @settings(max_examples=40)
+    def test_stereo_disparity_sign_and_monotonicity(self, ipd):
+        """Larger IPD gives larger horizontal disparity, never negative."""
+        cam = Camera(look_at([0, 10, 0], [0, 0, 0], up=[0, 0, 1]))
+        p = np.array([[0.0, 0.0, 0.0]])
+        xl, _, _ = cam.with_eye_offset(-ipd / 2).project(p, 640, 480)
+        xr, _, _ = cam.with_eye_offset(+ipd / 2).project(p, 640, 480)
+        disparity = xl[0, 0] - xr[0, 0]
+        assert disparity > 0
+        xl2, _, _ = cam.with_eye_offset(-ipd).project(p, 640, 480)
+        xr2, _, _ = cam.with_eye_offset(+ipd).project(p, 640, 480)
+        assert (xl2[0, 0] - xr2[0, 0]) > disparity

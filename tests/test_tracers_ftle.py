@@ -1,0 +1,76 @@
+"""Tests for the FTLE diagnostic."""
+
+import numpy as np
+import pytest
+
+from repro.flow import DoubleGyre, MemoryDataset, RigidRotation, UniformFlow, sample_on_grid
+from repro.grid import cartesian_grid
+from repro.tracers.ftle import compute_ftle
+
+
+def make_dataset(field, shape=(33, 17, 3), lo=(0, 0, 0), hi=(2, 1, 0.2),
+                 n_times=21, dt=0.5):
+    grid = cartesian_grid(shape, lo=lo, hi=hi)
+    vel = sample_on_grid(field, grid, np.arange(n_times) * dt, dtype=np.float64)
+    return MemoryDataset(grid, vel, dt=dt)
+
+
+class TestFTLEBasics:
+    def test_uniform_flow_zero_stretching(self):
+        ds = make_dataset(UniformFlow([0.01, 0.0, 0.0]), n_times=6)
+        res = compute_ftle(ds, 0, resolution=(12, 8))
+        finite = res.values[np.isfinite(res.values)]
+        assert finite.size > 0
+        np.testing.assert_allclose(finite, 0.0, atol=1e-6)
+
+    def test_rigid_rotation_zero_stretching(self):
+        """Rotation deforms nothing: FTLE ~ 0 up to integrator error."""
+        ds = make_dataset(
+            RigidRotation(omega=[0, 0, 0.2], center=[1.0, 0.5, 0]),
+            n_times=6,
+        )
+        res = compute_ftle(ds, 0, resolution=(12, 8), margin=0.3)
+        finite = res.values[np.isfinite(res.values)]
+        assert finite.size > 0
+        assert np.abs(finite).max() < 0.05
+
+    def test_double_gyre_has_positive_ridges(self):
+        """The double gyre's separatrix shows up as an FTLE ridge."""
+        ds = make_dataset(DoubleGyre(), n_times=21, dt=0.5)
+        res = compute_ftle(ds, 0, resolution=(32, 16))
+        finite = res.values[np.isfinite(res.values)]
+        assert finite.size > 0
+        # Ridge values clearly above the field median (strong contrast).
+        assert finite.max() > 2.0 * max(np.median(finite), 1e-6)
+        ridges = res.ridge_mask(90.0)
+        assert 0 < ridges.sum() < 0.25 * ridges.size
+
+    def test_window_time_reported(self):
+        ds = make_dataset(UniformFlow([0.01, 0, 0]), n_times=6)
+        res = compute_ftle(ds, 0, resolution=(8, 6), window_steps=4)
+        assert res.window_time == pytest.approx(4 * ds.dt)
+
+    def test_dead_particles_masked(self):
+        """Seeds advected out of the domain produce NaN sites; the
+        upstream half of the lattice survives."""
+        ds = make_dataset(UniformFlow([0.2, 0.0, 0.0]), n_times=10, dt=0.5)
+        res = compute_ftle(ds, 0, resolution=(12, 8), margin=0.05)
+        assert np.isnan(res.values).any()
+        assert np.isfinite(res.values).any()
+
+    def test_validation(self):
+        ds = make_dataset(UniformFlow([0.01, 0, 0]), n_times=4)
+        with pytest.raises(ValueError):
+            compute_ftle(ds, 0, axes=(0, 0))
+        with pytest.raises(ValueError):
+            compute_ftle(ds, 0, resolution=(2, 8))
+        with pytest.raises(ValueError):
+            compute_ftle(ds, 0, margin=0.6)
+        with pytest.raises(ValueError):
+            compute_ftle(ds, 3, window_steps=None)  # no steps left
+
+    def test_empty_ridge_mask_when_all_nan(self):
+        from repro.tracers.ftle import FTLEResult
+
+        res = FTLEResult(np.full((4, 4), np.nan), np.zeros((4, 4, 3)), 1.0)
+        assert not res.ridge_mask().any()

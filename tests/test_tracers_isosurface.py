@@ -1,0 +1,111 @@
+"""Tests for the marching-tetrahedra isosurface extractor."""
+
+import numpy as np
+import pytest
+
+from repro.flow import MemoryDataset, UniformFlow, sample_on_grid
+from repro.grid import cartesian_grid
+from repro.tracers.isosurface import (
+    extract_isosurface,
+    velocity_magnitude,
+)
+
+
+def sphere_field(grid, center):
+    d = grid.xyz - np.asarray(center)
+    return np.linalg.norm(d, axis=-1)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return cartesian_grid((24, 24, 24), lo=(-1, -1, -1), hi=(1, 1, 1))
+
+
+def triangle_areas(verts):
+    a = verts[:, 1] - verts[:, 0]
+    b = verts[:, 2] - verts[:, 0]
+    return 0.5 * np.linalg.norm(np.cross(a, b), axis=1)
+
+
+class TestSphereExtraction:
+    def test_vertices_lie_on_the_sphere(self, grid):
+        scalar = sphere_field(grid, (0, 0, 0))
+        res = extract_isosurface(scalar, 0.6, grid.xyz)
+        assert res.n_triangles > 100
+        radii = np.linalg.norm(res.vertices.reshape(-1, 3), axis=1)
+        # Linear interpolation of ||x|| along cell edges: error O(h^2).
+        np.testing.assert_allclose(radii, 0.6, atol=0.01)
+
+    def test_surface_area_close_to_sphere(self, grid):
+        scalar = sphere_field(grid, (0, 0, 0))
+        res = extract_isosurface(scalar, 0.6, grid.xyz)
+        area = triangle_areas(res.vertices).sum()
+        exact = 4 * np.pi * 0.6**2
+        assert abs(area - exact) / exact < 0.05
+
+    def test_offcenter_sphere(self, grid):
+        scalar = sphere_field(grid, (0.2, -0.1, 0.15))
+        res = extract_isosurface(scalar, 0.4, grid.xyz)
+        radii = np.linalg.norm(
+            res.vertices.reshape(-1, 3) - [0.2, -0.1, 0.15], axis=1
+        )
+        np.testing.assert_allclose(radii, 0.4, atol=0.01)
+
+    def test_level_outside_range_empty(self, grid):
+        scalar = sphere_field(grid, (0, 0, 0))
+        res = extract_isosurface(scalar, 99.0, grid.xyz)
+        assert res.n_triangles == 0
+        assert res.vertices.shape == (0, 3, 3)
+
+    def test_plane_extraction_exact(self):
+        """A linear field's isosurface is an exact plane."""
+        g = cartesian_grid((6, 6, 6), lo=(0, 0, 0), hi=(5, 5, 5))
+        scalar = g.xyz[..., 0].copy()  # f = x
+        res = extract_isosurface(scalar, 2.25, g.xyz)
+        assert res.n_triangles > 0
+        np.testing.assert_allclose(res.vertices[..., 0], 2.25, atol=1e-12)
+        # Total area equals the domain cross-section (5 x 5).
+        np.testing.assert_allclose(
+            triangle_areas(res.vertices).sum(), 25.0, atol=1e-9
+        )
+
+    def test_degenerate_triangles_are_rare(self, grid):
+        scalar = sphere_field(grid, (0, 0, 0))
+        res = extract_isosurface(scalar, 0.6, grid.xyz)
+        areas = triangle_areas(res.vertices)
+        assert (areas > 1e-12).mean() > 0.9
+
+
+class TestAPI:
+    def test_velocity_magnitude(self):
+        g = cartesian_grid((4, 4, 4))
+        vel = sample_on_grid(UniformFlow([3.0, 4.0, 0.0]), g, [0.0])
+        ds = MemoryDataset(g, vel)
+        mag = velocity_magnitude(ds, 0)
+        np.testing.assert_allclose(mag, 5.0, atol=1e-6)
+
+    def test_wire_bytes(self, grid):
+        scalar = sphere_field(grid, (0, 0, 0))
+        res = extract_isosurface(scalar, 0.6, grid.xyz)
+        assert res.nbytes_wire == res.n_triangles * 36
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            extract_isosurface(np.zeros((3, 3)), 0.0, grid.xyz)
+        with pytest.raises(ValueError):
+            extract_isosurface(np.zeros((3, 3, 3)), 0.0, grid.xyz)
+        with pytest.raises(ValueError):
+            extract_isosurface(
+                np.zeros((1, 3, 3)), 0.0, np.zeros((1, 3, 3, 3))
+            )
+
+    def test_curvilinear_grid_positions(self):
+        """Extraction works on a genuinely curvilinear grid."""
+        from repro.grid import cylindrical_grid
+
+        g = cylindrical_grid((10, 17, 6), r_inner=0.5, r_outer=4.0)
+        scalar = np.linalg.norm(g.xyz[..., :2], axis=-1)  # f = radius
+        res = extract_isosurface(scalar, 2.0, g.xyz)
+        assert res.n_triangles > 0
+        radii = np.linalg.norm(res.vertices.reshape(-1, 3)[:, :2], axis=1)
+        np.testing.assert_allclose(radii, 2.0, atol=0.05)

@@ -1,0 +1,145 @@
+"""Tests for multi-zone grids and cross-zone tracer integration."""
+
+import numpy as np
+import pytest
+
+from repro.flow import MemoryDataset, RigidRotation, UniformFlow, sample_on_grid
+from repro.grid import MultiZoneGrid, cartesian_grid
+from repro.tracers.multizone import multizone_streamlines
+
+
+def zone_dataset(lo, hi, field, shape=(9, 9, 5), n_times=1):
+    grid = cartesian_grid(shape, lo=lo, hi=hi)
+    vel = sample_on_grid(field, grid, np.arange(n_times) * 0.1, dtype=np.float64)
+    return MemoryDataset(grid, vel, dt=0.1)
+
+
+@pytest.fixture(scope="module")
+def two_zone_uniform():
+    """Two abutting boxes, uniform +x flow throughout."""
+    f = UniformFlow([1.0, 0.0, 0.0])
+    left = zone_dataset((0, 0, 0), (2, 2, 1), f)
+    right = zone_dataset((2, 0, 0), (4, 2, 1), f)
+    return [left, right]
+
+
+class TestMultiZoneGrid:
+    def test_locate_assigns_correct_zone(self, two_zone_uniform):
+        mz = MultiZoneGrid([d.grid for d in two_zone_uniform])
+        pts = np.array([[0.5, 1.0, 0.5], [3.5, 1.0, 0.5], [9.0, 9.0, 9.0]])
+        zones, coords, found = mz.locate(pts)
+        assert zones.tolist() == [0, 1, -1]
+        assert found.tolist() == [True, True, False]
+
+    def test_overlap_priority(self):
+        """In overlapping regions, the earlier zone owns the point."""
+        f = UniformFlow()
+        a = zone_dataset((0, 0, 0), (2, 2, 1), f)
+        b = zone_dataset((1, 0, 0), (3, 2, 1), f)
+        mz = MultiZoneGrid([a.grid, b.grid])
+        zone, _, found = mz.locate(np.array([1.5, 1.0, 0.5]))
+        assert found and zone == 0
+
+    def test_to_physical_roundtrip(self, two_zone_uniform):
+        mz = MultiZoneGrid([d.grid for d in two_zone_uniform])
+        pts = np.array([[0.7, 1.1, 0.4], [3.1, 0.6, 0.8]])
+        zones, coords, found = mz.locate(pts)
+        back = mz.to_physical(zones, coords)
+        np.testing.assert_allclose(back, pts, atol=1e-8)
+
+    def test_n_points(self, two_zone_uniform):
+        mz = MultiZoneGrid([d.grid for d in two_zone_uniform])
+        assert mz.n_points == 2 * 9 * 9 * 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiZoneGrid([])
+
+    def test_rehome_moves_escapee(self, two_zone_uniform):
+        mz = MultiZoneGrid([d.grid for d in two_zone_uniform])
+        # Grid coords (9, 4, 2) in zone 0 is outside (max index 8) — the
+        # physical point x=2.25 belongs to zone 1.
+        zone_ids = np.array([0])
+        coords = np.array([[9.0, 4.0, 2.0]])
+        new_zone, new_coords, alive = mz.rehome(zone_ids, coords)
+        assert alive[0]
+        assert new_zone[0] == 1
+
+    def test_rehome_kills_domain_escapee(self, two_zone_uniform):
+        mz = MultiZoneGrid([d.grid for d in two_zone_uniform])
+        zone_ids = np.array([1])
+        coords = np.array([[20.0, 4.0, 2.0]])  # way past zone 1's far face
+        _, _, alive = mz.rehome(zone_ids, coords)
+        assert not alive[0]
+
+
+class TestMultiZoneStreamlines:
+    def test_crosses_zone_boundary_seamlessly(self, two_zone_uniform):
+        seeds = np.array([[0.5, 1.0, 0.5]])
+        res = multizone_streamlines(two_zone_uniform, 0, seeds, n_steps=60, dt=0.2)
+        line = res.paths[0, : res.lengths[0]]
+        # Straight +x line through both zones (uniform flow): y, z constant.
+        np.testing.assert_allclose(line[:, 1], 1.0, atol=1e-8)
+        np.testing.assert_allclose(line[:, 2], 0.5, atol=1e-8)
+        assert np.all(np.diff(line[:, 0]) > 0)
+        assert res.zones_visited(0) == [0, 1]
+        assert line[-1, 0] > 2.5  # made it into zone 1
+
+    def test_physical_spacing_continuous_across_boundary(self, two_zone_uniform):
+        """No kink: step size in physical space is uniform through the hop."""
+        seeds = np.array([[0.5, 1.0, 0.5]])
+        res = multizone_streamlines(two_zone_uniform, 0, seeds, n_steps=40, dt=0.1)
+        line = res.paths[0, : res.lengths[0]]
+        steps = np.diff(line[:, 0])
+        np.testing.assert_allclose(steps, steps[0], atol=1e-6)
+
+    def test_dies_at_composite_boundary(self, two_zone_uniform):
+        seeds = np.array([[3.5, 1.0, 0.5]])
+        res = multizone_streamlines(two_zone_uniform, 0, seeds, n_steps=50, dt=0.2)
+        assert res.lengths[0] < 51
+        line = res.paths[0]
+        # Frozen at the last in-domain position.
+        np.testing.assert_allclose(line[res.lengths[0] - 1 :, 0], line[res.lengths[0] - 1, 0])
+        assert line[res.lengths[0] - 1, 0] <= 4.0 + 1e-6
+
+    def test_seed_outside_all_zones(self, two_zone_uniform):
+        seeds = np.array([[99.0, 0.0, 0.0]])
+        res = multizone_streamlines(two_zone_uniform, 0, seeds, n_steps=5)
+        assert res.lengths[0] == 1
+        assert res.zone_history[0, 0] == -1
+
+    def test_mixed_fields_change_direction(self):
+        """Each zone applies its own field: +x in zone 0, +y in zone 1."""
+        left = zone_dataset((0, 0, 0), (2, 4, 1), UniformFlow([1.0, 0, 0]))
+        right = zone_dataset((2, 0, 0), (4, 4, 1), UniformFlow([0.0, 1.0, 0]))
+        seeds = np.array([[1.0, 1.0, 0.5]])
+        res = multizone_streamlines([left, right], 0, seeds, n_steps=40, dt=0.2)
+        line = res.paths[0, : res.lengths[0]]
+        assert res.zones_visited(0) == [0, 1]
+        # Once in zone 1, motion is +y while x stays ~constant.
+        in_zone1 = res.zone_history[0, : res.lengths[0]] == 1
+        z1 = line[in_zone1]
+        assert len(z1) > 3
+        assert z1[-1, 1] > z1[0, 1] + 0.5
+        np.testing.assert_allclose(np.diff(z1[:, 0]), 0.0, atol=0.25)
+
+    def test_rotation_across_zones_stays_circular(self):
+        """A rotation spanning two zones keeps its radius through the hop."""
+        rot = RigidRotation(omega=[0, 0, 1.0], center=[2.0, 2.0, 0.0])
+        left = zone_dataset((0, 0, 0), (2, 4, 1), rot, shape=(17, 17, 3))
+        right = zone_dataset((2, 0, 0), (4, 4, 1), rot, shape=(17, 17, 3))
+        seeds = np.array([[1.0, 2.0, 0.5]])  # radius 1 around (2,2)
+        res = multizone_streamlines([left, right], 0, seeds, n_steps=120, dt=0.05)
+        line = res.paths[0, : res.lengths[0]]
+        radii = np.linalg.norm(line[:, :2] - [2.0, 2.0], axis=1)
+        np.testing.assert_allclose(radii, 1.0, atol=0.02)
+        assert 1 in res.zones_visited(0) and 0 in res.zones_visited(0)
+
+    def test_validation(self, two_zone_uniform):
+        with pytest.raises(ValueError):
+            multizone_streamlines([], 0, np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            multizone_streamlines(two_zone_uniform, 0, np.zeros((1, 2)))
+        short = zone_dataset((0, 0, 0), (1, 1, 1), UniformFlow(), n_times=2)
+        with pytest.raises(ValueError):
+            multizone_streamlines([two_zone_uniform[0], short], 0, np.zeros((1, 3)))

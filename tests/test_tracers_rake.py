@@ -1,0 +1,118 @@
+"""Tests for rake geometry and grab semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tracers import GrabPoint, Rake
+
+vec3 = st.tuples(*[st.floats(-10, 10, allow_nan=False)] * 3).map(np.array)
+
+
+class TestGeometry:
+    def test_seed_distribution(self):
+        r = Rake([0, 0, 0], [0, 0, 9], n_seeds=10)
+        seeds = r.seeds()
+        assert seeds.shape == (10, 3)
+        np.testing.assert_allclose(seeds[:, 2], np.arange(10))
+        np.testing.assert_allclose(seeds[:, :2], 0.0)
+
+    def test_single_seed_is_midpoint(self):
+        r = Rake([0, 0, 0], [2, 0, 0], n_seeds=1)
+        np.testing.assert_allclose(r.seeds(), [[1, 0, 0]])
+
+    def test_center_and_length(self):
+        r = Rake([0, 0, 0], [3, 4, 0])
+        np.testing.assert_allclose(r.center, [1.5, 2, 0])
+        assert r.length == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rake([0, 0, 0], [1, 0, 0], n_seeds=0)
+        with pytest.raises(ValueError):
+            Rake([0, 0, 0], [1, 0, 0], kind="isosurface")
+        with pytest.raises(ValueError):
+            Rake([0, 0], [1, 0, 0])
+
+    def test_endpoints_are_copies(self):
+        a = np.zeros(3)
+        r = Rake(a, [1, 0, 0])
+        r.move(GrabPoint.CENTER, [5, 5, 5])
+        np.testing.assert_allclose(a, 0.0)
+
+
+class TestGrabSemantics:
+    def test_center_grab_translates_rigidly(self):
+        r = Rake([0, 0, 0], [2, 0, 0])
+        r.move(GrabPoint.CENTER, [5, 5, 5])
+        np.testing.assert_allclose(r.end_a, [4, 5, 5])
+        np.testing.assert_allclose(r.end_b, [6, 5, 5])
+
+    def test_end_grab_keeps_other_end(self):
+        r = Rake([0, 0, 0], [2, 0, 0])
+        r.move(GrabPoint.END_A, [0, 3, 0])
+        np.testing.assert_allclose(r.end_a, [0, 3, 0])
+        np.testing.assert_allclose(r.end_b, [2, 0, 0])
+
+    @given(vec3, vec3, vec3)
+    @settings(max_examples=40)
+    def test_center_move_preserves_length(self, a, b, target):
+        r = Rake(a, b)
+        before = r.length
+        r.move(GrabPoint.CENTER, target)
+        assert r.length == pytest.approx(before, abs=1e-9)
+        np.testing.assert_allclose(r.center, target, atol=1e-9)
+
+    @given(vec3, vec3, vec3)
+    @settings(max_examples=40)
+    def test_end_b_move_fixes_end_a(self, a, b, target):
+        r = Rake(a, b)
+        r.move(GrabPoint.END_B, target)
+        np.testing.assert_allclose(r.end_a, a)
+        np.testing.assert_allclose(r.end_b, target)
+
+    def test_grab_position(self):
+        r = Rake([0, 0, 0], [2, 0, 0])
+        np.testing.assert_allclose(r.grab_position(GrabPoint.CENTER), [1, 0, 0])
+        np.testing.assert_allclose(r.grab_position(GrabPoint.END_A), [0, 0, 0])
+        np.testing.assert_allclose(r.grab_position(GrabPoint.END_B), [2, 0, 0])
+
+    def test_move_validation(self):
+        r = Rake([0, 0, 0], [2, 0, 0])
+        with pytest.raises(ValueError):
+            r.move(GrabPoint.CENTER, [1, 2])
+
+
+class TestNearestGrab:
+    def test_prefers_closest(self):
+        r = Rake([0, 0, 0], [10, 0, 0])
+        assert r.nearest_grab([0.2, 0, 0], 1.0) is GrabPoint.END_A
+        assert r.nearest_grab([9.9, 0, 0], 1.0) is GrabPoint.END_B
+        assert r.nearest_grab([5.1, 0, 0], 1.0) is GrabPoint.CENTER
+
+    def test_out_of_reach(self):
+        r = Rake([0, 0, 0], [10, 0, 0])
+        assert r.nearest_grab([0, 5, 0], 1.0) is None
+
+    def test_ties_resolve_deterministically(self):
+        r = Rake([0, 0, 0], [0, 0, 0], n_seeds=1)
+        # All grab points coincide; any is acceptable but it must not crash.
+        assert r.nearest_grab([0, 0, 0], 1.0) is not None
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        r = Rake([1, 2, 3], [4, 5, 6], n_seeds=7, kind="streakline", rake_id=42)
+        back = Rake.from_dict(r.to_dict())
+        np.testing.assert_allclose(back.end_a, r.end_a)
+        np.testing.assert_allclose(back.end_b, r.end_b)
+        assert back.n_seeds == 7
+        assert back.kind == "streakline"
+        assert back.rake_id == 42
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        r = Rake([1, 2, 3], [4, 5, 6])
+        json.dumps(r.to_dict())

@@ -1,0 +1,95 @@
+"""Tests for repro.util.ringbuffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import RingBuffer
+
+
+class TestBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0, 3)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            RingBuffer(4, 0)
+
+    def test_empty(self):
+        rb = RingBuffer(4, 3)
+        assert len(rb) == 0
+        assert rb.view().shape == (0, 3)
+        with pytest.raises(IndexError):
+            rb.oldest()
+        with pytest.raises(IndexError):
+            rb.newest()
+
+    def test_append_and_view(self):
+        rb = RingBuffer(3, 2)
+        rb.append([1.0, 2.0])
+        rb.append([3.0, 4.0])
+        np.testing.assert_allclose(rb.view(), [[1, 2], [3, 4]])
+        np.testing.assert_allclose(rb.oldest(), [1, 2])
+        np.testing.assert_allclose(rb.newest(), [3, 4])
+
+    def test_eviction_keeps_newest(self):
+        rb = RingBuffer(3, 1)
+        for i in range(5):
+            rb.append([float(i)])
+        assert rb.full
+        np.testing.assert_allclose(rb.view()[:, 0], [2, 3, 4])
+
+    def test_clear(self):
+        rb = RingBuffer(3, 1)
+        rb.append([1.0])
+        rb.clear()
+        assert len(rb) == 0
+
+
+class TestExtend:
+    def test_extend_small(self):
+        rb = RingBuffer(5, 1)
+        rb.extend(np.arange(3.0)[:, None])
+        np.testing.assert_allclose(rb.view()[:, 0], [0, 1, 2])
+
+    def test_extend_wrapping(self):
+        rb = RingBuffer(4, 1)
+        rb.extend(np.arange(3.0)[:, None])
+        rb.extend(np.array([[10.0], [11.0], [12.0]]))
+        np.testing.assert_allclose(rb.view()[:, 0], [2, 10, 11, 12])
+
+    def test_extend_larger_than_capacity(self):
+        rb = RingBuffer(3, 1)
+        rb.extend(np.arange(10.0)[:, None])
+        np.testing.assert_allclose(rb.view()[:, 0], [7, 8, 9])
+
+    def test_extend_empty_noop(self):
+        rb = RingBuffer(3, 1)
+        rb.extend(np.empty((0, 1)))
+        assert len(rb) == 0
+
+    @given(
+        st.integers(1, 8),
+        st.lists(st.lists(st.integers(0, 100), min_size=0, max_size=12), max_size=8),
+    )
+    def test_matches_reference_model(self, capacity, batches):
+        """Property: ring buffer == trailing window of everything appended."""
+        rb = RingBuffer(capacity, 1)
+        reference: list[float] = []
+        for batch in batches:
+            arr = np.array(batch, dtype=np.float64)[:, None]
+            rb.extend(arr)
+            reference.extend(float(x) for x in batch)
+            expected = reference[-capacity:]
+            np.testing.assert_allclose(rb.view()[:, 0], expected)
+            assert len(rb) == len(expected)
+
+    @given(st.integers(1, 6), st.lists(st.integers(0, 50), min_size=1, max_size=30))
+    def test_append_matches_reference_model(self, capacity, values):
+        rb = RingBuffer(capacity, 1)
+        for i, v in enumerate(values):
+            rb.append([float(v)])
+            expected = [float(x) for x in values[: i + 1]][-capacity:]
+            np.testing.assert_allclose(rb.view()[:, 0], expected)

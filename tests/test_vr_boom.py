@@ -1,0 +1,127 @@
+"""Tests for BOOM kinematics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import is_rigid, transform_points
+from repro.vr import Boom, BoomJoint, DEFAULT_BOOM_GEOMETRY
+
+angles6 = st.lists(
+    st.floats(-1.0, 1.0, allow_nan=False), min_size=6, max_size=6
+).map(np.array)
+
+
+class TestBoomJoint:
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            BoomJoint("w")
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            BoomJoint("x", lo=1.0, hi=1.0)
+
+    def test_transform_rotates_then_translates(self):
+        j = BoomJoint("z", offset=(1.0, 0.0, 0.0))
+        m = j.transform(np.pi / 2)
+        # Origin maps to the rotated offset.
+        np.testing.assert_allclose(
+            transform_points(m, [0.0, 0.0, 0.0]), [0.0, 1.0, 0.0], atol=1e-12
+        )
+
+
+class TestBoomKinematics:
+    def test_needs_six_joints(self):
+        with pytest.raises(ValueError):
+            Boom(DEFAULT_BOOM_GEOMETRY[:5])
+
+    def test_zero_pose_geometry(self):
+        """At zero angles the head sits at column + both links + eye offset."""
+        boom = Boom()
+        pos = boom.head_position(np.zeros(6))
+        np.testing.assert_allclose(pos, [0.9 + 0.9 + 0.1, 0.0, 1.2], atol=1e-9)
+
+    @given(angles6)
+    @settings(max_examples=50)
+    def test_pose_always_rigid(self, angles):
+        boom = Boom()
+        assert is_rigid(boom.head_pose(angles), tol=1e-9)
+
+    @given(angles6)
+    @settings(max_examples=50)
+    def test_view_matrix_inverts_pose(self, angles):
+        """Section 3: the view matrix is the inverted head matrix."""
+        boom = Boom()
+        pose = boom.head_pose(angles)
+        view = boom.view_matrix(angles)
+        np.testing.assert_allclose(pose @ view, np.eye(4), atol=1e-9)
+
+    def test_base_azimuth_swings_head(self):
+        boom = Boom()
+        a = boom.head_position([0.0, 0, 0, 0, 0, 0])
+        b = boom.head_position([np.pi / 2, 0, 0, 0, 0, 0])
+        # Same radius from the column, rotated 90 degrees.
+        np.testing.assert_allclose(np.hypot(*a[:2]), np.hypot(*b[:2]), atol=1e-9)
+        np.testing.assert_allclose(b[:2], [0.0, a[0]], atol=1e-9)
+
+    def test_joint_limits_clamp(self):
+        boom = Boom()
+        wild = np.array([0.0, 99.0, 0.0, 0.0, 0.0, 0.0])
+        clamped = boom.clamp_angles(wild)
+        assert clamped[1] == pytest.approx(1.2)  # shoulder hi limit
+
+    def test_angle_shape_validation(self):
+        with pytest.raises(ValueError):
+            Boom().head_pose(np.zeros(5))
+
+
+class TestEncoders:
+    def test_quantization_grid(self):
+        boom = Boom(encoder_counts=360)  # 1-degree encoders
+        q = boom.quantize(np.array([0.5004, 0, 0, 0, 0, 0]))
+        res = 2 * np.pi / 360
+        np.testing.assert_allclose(q[0] % res, 0.0, atol=1e-12)
+
+    def test_counts_roundtrip(self):
+        boom = Boom(encoder_counts=4096)
+        angles = np.array([0.3, -0.5, 1.0, 0.1, -0.2, 0.05])
+        counts = boom.angles_to_counts(angles)
+        back = boom.counts_to_angles(counts)
+        np.testing.assert_allclose(back, angles, atol=2 * np.pi / 4096)
+
+    def test_quantization_error_bounded(self):
+        boom = Boom(encoder_counts=1024)
+        rng = np.random.default_rng(1)
+        res = 2 * np.pi / 1024
+        for _ in range(20):
+            angles = rng.uniform(-1, 1, 6)
+            q = boom.quantize(angles)
+            assert np.all(np.abs(q - angles) <= res / 2 + 1e-12)
+
+    def test_high_resolution_encoder_negligible_error(self):
+        boom = Boom(encoder_counts=2**20)
+        angles = np.array([0.3, -0.5, 1.0, 0.1, -0.2, 0.05])
+        p1 = boom.head_position(angles)
+        p2 = boom.head_pose(angles, quantize=False)[:3, 3]
+        np.testing.assert_allclose(p1, p2, atol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Boom(encoder_counts=1)
+        with pytest.raises(ValueError):
+            Boom().counts_to_angles(np.zeros(4, dtype=int))
+
+
+class TestEnvelope:
+    def test_reach_envelope_contains_zero_pose(self):
+        boom = Boom()
+        lo, hi = boom.reach_envelope(n_samples=200)
+        zero = boom.head_position(np.zeros(6))
+        assert np.all(zero >= lo - 1e-9) and np.all(zero <= hi + 1e-9)
+
+    def test_envelope_bounded_by_link_lengths(self):
+        boom = Boom()
+        lo, hi = boom.reach_envelope(n_samples=200)
+        max_reach = 0.9 + 0.9 + 0.1 + 1e-9
+        assert np.all(np.abs(np.array([lo[:2], hi[:2]])) <= max_reach)

@@ -1,0 +1,249 @@
+"""Tests for the DataGlove, tracker, gestures, motion, and desktop input."""
+
+import numpy as np
+import pytest
+
+from repro.util.transforms import compose, rotation_z, translation
+from repro.vr import (
+    Calibration,
+    DataGlove,
+    DesktopInput,
+    Gesture,
+    GestureRecognizer,
+    Keyframe,
+    MotionScript,
+    MouseState,
+    PolhemusTracker,
+    classify_bends,
+)
+from repro.vr.gestures import CANONICAL_BENDS
+
+
+def pose_at(x, y, z):
+    return translation([x, y, z])
+
+
+class TestPolhemusTracker:
+    def test_noise_perturbs_position(self):
+        t = PolhemusTracker(noise_std=0.01, seed=1)
+        sensed, ok = t.read(pose_at(0.5, 0.0, 0.0))
+        assert ok
+        assert not np.allclose(sensed[:3, 3], [0.5, 0.0, 0.0], atol=1e-6)
+        assert np.allclose(sensed[:3, 3], [0.5, 0.0, 0.0], atol=0.1)
+
+    def test_noise_free_tracker(self):
+        t = PolhemusTracker(noise_std=0.0)
+        sensed, ok = t.read(pose_at(0.5, 0.2, 0.1))
+        np.testing.assert_allclose(sensed, pose_at(0.5, 0.2, 0.1))
+
+    def test_orientation_untouched(self):
+        t = PolhemusTracker(noise_std=0.01, seed=2)
+        pose = compose(translation([0.3, 0, 0]), rotation_z(0.7))
+        sensed, _ = t.read(pose)
+        np.testing.assert_allclose(sensed[:3, :3], pose[:3, :3])
+
+    def test_out_of_range_drops_out(self):
+        t = PolhemusTracker(noise_std=0.0, max_range=1.0)
+        t.read(pose_at(0.5, 0.0, 0.0))
+        sensed, ok = t.read(pose_at(5.0, 0.0, 0.0))
+        assert not ok
+        np.testing.assert_allclose(sensed[:3, 3], [0.5, 0.0, 0.0])
+
+    def test_noise_grows_with_distance(self):
+        errors = []
+        for d in (0.1, 1.4):
+            t = PolhemusTracker(noise_std=0.01, max_range=1.5, seed=3)
+            errs = [
+                np.linalg.norm(t.read(pose_at(d, 0, 0))[0][:3, 3] - [d, 0, 0])
+                for _ in range(200)
+            ]
+            errors.append(np.mean(errs))
+        assert errors[1] > errors[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolhemusTracker(noise_std=-1)
+        with pytest.raises(ValueError):
+            PolhemusTracker(max_range=0)
+        with pytest.raises(ValueError):
+            PolhemusTracker().read(np.eye(3))
+
+
+class TestCalibration:
+    def test_identity_default(self):
+        c = Calibration()
+        np.testing.assert_allclose(c.apply(np.full(10, 0.25)), 0.25)
+
+    def test_fit_maps_open_to_zero_fist_to_one(self):
+        open_s = np.full(10, 0.2)
+        fist_s = np.full(10, 0.9)
+        c = Calibration.fit(open_s, fist_s)
+        np.testing.assert_allclose(c.apply(open_s), 0.0)
+        np.testing.assert_allclose(c.apply(fist_s), 1.0)
+        np.testing.assert_allclose(c.apply(np.full(10, 0.55)), 0.5)
+
+    def test_clipping(self):
+        c = Calibration.fit(np.full(10, 0.2), np.full(10, 0.8))
+        np.testing.assert_allclose(c.apply(np.full(10, 0.0)), 0.0)
+        np.testing.assert_allclose(c.apply(np.full(10, 1.0)), 1.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Calibration.fit(np.full(10, 0.5), np.full(10, 0.5))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Calibration(raw_open=np.zeros(5), raw_fist=np.ones(5))
+        with pytest.raises(ValueError):
+            Calibration().apply(np.zeros(5))
+
+
+class TestDataGlove:
+    def test_sample_pipeline(self):
+        glove = DataGlove(
+            tracker=PolhemusTracker(noise_std=0.0),
+            calibration=Calibration.fit(np.full(10, 0.1), np.full(10, 0.9)),
+        )
+        sample = glove.read(pose_at(0.3, 0.1, 0.2), np.full(10, 0.9))
+        assert sample.in_range
+        np.testing.assert_allclose(sample.position, [0.3, 0.1, 0.2])
+        np.testing.assert_allclose(sample.bends, 1.0)
+
+
+class TestGestures:
+    def test_canonical_gestures(self):
+        assert classify_bends(CANONICAL_BENDS[Gesture.OPEN]) is Gesture.OPEN
+        assert classify_bends(CANONICAL_BENDS[Gesture.FIST]) is Gesture.FIST
+        assert classify_bends(CANONICAL_BENDS[Gesture.POINT]) is Gesture.POINT
+
+    def test_ambiguous_is_unknown(self):
+        assert classify_bends(np.full(10, 0.5)) is Gesture.UNKNOWN
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            classify_bends(np.zeros(10), bent=0.3, extended=0.7)
+        with pytest.raises(ValueError):
+            classify_bends(np.zeros(5))
+
+    def test_recognizer_requires_hold(self):
+        r = GestureRecognizer(hold_frames=2)
+        assert r.update(CANONICAL_BENDS[Gesture.FIST]) is Gesture.OPEN
+        assert r.update(CANONICAL_BENDS[Gesture.FIST]) is Gesture.FIST
+
+    def test_unknown_never_replaces(self):
+        r = GestureRecognizer(hold_frames=1)
+        r.update(CANONICAL_BENDS[Gesture.FIST])
+        for _ in range(5):
+            assert r.update(np.full(10, 0.5)) is Gesture.FIST
+
+    def test_flicker_suppressed(self):
+        """Alternating single frames never switch the gesture."""
+        r = GestureRecognizer(hold_frames=2)
+        for _ in range(6):
+            assert r.update(CANONICAL_BENDS[Gesture.FIST]) is Gesture.OPEN
+            assert r.update(CANONICAL_BENDS[Gesture.OPEN]) is Gesture.OPEN
+
+    def test_reset(self):
+        r = GestureRecognizer(hold_frames=1)
+        r.update(CANONICAL_BENDS[Gesture.FIST])
+        r.reset()
+        assert r.current is Gesture.OPEN
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GestureRecognizer(hold_frames=0)
+
+
+class TestMotionScript:
+    def make_script(self):
+        return MotionScript(
+            [
+                Keyframe(0.0, hand_position=(0, 0, 0)),
+                Keyframe(1.0, hand_position=(1, 0, 0), hand_yaw=np.pi / 2),
+                Keyframe(3.0, hand_position=(1, 2, 0)),
+            ]
+        )
+
+    def test_interpolation(self):
+        s = self.make_script()
+        np.testing.assert_allclose(s.hand_pose(0.5)[:3, 3], [0.5, 0, 0])
+        np.testing.assert_allclose(s.hand_pose(2.0)[:3, 3], [1, 1, 0])
+
+    def test_clamping_outside_range(self):
+        s = self.make_script()
+        np.testing.assert_allclose(s.hand_pose(-1.0)[:3, 3], [0, 0, 0])
+        np.testing.assert_allclose(s.hand_pose(99.0)[:3, 3], [1, 2, 0])
+
+    def test_bends_snap_not_morph(self):
+        s = MotionScript(
+            [
+                Keyframe(0.0, bends=tuple(CANONICAL_BENDS[Gesture.OPEN])),
+                Keyframe(1.0, bends=tuple(CANONICAL_BENDS[Gesture.FIST])),
+            ]
+        )
+        assert classify_bends(s.bends(0.2)) is Gesture.OPEN
+        assert classify_bends(s.bends(0.8)) is Gesture.FIST
+
+    def test_boom_angles_interpolate(self):
+        s = MotionScript(
+            [
+                Keyframe(0.0, boom_angles=(0, 0, 0, 0, 0, 0)),
+                Keyframe(2.0, boom_angles=(1.0, 0, 0, 0, 0, 0)),
+            ]
+        )
+        np.testing.assert_allclose(s.boom_angles(1.0)[0], 0.5)
+
+    def test_sample_times(self):
+        s = self.make_script()
+        times = s.sample_times(fps=10)
+        assert times[0] == 0.0 and times[-1] == pytest.approx(3.0)
+        assert len(times) == 31
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MotionScript([])
+        with pytest.raises(ValueError):
+            MotionScript([Keyframe(0.0), Keyframe(0.0)])
+        with pytest.raises(ValueError):
+            Keyframe(0.0, bends=(0.0,) * 5)
+        with pytest.raises(ValueError):
+            Keyframe(0.0, boom_angles=(0.0,) * 5)
+        with pytest.raises(ValueError):
+            self.make_script().sample_times(0)
+
+
+class TestDesktopInput:
+    def test_center_maps_to_volume_center(self):
+        d = DesktopInput()
+        pos = d.hand_position(MouseState(0.5, 0.5))
+        np.testing.assert_allclose(pos, [0.0, 0.0, 0.0])
+
+    def test_corners(self):
+        d = DesktopInput()
+        np.testing.assert_allclose(
+            d.hand_position(MouseState(0.0, 0.0)), [-1.0, 0.0, -1.0]
+        )
+        np.testing.assert_allclose(
+            d.hand_position(MouseState(1.0, 1.0)), [1.0, 0.0, 1.0]
+        )
+
+    def test_wheel_controls_depth(self):
+        d = DesktopInput(wheel_step=0.1)
+        near = d.hand_position(MouseState(0.5, 0.5, wheel=-5.0))
+        far = d.hand_position(MouseState(0.5, 0.5, wheel=5.0))
+        assert near[1] == pytest.approx(-1.0)
+        assert far[1] == pytest.approx(1.0)
+
+    def test_buttons_to_gestures(self):
+        d = DesktopInput()
+        assert d.gesture(MouseState(0.5, 0.5, left=True)) is Gesture.FIST
+        assert d.gesture(MouseState(0.5, 0.5, right=True)) is Gesture.POINT
+        assert d.gesture(MouseState(0.5, 0.5)) is Gesture.OPEN
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MouseState(1.5, 0.5)
+        with pytest.raises(ValueError):
+            DesktopInput(volume_lo=(1, 1, 1), volume_hi=(0, 0, 0))
+        with pytest.raises(ValueError):
+            DesktopInput(wheel_step=0)
