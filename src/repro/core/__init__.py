@@ -21,6 +21,7 @@ This package composes every substrate into the paper's system (section 5):
 
 from repro.core.timectrl import TimeControl
 from repro.core.environment import Environment, UserState
+from repro.core.session import SessionExpiredError, SessionLease, SessionTable
 from repro.core.engine import ComputeEngine, ToolSettings
 from repro.core.server import WindtunnelServer
 from repro.core.client import WindtunnelClient
@@ -34,6 +35,9 @@ __all__ = [
     "TimeControl",
     "Environment",
     "UserState",
+    "SessionExpiredError",
+    "SessionLease",
+    "SessionTable",
     "ComputeEngine",
     "ToolSettings",
     "WindtunnelServer",

@@ -8,6 +8,12 @@ performance".  :class:`WindtunnelClient` implements both halves: the
 synchronous command/frame RPC cycle, and a render path that draws
 whatever state arrived last from whatever head pose the BOOM reports
 *now*.
+
+That decoupling is also the degradation story.  When the network fails,
+the renderer keeps drawing the last good frame (flagged
+:attr:`state_stale`) while the network half retries: idempotent calls
+back off, reconnect through the stream factory, and resume the session
+with ``wt.rejoin`` — so a transient stall costs staleness, not a crash.
 """
 
 from __future__ import annotations
@@ -17,7 +23,8 @@ import time
 
 import numpy as np
 
-from repro.dlib.client import DlibClient
+from repro.dlib.client import DlibClient, DlibRemoteError, RetryPolicy
+from repro.dlib.protocol import DlibError, DlibTimeoutError
 from repro.dlib.transport import Stream
 from repro.render.camera import Camera
 from repro.render.framebuffer import Framebuffer
@@ -34,6 +41,27 @@ _TOOL_COLORS = {
     "streakline": (230, 230, 230),
 }
 
+#: Windtunnel procedures safe to re-issue after a transport failure.
+#: ``wt.update`` is last-write-wins, the reads are pure, ``wt.rejoin``
+#: resumes the same lease however often it lands.  ``wt.add_rake`` /
+#: ``wt.remove_rake`` / ``wt.time`` are *not* here: re-running them
+#: duplicates (or double-steps) a mutation.
+_IDEMPOTENT_PROCEDURES = frozenset(
+    {
+        "wt.update",
+        "wt.frame",
+        "wt.snapshot",
+        "wt.stats",
+        "wt.heartbeat",
+        "wt.isosurface",
+        "wt.rejoin",
+        "dlib.ping",
+        "dlib.stats",
+    }
+)
+
+_NETWORK_ERRORS = (DlibTimeoutError, ConnectionError, OSError)
+
 
 class WindtunnelClient:
     """A workstation client of the distributed windtunnel.
@@ -43,6 +71,15 @@ class WindtunnelClient:
     host, port / stream
         How to reach the server: an address, or a preconnected stream
         (e.g. a :class:`~repro.netsim.channel.ThrottledChannel`).
+    stream_factory
+        Zero-argument callable minting a fresh connected stream; enables
+        automatic reconnect + session resume.  Defaults to re-dialing
+        ``host:port`` when an address was given.
+    retry
+        :class:`~repro.dlib.client.RetryPolicy` for idempotent calls
+        (``None`` disables retries: first failure propagates).
+    call_timeout
+        Per-call deadline in seconds; ``None`` waits forever.
     width, height
         Framebuffer size.  The paper's VGX ran 1280x1024; tests use less.
     stereo
@@ -55,6 +92,9 @@ class WindtunnelClient:
         port: int | None = None,
         *,
         stream: Stream | None = None,
+        stream_factory=None,
+        retry: RetryPolicy | None = None,
+        call_timeout: float | None = None,
         name: str = "",
         width: int = 320,
         height: int = 240,
@@ -62,9 +102,25 @@ class WindtunnelClient:
         ipd: float = 0.064,
         fov_y: float = np.pi / 2,
     ) -> None:
-        self._rpc = DlibClient(host, port, stream=stream)
+        self._session_token: str | None = None
+        self.last_network_error: BaseException | None = None
+        self.state_stale = False
+        self.network_failures = 0
+        self.rejoins = 0
+        self._rpc = DlibClient(
+            host,
+            port,
+            stream=stream,
+            stream_factory=stream_factory,
+            call_timeout=call_timeout,
+            retry=retry,
+            idempotent=_IDEMPOTENT_PROCEDURES,
+            on_reconnect=self._on_reconnect,
+        )
         info = self._rpc.call("wt.join", name)
         self.client_id: int = info["client_id"]
+        self._session_token = info.get("token")
+        self.lease_seconds: float | None = info.get("lease_seconds")
         self.dataset_info = info
         self.fb = Framebuffer(width, height)
         self.stereo = stereo
@@ -78,12 +134,62 @@ class WindtunnelClient:
         self._state_lock = threading.Lock()
         self._closed = False
 
+    # -- resilience ----------------------------------------------------------
+
+    @property
+    def reconnects(self) -> int:
+        """How many times the transport was re-dialed."""
+        return self._rpc.reconnects
+
+    def _on_reconnect(self, rpc: DlibClient) -> None:
+        """After every reconnect, resume the session before anything else."""
+        if self._session_token is None:
+            return  # initial connect: wt.join has not happened yet
+        rpc.call_once("wt.rejoin", self.client_id, self._session_token)
+        self.rejoins += 1
+
+    def _call(self, procedure: str, *args):
+        """RPC with failure bookkeeping and transparent session resume.
+
+        Transport failures are recorded on :attr:`last_network_error`
+        (observable even when a retry or reconnect later succeeds — see
+        :attr:`network_failures`).  A server-side
+        ``SessionExpiredError`` — our lease lapsed and the reaper took
+        the seat — triggers one ``wt.rejoin`` and a single re-issue.
+        """
+        try:
+            try:
+                return self._rpc.call(procedure, *args)
+            except _NETWORK_ERRORS as exc:
+                self.last_network_error = exc
+                self.network_failures += 1
+                raise
+        except DlibRemoteError as exc:
+            if exc.remote_type != "SessionExpiredError" or self._session_token is None:
+                raise
+            self._rpc.call_once("wt.rejoin", self.client_id, self._session_token)
+            self.rejoins += 1
+            return self._rpc.call(procedure, *args)
+
+    def rejoin(self) -> dict:
+        """Explicitly resume this session (normally automatic)."""
+        if self._session_token is None:
+            raise RuntimeError("no session token; cannot rejoin")
+        info = self._rpc.call_once("wt.rejoin", self.client_id, self._session_token)
+        self.rejoins += 1
+        return info
+
+    def heartbeat(self) -> dict:
+        """Tell the server this client is alive (piggybacked on every
+        call anyway; useful when idle)."""
+        return self._call("wt.heartbeat", self.client_id)
+
     # -- commands ------------------------------------------------------------
 
     def send_input(self, head_position, hand_position, gesture: str) -> dict:
         """Ship this frame's user commands (section 5.1's 'hand position,
         hand gestures ... and any other control data')."""
-        return self._rpc.call(
+        return self._call(
             "wt.update",
             self.client_id,
             np.asarray(head_position, dtype=np.float32),
@@ -95,21 +201,21 @@ class WindtunnelClient:
         from repro.tracers.rake import Rake
 
         rake = Rake(end_a, end_b, n_seeds=n_seeds, kind=kind)
-        return self._rpc.call("wt.add_rake", self.client_id, rake.to_dict())
+        return self._call("wt.add_rake", self.client_id, rake.to_dict())
 
     def remove_rake(self, rake_id: int) -> None:
-        self._rpc.call("wt.remove_rake", self.client_id, rake_id)
+        self._call("wt.remove_rake", self.client_id, rake_id)
 
     def time_control(self, op: str, value: float = 0.0) -> dict:
         """pause / resume / speed / scrub / step / reverse."""
-        return self._rpc.call("wt.time", self.client_id, op, value)
+        return self._call("wt.time", self.client_id, op, value)
 
     def server_stats(self) -> dict:
-        return self._rpc.call("wt.stats")
+        return self._call("wt.stats")
 
     def set_tool_settings(self, **settings) -> dict:
         """Adjust shared tracer parameters (steps, dt, streak length)."""
-        return self._rpc.call("wt.set_tool_settings", self.client_id, settings)
+        return self._call("wt.set_tool_settings", self.client_id, settings)
 
     def request_isosurface(self, level_fraction: float = 0.75) -> dict:
         """Fetch a |v| isosurface of the current timestep from the server.
@@ -117,29 +223,45 @@ class WindtunnelClient:
         Returns the server payload; pass ``payload["triangles"]`` to a
         :class:`~repro.render.scene.TriangleMesh` to draw it.
         """
-        return self._rpc.call("wt.isosurface", self.client_id, level_fraction)
+        return self._call("wt.isosurface", self.client_id, level_fraction)
 
     # -- the network half (figure 9, left process) ------------------------------
 
     def fetch_frame(self) -> dict:
         """Pull the current shared visualization from the server."""
-        state = self._rpc.call("wt.frame", self.client_id)
+        state = self._call("wt.frame", self.client_id)
         with self._state_lock:
             self.latest_state = state
+            self.state_stale = False
         return state
 
-    def start_network_loop(self, interval: float = 0.05) -> None:
-        """Run fetch_frame continuously in a background thread."""
+    def start_network_loop(self, interval: float = 0.05, *, max_backoff: float = 2.0) -> None:
+        """Run fetch_frame continuously in a background thread.
+
+        The loop never dies on a network failure: it records the error on
+        :attr:`last_network_error`, marks :attr:`state_stale` (the render
+        half keeps drawing the last good frame — figure 9's decoupling),
+        and keeps retrying with exponential backoff up to ``max_backoff``
+        seconds until :meth:`stop_network_loop`.
+        """
         if self._net_thread is not None:
             raise RuntimeError("network loop already running")
         self._net_stop.clear()
+        floor = max(interval, 0.01)
 
         def loop() -> None:
+            backoff = floor
             while not self._net_stop.is_set():
                 try:
                     self.fetch_frame()
-                except (ConnectionError, OSError):
-                    return
+                except _NETWORK_ERRORS + (DlibRemoteError,) as exc:
+                    self.last_network_error = exc
+                    with self._state_lock:
+                        self.state_stale = True
+                    self._net_stop.wait(backoff)
+                    backoff = min(max_backoff, backoff * 2.0)
+                    continue
+                backoff = floor
                 self._net_stop.wait(interval)
 
         self._net_thread = threading.Thread(target=loop, daemon=True)
@@ -238,9 +360,9 @@ class WindtunnelClient:
         self._closed = True
         self.stop_network_loop()
         try:
-            self._rpc.call("wt.leave", self.client_id)
-        except (ConnectionError, OSError):
-            pass
+            self._rpc.call_once("wt.leave", self.client_id)
+        except (DlibError, ConnectionError, OSError):
+            pass  # best-effort: the reaper handles whatever we couldn't say
         self._rpc.close()
 
     def __enter__(self) -> "WindtunnelClient":

@@ -85,6 +85,23 @@ class Environment:
         self._bump()
         return user
 
+    def restore_user(self, client_id: int, name: str = "") -> UserState:
+        """Re-seat a previously removed user under their old id.
+
+        Session resume (``wt.rejoin``) must hand a reaped client the same
+        ``client_id`` back, or every rake/lock reference it holds would
+        dangle.  The id counter is advanced past the restored id so later
+        joins can never collide with it.
+        """
+        client_id = int(client_id)
+        if client_id in self.users:
+            raise ValueError(f"client {client_id} is already present")
+        user = UserState(client_id=client_id, name=name)
+        self.users[client_id] = user
+        self._next_client_id = max(self._next_client_id, client_id + 1)
+        self._bump()
+        return user
+
     def remove_user(self, client_id: int) -> None:
         user = self.users.pop(client_id, None)
         if user is None:

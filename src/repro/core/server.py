@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.engine import ComputeEngine, ToolSettings
 from repro.core.environment import Environment
 from repro.core.governor import FrameBudgetGovernor
+from repro.core.session import SessionTable
 from repro.diskio.loader import TimestepLoader
 from repro.dlib.server import DlibServer
 from repro.flow.dataset import UnsteadyDataset
@@ -46,6 +47,12 @@ class WindtunnelServer:
         adapts to hold the 1/8 s budget.
     time_fn
         Wall clock (injectable for deterministic tests).
+    lease_seconds
+        Session lease term: a client silent this long (measured on
+        ``time_fn``) is reaped — its seat vacated, its rake locks
+        released — but can resume via ``wt.rejoin`` with its token.
+    reap_interval
+        How often the reaper sweep runs on the dlib service thread.
     """
 
     def __init__(
@@ -61,6 +68,8 @@ class WindtunnelServer:
         loader: TimestepLoader | None = None,
         governor: FrameBudgetGovernor | None = None,
         time_fn=time.monotonic,
+        lease_seconds: float = 30.0,
+        reap_interval: float = 1.0,
     ) -> None:
         self.dataset = dataset
         self.env = Environment(dataset.n_timesteps, time_speed=time_speed)
@@ -76,7 +85,10 @@ class WindtunnelServer:
         self._cache_payload: dict | None = None
         self._iso_cache_key: tuple | None = None
         self._iso_cache: dict | None = None
+        self.sessions = SessionTable(lease_seconds, time_fn=time_fn)
+        self.reaped_rake_locks = 0
         self.dlib = DlibServer(host, port)
+        self.dlib.add_tick(self._reap_tick, interval=reap_interval)
         self._register_procedures()
 
     # -- lifecycle --------------------------------------------------------------
@@ -105,6 +117,8 @@ class WindtunnelServer:
     def _register_procedures(self) -> None:
         reg = self.dlib.register
         reg("wt.join", self._rpc_join)
+        reg("wt.rejoin", self._rpc_rejoin)
+        reg("wt.heartbeat", self._rpc_heartbeat)
         reg("wt.leave", self._rpc_leave)
         reg("wt.update", self._rpc_update)
         reg("wt.add_rake", self._rpc_add_rake)
@@ -119,22 +133,69 @@ class WindtunnelServer:
     # -- procedures (ctx is the dlib ServerContext; unused by design: all ----
     # -- windtunnel state lives in the Environment) ---------------------------
 
-    def _rpc_join(self, ctx, name: str = "") -> dict:
-        user = self.env.add_user(name)
+    def _join_info(self, client_id: int) -> dict:
         lo, hi = self.dataset.grid.bounding_box()
         return {
-            "client_id": user.client_id,
+            "client_id": client_id,
             "n_timesteps": self.dataset.n_timesteps,
             "dt": self.dataset.dt,
             "grid_shape": list(self.dataset.grid.shape),
             "bounds_lo": lo.astype(np.float32),
             "bounds_hi": hi.astype(np.float32),
+            "lease_seconds": self.sessions.lease_seconds,
         }
 
+    def _rpc_join(self, ctx, name: str = "") -> dict:
+        user = self.env.add_user(name)
+        lease = self.sessions.open(user.client_id, name)
+        info = self._join_info(user.client_id)
+        info["token"] = lease.token
+        return info
+
+    def _rpc_rejoin(self, ctx, client_id: int, token: str) -> dict:
+        """Resume a disconnected (possibly reaped) session by token.
+
+        The client keeps its old ``client_id``; if the reaper vacated the
+        seat, the user is restored — the rakes themselves never left the
+        shared environment, so they are intact.
+        """
+        client_id = int(client_id)
+        lease = self.sessions.resume(client_id, token)
+        restored = client_id not in self.env.users
+        if restored:
+            self.env.restore_user(client_id, lease.name)
+        info = self._join_info(client_id)
+        info["token"] = lease.token
+        info["restored"] = restored
+        return info
+
+    def _rpc_heartbeat(self, ctx, client_id: int) -> dict:
+        """Explicit liveness signal (normally piggybacked on any call)."""
+        self.sessions.touch(int(client_id))
+        if self.sessions.get(int(client_id)) is None:
+            raise KeyError(f"no session for client {client_id}")
+        return {"lease_seconds": self.sessions.lease_seconds}
+
     def _rpc_leave(self, ctx, client_id: int) -> None:
-        self.env.remove_user(int(client_id))
+        # Idempotent: the seat may already be gone (reaped, or a retried
+        # leave) and a parting client must not be punished for that.
+        cid = int(client_id)
+        self.sessions.close(cid)
+        if cid in self.env.users:
+            self.env.remove_user(cid)
+
+    def _reap_tick(self, ctx) -> None:
+        """Reaper sweep (runs serialized on the dlib service thread)."""
+        for lease in self.sessions.sweep():
+            cid = lease.client_id
+            if cid in self.env.users:
+                self.reaped_rake_locks += sum(
+                    1 for owner in self.env.locks.values() if owner == cid
+                )
+                self.env.remove_user(cid)
 
     def _rpc_update(self, ctx, client_id: int, head, hand, gesture: str) -> dict:
+        self.sessions.touch(int(client_id))
         self.env.update_user(int(client_id), head, hand, gesture)
         user = self.env.users[int(client_id)]
         return {
@@ -144,11 +205,13 @@ class WindtunnelServer:
         }
 
     def _rpc_add_rake(self, ctx, client_id: int, rake: dict) -> int:
+        self.sessions.touch(int(client_id))
         if int(client_id) not in self.env.users:
             raise KeyError(f"no such client {client_id}")
         return self.env.add_rake(Rake.from_dict(rake))
 
     def _rpc_remove_rake(self, ctx, client_id: int, rake_id: int) -> None:
+        self.sessions.touch(int(client_id))
         owner = self.env.rake_owner(int(rake_id))
         if owner is not None and owner != int(client_id):
             raise PermissionError(
@@ -159,6 +222,7 @@ class WindtunnelServer:
 
     def _rpc_time(self, ctx, client_id: int, op: str, value: float = 0.0) -> dict:
         """Shared time control: any user can drive the clock."""
+        self.sessions.touch(int(client_id))
         if op not in _TIME_OPS:
             raise ValueError(f"unknown time op {op!r}; expected one of {_TIME_OPS}")
         wall = self._time_fn()
@@ -179,10 +243,16 @@ class WindtunnelServer:
         return clock.snapshot(wall)
 
     def _rpc_snapshot(self, ctx, client_id: int = 0) -> dict:
+        self.sessions.touch(int(client_id))
         return self.env.snapshot(self._time_fn())
 
     def _rpc_frame(self, ctx, client_id: int = 0) -> dict:
-        """Compute (or reuse) the shared visualization and return it."""
+        """Compute (or reuse) the shared visualization and return it.
+
+        Calling this doubles as the session heartbeat (wt.heartbeat
+        piggybacks on the frame cycle every client runs anyway).
+        """
+        self.sessions.touch(int(client_id))
         wall = self._time_fn()
         timestep = self.env.clock.timestep_index(wall)
         key = (self.env.version, timestep)
@@ -226,6 +296,7 @@ class WindtunnelServer:
         fields; returns the full effective settings.  Like all environment
         mutations, the change is shared by every user.
         """
+        self.sessions.touch(int(client_id))
         if int(client_id) not in self.env.users:
             raise KeyError(f"no such client {client_id}")
         allowed = {
@@ -264,6 +335,7 @@ class WindtunnelServer:
         """
         from repro.tracers.isosurface import extract_isosurface, velocity_magnitude
 
+        self.sessions.touch(int(client_id))
         if not (0.0 < float(level_fraction) < 1.0):
             raise ValueError("level_fraction must be in (0, 1)")
         wall = self._time_fn()
@@ -294,4 +366,10 @@ class WindtunnelServer:
             "quality": self.governor.quality if self.governor else 1.0,
             "n_rakes": len(self.env.rakes),
             "n_users": len(self.env.users),
+            "active_sessions": self.sessions.active,
+            "reaped_sessions": self.sessions.reaped_total,
+            "resumed_sessions": self.sessions.resumed_total,
+            "released_rake_locks": self.reaped_rake_locks,
+            "disconnects": ctx.disconnects,
+            "protocol_errors": ctx.protocol_errors,
         }

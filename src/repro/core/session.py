@@ -1,0 +1,155 @@
+"""Session leases: ghost-user reaping and resumable sessions.
+
+Section 5.1 makes every rake lock first-come-first-served on the remote
+system — which means a client that dies without calling ``wt.leave``
+would hold its grab locks forever, wedging that rake for every surviving
+user.  The lease table fixes the failure mode: ``wt.join`` opens a lease,
+every client call touches it (the heartbeat piggybacks on normal
+traffic), and a reaper sweep expires leases that have gone silent.  A
+reaped session is not forgotten: the client presents its resume token to
+``wt.rejoin`` and gets its seat — same ``client_id`` — back.
+"""
+
+from __future__ import annotations
+
+import secrets
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["SessionExpiredError", "SessionLease", "SessionTable"]
+
+
+class SessionExpiredError(Exception):
+    """The session's lease lapsed and the server reaped it.
+
+    Crossing the wire as remote type ``"SessionExpiredError"``, this tells
+    the client its seat was vacated — present the resume token to
+    ``wt.rejoin`` and retry, rather than treating the call as fatal.
+    """
+
+
+@dataclass
+class SessionLease:
+    """One client's lease on its seat in the shared environment."""
+
+    client_id: int
+    token: str
+    name: str
+    opened: float
+    last_seen: float
+    lease_seconds: float
+    reaped: bool = False
+    resumes: int = field(default=0)
+
+    def expired(self, now: float) -> bool:
+        """Has this lease gone silent for longer than its term?"""
+        return now - self.last_seen > self.lease_seconds
+
+
+class SessionTable:
+    """The server's ledger of leases.
+
+    Not thread-safe by design: the dlib server runs procedures and reaper
+    ticks on one service thread, so the table inherits the same serial
+    execution guarantee as the environment it protects.
+    """
+
+    def __init__(
+        self,
+        lease_seconds: float = 30.0,
+        *,
+        time_fn: Callable[[], float] = time.monotonic,
+        token_fn: Callable[[], str] | None = None,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        self.lease_seconds = float(lease_seconds)
+        self._time_fn = time_fn
+        self._token_fn = token_fn or (lambda: secrets.token_hex(8))
+        self._leases: dict[int, SessionLease] = {}
+        self.reaped_total = 0
+        self.resumed_total = 0
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    @property
+    def active(self) -> int:
+        """Leases currently live (opened and not reaped)."""
+        return sum(1 for lease in self._leases.values() if not lease.reaped)
+
+    def get(self, client_id: int) -> SessionLease | None:
+        """The lease for ``client_id``, or ``None``."""
+        return self._leases.get(client_id)
+
+    def open(self, client_id: int, name: str = "") -> SessionLease:
+        """Start a lease for a freshly joined client."""
+        now = self._time_fn()
+        lease = SessionLease(
+            client_id=int(client_id),
+            token=self._token_fn(),
+            name=name,
+            opened=now,
+            last_seen=now,
+            lease_seconds=self.lease_seconds,
+        )
+        self._leases[lease.client_id] = lease
+        return lease
+
+    def close(self, client_id: int) -> None:
+        """Forget a lease (clean ``wt.leave``); unknown ids are a no-op."""
+        self._leases.pop(int(client_id), None)
+
+    def touch(self, client_id: int) -> None:
+        """Record liveness — the heartbeat piggybacked on every call.
+
+        Unleased ids (e.g. users seated directly into the environment by
+        tests) pass through untouched; a reaped lease raises
+        :class:`SessionExpiredError` so the client learns to rejoin.
+        """
+        lease = self._leases.get(int(client_id))
+        if lease is None:
+            return
+        if lease.reaped:
+            raise SessionExpiredError(
+                f"session {client_id} lease expired; call wt.rejoin to resume"
+            )
+        lease.last_seen = self._time_fn()
+
+    def resume(self, client_id: int, token: str) -> SessionLease:
+        """Validate a resume token and revive the lease.
+
+        Raises ``KeyError`` for unknown sessions and ``PermissionError``
+        for a wrong token — a guessed id must not hijack someone's seat.
+        Returns the lease with ``reaped`` already cleared; the caller is
+        responsible for re-seating the user in the environment when the
+        session had been reaped.
+        """
+        lease = self._leases.get(int(client_id))
+        if lease is None:
+            raise KeyError(f"no session for client {client_id}")
+        if token != lease.token:
+            raise PermissionError(f"bad resume token for client {client_id}")
+        lease.reaped = False
+        lease.last_seen = self._time_fn()
+        lease.resumes += 1
+        self.resumed_total += 1
+        return lease
+
+    def sweep(self) -> list[SessionLease]:
+        """Mark every newly expired lease reaped and return them.
+
+        The reaped lease stays in the table so the client can still
+        resume it; only ``wt.leave`` (or :meth:`close`) forgets it.
+        """
+        now = self._time_fn()
+        expired = [
+            lease
+            for lease in self._leases.values()
+            if not lease.reaped and lease.expired(now)
+        ]
+        for lease in expired:
+            lease.reaped = True
+            self.reaped_total += 1
+        return expired

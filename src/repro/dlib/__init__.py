@@ -22,7 +22,9 @@ segments.
 """
 
 from repro.dlib.protocol import (
+    DlibError,
     DlibProtocolError,
+    DlibTimeoutError,
     MessageKind,
     decode_message,
     decode_value,
@@ -31,11 +33,13 @@ from repro.dlib.protocol import (
 )
 from repro.dlib.transport import Stream, connect_tcp, pipe_pair
 from repro.dlib.server import DlibServer, ServerContext
-from repro.dlib.client import DlibClient, DlibRemoteError
+from repro.dlib.client import DlibClient, DlibRemoteError, RetryPolicy
 from repro.dlib.memory import MemoryManager, SegmentHandle
 
 __all__ = [
+    "DlibError",
     "DlibProtocolError",
+    "DlibTimeoutError",
     "MessageKind",
     "encode_value",
     "decode_value",
@@ -48,6 +52,7 @@ __all__ = [
     "ServerContext",
     "DlibClient",
     "DlibRemoteError",
+    "RetryPolicy",
     "MemoryManager",
     "SegmentHandle",
 ]

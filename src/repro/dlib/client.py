@@ -1,4 +1,4 @@
-"""The dlib client: remote calls and stub generation.
+"""The dlib client: remote calls, stub generation, and call resilience.
 
 Section 4: dlib "provides utilities to automatically create the code
 which performs the network transactions required to invoke and execute
@@ -6,27 +6,51 @@ the routine in the remote environment".  Here that is :attr:`DlibClient.
 stub` — attribute access mints a local callable that ships its arguments,
 blocks for the reply, and returns the decoded result, making remote use
 read like "developing a library of routines ... on a local system".
+
+The paper's network delivered 1/13th of its rated bandwidth "due to
+software bugs" (section 5.1); a client that assumes a clean transport is
+a client that dies.  This one carries per-call deadlines (socket
+timeouts surfacing as :class:`~repro.dlib.protocol.DlibTimeoutError`), a
+:class:`RetryPolicy` with exponential backoff + deterministic jitter
+that re-issues *idempotent* calls only, and automatic reconnection
+through a ``stream_factory`` with an ``on_reconnect`` hook the
+windtunnel layer uses to resume its session (``wt.rejoin``).
 """
 
 from __future__ import annotations
 
 import itertools
+import random
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.dlib.memory import SegmentHandle
 from repro.dlib.protocol import (
+    DlibError,
     DlibProtocolError,
+    DlibTimeoutError,
     MessageKind,
     decode_message,
     encode_message,
 )
 from repro.dlib.transport import Stream, connect_tcp
 
-__all__ = ["DlibClient", "DlibRemoteError"]
+__all__ = ["DlibClient", "DlibRemoteError", "RetryPolicy"]
+
+#: Transport-level failures a retry policy may act on.
+RETRYABLE_ERRORS = (DlibTimeoutError, ConnectionError, OSError)
+
+#: How many mismatched (stale) responses to skip before declaring the
+#: stream hopeless.  Stale responses arise from duplicated frames or
+#: calls abandoned at a deadline; a bounded skip keeps a babbling peer
+#: from pinning the client in the read loop forever.
+_MAX_STALE_RESPONSES = 32
 
 
-class DlibRemoteError(Exception):
+class DlibRemoteError(DlibError):
     """An exception raised inside a remote procedure.
 
     Carries the remote type name and traceback text for diagnosis.
@@ -36,6 +60,43 @@ class DlibRemoteError(Exception):
         super().__init__(f"{remote_type}: {message}")
         self.remote_type = remote_type
         self.remote_traceback = remote_traceback
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded, seed-deterministic jitter.
+
+    ``max_attempts`` counts the first try: ``max_attempts=4`` means one
+    call plus up to three retries.  Delays grow by ``multiplier`` from
+    ``base_delay``, cap at ``max_delay``, and each is scattered by up to
+    ``±jitter`` (a fraction) so a fleet of reconnecting clients does not
+    stampede the server in lockstep.  A fixed ``seed`` makes the whole
+    delay sequence reproducible in tests.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+
+    def delays(self) -> Iterable[float]:
+        """Yield the sleep before each retry (``max_attempts - 1`` values)."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            scatter = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield min(self.max_delay, delay * scatter)
+            delay = min(self.max_delay, delay * self.multiplier)
 
 
 class _Stub:
@@ -69,6 +130,22 @@ class DlibClient:
     host, port
         Server address; alternatively pass an existing ``stream``
         (e.g. a throttled channel from :mod:`repro.netsim`).
+    stream_factory
+        Zero-argument callable minting a fresh connected stream; enables
+        :meth:`reconnect`.  Defaults to re-dialing ``host:port`` when an
+        address was given.
+    call_timeout
+        Per-call deadline in seconds (``None`` = wait forever).  Expiry
+        raises :class:`~repro.dlib.protocol.DlibTimeoutError`.
+    retry
+        Optional :class:`RetryPolicy`.  Only procedures named in
+        ``idempotent`` are ever re-issued; each retry reconnects first,
+        because a failed or timed-out stream may be desynchronized.
+    idempotent
+        Procedure names safe to call more than once.
+    on_reconnect
+        Callback ``fn(client)`` invoked after each successful reconnect —
+        the hook for session resume handshakes.
     """
 
     def __init__(
@@ -78,14 +155,30 @@ class DlibClient:
         *,
         stream: Stream | None = None,
         timeout: float | None = 10.0,
+        stream_factory: Callable[[], Stream] | None = None,
+        call_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        idempotent: Iterable[str] = (),
+        on_reconnect: Callable[["DlibClient"], None] | None = None,
     ) -> None:
+        if stream is None and (host is None or port is None) and stream_factory is None:
+            raise ValueError("provide host and port, a stream, or a stream_factory")
+        if stream_factory is None and host is not None and port is not None:
+            stream_factory = lambda: connect_tcp(host, port, timeout=timeout)  # noqa: E731
+        self._stream_factory = stream_factory
         if stream is not None:
             self._stream = stream
         else:
-            if host is None or port is None:
-                raise ValueError("provide host and port, or a stream")
-            self._stream = connect_tcp(host, port, timeout=timeout)
+            self._stream = stream_factory()
+        self.call_timeout = call_timeout
+        self.retry = retry
+        self.idempotent = frozenset(idempotent)
+        self.on_reconnect = on_reconnect
+        self.reconnects = 0
+        self.retries = 0
+        self.last_error: BaseException | None = None
         self._request_ids = itertools.count(1)
+        self._sleep = time.sleep
 
     @property
     def stream(self) -> Stream:
@@ -96,19 +189,75 @@ class DlibClient:
         """Procedure stubs: ``client.stub.name(args)`` == ``client.call("name", args)``."""
         return _Stub(self)
 
+    # -- resilience -----------------------------------------------------------
+
+    def reconnect(self) -> None:
+        """Tear down the current stream and dial a fresh one.
+
+        Fires ``on_reconnect`` afterwards; raises ``ConnectionError`` when
+        no ``stream_factory`` is available.
+        """
+        if self._stream_factory is None:
+            raise ConnectionError("no stream factory; cannot reconnect")
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        self._stream = self._stream_factory()
+        self.reconnects += 1
+        if self.on_reconnect is not None:
+            self.on_reconnect(self)
+
     def call(self, procedure: str, *args, **kwargs):
         """Invoke a remote procedure and return its result.
 
         Raises :class:`DlibRemoteError` if the procedure raised remotely,
-        ``ConnectionError`` if the transport fails.
+        :class:`~repro.dlib.protocol.DlibTimeoutError` on a lapsed
+        deadline, ``ConnectionError`` if the transport fails.  With a
+        :class:`RetryPolicy` configured, transport failures on procedures
+        in :attr:`idempotent` reconnect (with backoff) and re-issue the
+        call; everything else propagates on first failure.
         """
+        retryable = (
+            self.retry is not None
+            and self._stream_factory is not None
+            and procedure in self.idempotent
+        )
+        if not retryable:
+            return self.call_once(procedure, *args, **kwargs)
+        delays = iter(self.retry.delays())
+        last_exc: BaseException | None = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self.retries += 1
+                self._sleep(next(delays, self.retry.max_delay))
+                try:
+                    self.reconnect()
+                except RETRYABLE_ERRORS as exc:
+                    last_exc = self.last_error = exc
+                    continue
+            try:
+                return self.call_once(procedure, *args, **kwargs)
+            except RETRYABLE_ERRORS as exc:
+                last_exc = self.last_error = exc
+        raise last_exc
+
+    def call_once(self, procedure: str, *args, **kwargs):
+        """One wire round-trip, no retries (see :meth:`call`)."""
         request_id = next(self._request_ids) & 0xFFFFFFFF
         payload = {"proc": procedure, "args": list(args), "kwargs": kwargs}
+        if self.call_timeout is not None and hasattr(self._stream, "settimeout"):
+            self._stream.settimeout(self.call_timeout)
         self._stream.send(encode_message(MessageKind.CALL, request_id, payload))
-        kind, rid, result = decode_message(self._stream.recv())
-        if rid != request_id:
+        for _ in range(_MAX_STALE_RESPONSES + 1):
+            kind, rid, result = decode_message(self._stream.recv())
+            if rid == request_id:
+                break
+            # A stale response: the reply to a duplicated frame or to a
+            # call we abandoned at its deadline.  Skip it.
+        else:
             raise DlibProtocolError(
-                f"response id {rid} does not match request {request_id}"
+                f"gave up after {_MAX_STALE_RESPONSES} stale responses"
             )
         if kind is MessageKind.RESULT:
             return result

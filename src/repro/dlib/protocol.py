@@ -19,7 +19,9 @@ from enum import IntEnum
 import numpy as np
 
 __all__ = [
+    "DlibError",
     "DlibProtocolError",
+    "DlibTimeoutError",
     "MessageKind",
     "encode_value",
     "decode_value",
@@ -37,8 +39,23 @@ _ALLOWED_DTYPES = {
 }
 
 
-class DlibProtocolError(Exception):
+class DlibError(Exception):
+    """Base of the dlib error taxonomy (see docs/protocol.md, Failure model)."""
+
+
+class DlibProtocolError(DlibError):
     """Malformed or unsupported wire data."""
+
+
+class DlibTimeoutError(DlibError, TimeoutError):
+    """A per-call deadline expired before the reply arrived.
+
+    Subclasses :class:`TimeoutError` so generic socket-level handlers see
+    it, and :class:`DlibError` so callers can treat the dlib taxonomy
+    uniformly.  Raised by the transport when a socket timeout fires and by
+    the client when a call's deadline lapses; the call may or may not have
+    executed remotely, so only idempotent calls are safe to retry.
+    """
 
 
 class MessageKind(IntEnum):

@@ -7,13 +7,22 @@ All client calls are executed one at a time on a single service thread,
 "as though there were only one client"; arrival order is service order,
 which is what makes the windtunnel's first-come-first-served conflict
 rule (section 5.1) fall out for free.
+
+Robustness: every connection reads through a per-client reassembly
+buffer on a non-blocking socket, so a peer that sends a partial frame
+header and stalls parks *its own* connection — it cannot head-of-line
+block the service loop for everybody else.  Writes are bounded by a send
+deadline, and connection teardown (accounting included) happens in
+exactly one place, :meth:`DlibServer._drop`.
 """
 
 from __future__ import annotations
 
 import selectors
 import socket
+import struct
 import threading
+import time
 import traceback
 from collections.abc import Callable
 
@@ -24,9 +33,17 @@ from repro.dlib.protocol import (
     decode_message,
     encode_message,
 )
-from repro.dlib.transport import Stream
+from repro.dlib.transport import MAX_FRAME
 
 __all__ = ["ServerContext", "DlibServer"]
+
+_LEN = struct.Struct("<I")
+
+#: Cap on a single non-blocking read.
+_READ_CHUNK = 1 << 16
+
+#: How long a response write may stall before the peer is declared dead.
+_SEND_DEADLINE = 5.0
 
 
 class ServerContext:
@@ -41,6 +58,14 @@ class ServerContext:
         Remote memory segments (see :mod:`repro.dlib.memory`).
     calls_served
         Total procedure invocations, all clients.
+    clients_connected
+        Currently connected clients (incremented on accept, decremented
+        once per teardown, whatever the cause).
+    disconnects
+        Total connection teardowns — peer resets, protocol violations,
+        send stalls, and server-side shutdown closes alike.
+    protocol_errors
+        Teardowns caused specifically by malformed wire data.
     """
 
     def __init__(self, memory_budget: int | None = None) -> None:
@@ -48,6 +73,80 @@ class ServerContext:
         self.memory = MemoryManager(memory_budget)
         self.calls_served = 0
         self.clients_connected = 0
+        self.disconnects = 0
+        self.protocol_errors = 0
+
+
+class _Connection:
+    """One client link: non-blocking socket + incremental frame reassembly.
+
+    ``pump()`` drains whatever bytes the kernel has ready into a buffer
+    and peels off complete length-prefixed frames; a partial header or
+    partial payload simply stays buffered until more bytes arrive.
+    """
+
+    __slots__ = ("sock", "buf", "bytes_received", "bytes_sent")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buf = bytearray()
+        self.bytes_received = 0
+        self.bytes_sent = 0
+
+    def pump(self) -> list[bytes]:
+        """Read available bytes; return every newly completed frame."""
+        try:
+            data = self.sock.recv(_READ_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return []
+        if not data:
+            raise ConnectionError("peer closed the connection")
+        self.buf += data
+        self.bytes_received += len(data)
+        frames: list[bytes] = []
+        while len(self.buf) >= _LEN.size:
+            (length,) = _LEN.unpack_from(self.buf)
+            if length > MAX_FRAME:
+                raise DlibProtocolError(
+                    f"peer announced oversized frame ({length} bytes)"
+                )
+            end = _LEN.size + length
+            if len(self.buf) < end:
+                break
+            frames.append(bytes(self.buf[_LEN.size:end]))
+            del self.buf[:end]
+        return frames
+
+    def send_frame(self, payload: bytes, deadline: float = _SEND_DEADLINE) -> None:
+        """Write one framed message, waiting at most ``deadline`` seconds
+        for the peer to drain its receive window."""
+        data = memoryview(_LEN.pack(len(payload)) + payload)
+        limit = time.monotonic() + deadline
+        sel = selectors.DefaultSelector()
+        sel.register(self.sock, selectors.EVENT_WRITE)
+        try:
+            while data:
+                try:
+                    n = self.sock.send(data)
+                except (BlockingIOError, InterruptedError):
+                    n = 0
+                if n:
+                    self.bytes_sent += n
+                    data = data[n:]
+                    continue
+                remaining = limit - time.monotonic()
+                if remaining <= 0:
+                    raise ConnectionError("peer stalled; response send timed out")
+                sel.select(timeout=min(remaining, 0.5))
+        finally:
+            sel.close()
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
 
 
 class DlibServer:
@@ -77,6 +176,7 @@ class DlibServer:
         self._host, self._requested_port = host, port
         self.context = ServerContext(memory_budget)
         self._procedures: dict[str, Callable] = {}
+        self._ticks: list[list] = []  # [fn, interval, next_due]
         self._listener: socket.socket | None = None
         self._thread: threading.Thread | None = None
         self._running = False
@@ -97,6 +197,19 @@ class DlibServer:
         self.register(fn.__name__, fn)
         return fn
 
+    def add_tick(self, fn: Callable, interval: float = 0.25) -> None:
+        """Run ``fn(context)`` roughly every ``interval`` seconds *on the
+        service thread*, between client calls.
+
+        Because ticks share the thread with call execution they are
+        serialized against every procedure — the windtunnel's session
+        reaper mutates the environment from a tick without any locking.
+        A tick that raises is dropped for that round, never the loop.
+        """
+        if interval <= 0:
+            raise ValueError("tick interval must be positive")
+        self._ticks.append([fn, float(interval), 0.0])
+
     def _register_builtins(self) -> None:
         ctx_mem = self.context.memory
 
@@ -110,6 +223,8 @@ class DlibServer:
             return {
                 "calls_served": ctx.calls_served,
                 "clients_connected": ctx.clients_connected,
+                "disconnects": ctx.disconnects,
+                "protocol_errors": ctx.protocol_errors,
                 "memory_segments": ctx_mem.n_segments,
                 "memory_allocated": ctx_mem.allocated_bytes,
             }
@@ -174,7 +289,7 @@ class DlibServer:
         assert self._listener is not None
         self._listener.setblocking(False)
         sel.register(self._listener, selectors.EVENT_READ, "listener")
-        streams: dict[int, Stream] = {}
+        conns: dict[socket.socket, _Connection] = {}
         try:
             while self._running:
                 # The single select + single service thread *is* the serial
@@ -182,34 +297,73 @@ class DlibServer:
                 for key, _ in sel.select(timeout=0.05):
                     if key.data == "listener":
                         try:
-                            conn, _addr = self._listener.accept()
+                            sock, _addr = self._listener.accept()
                         except OSError:
                             continue
-                        conn.setblocking(True)
-                        stream = Stream(conn)
-                        streams[conn.fileno()] = stream
-                        sel.register(conn, selectors.EVENT_READ, "client")
+                        sock.setblocking(False)
+                        if sock.family in (socket.AF_INET, socket.AF_INET6):
+                            sock.setsockopt(
+                                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                            )
+                        conns[sock] = _Connection(sock)
+                        sel.register(sock, selectors.EVENT_READ, "client")
                         self.context.clients_connected += 1
                     else:
                         sock = key.fileobj
-                        stream = streams.get(sock.fileno())
-                        if stream is None:
-                            sel.unregister(sock)
+                        conn = conns.get(sock)
+                        if conn is None:
+                            try:
+                                sel.unregister(sock)
+                            except (KeyError, ValueError):
+                                pass
                             continue
                         try:
-                            self._serve_one(stream)
-                        except (ConnectionError, OSError, DlibProtocolError):
-                            sel.unregister(sock)
-                            streams.pop(sock.fileno(), None)
-                            stream.close()
-                            self.context.clients_connected -= 1
+                            for frame in conn.pump():
+                                self._dispatch(conn, frame)
+                        except DlibProtocolError:
+                            self.context.protocol_errors += 1
+                            self._drop(sel, conns, sock)
+                        except (ConnectionError, OSError):
+                            self._drop(sel, conns, sock)
+                self._run_ticks()
         finally:
-            for stream in streams.values():
-                stream.close()
+            for sock in list(conns):
+                self._drop(sel, conns, sock)
             sel.close()
 
-    def _serve_one(self, stream: Stream) -> None:
-        kind, request_id, payload = decode_message(stream.recv())
+    def _drop(
+        self,
+        sel: selectors.BaseSelector,
+        conns: dict[socket.socket, _Connection],
+        sock: socket.socket,
+    ) -> None:
+        """The single teardown path: unregister, close, account."""
+        conn = conns.pop(sock, None)
+        if conn is None:
+            return
+        try:
+            sel.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+        conn.close()
+        self.context.clients_connected -= 1
+        self.context.disconnects += 1
+
+    def _run_ticks(self) -> None:
+        if not self._ticks:
+            return
+        now = time.monotonic()
+        for tick in self._ticks:
+            fn, interval, due = tick
+            if now >= due:
+                tick[2] = now + interval
+                try:
+                    fn(self.context)
+                except Exception:  # noqa: BLE001 - a tick must never kill the loop
+                    pass
+
+    def _dispatch(self, conn: _Connection, frame: bytes) -> None:
+        kind, request_id, payload = decode_message(frame)
         if kind is not MessageKind.CALL:
             raise DlibProtocolError(f"client sent non-CALL message {kind}")
         if not isinstance(payload, dict) or "proc" not in payload:
@@ -219,7 +373,7 @@ class DlibServer:
         kwargs = payload.get("kwargs", {})
         fn = self._procedures.get(name)
         if fn is None:
-            stream.send(
+            conn.send_frame(
                 encode_message(
                     MessageKind.ERROR,
                     request_id,
@@ -245,4 +399,4 @@ class DlibServer:
                     "traceback": traceback.format_exc(),
                 },
             )
-        stream.send(response)
+        conn.send_frame(response)

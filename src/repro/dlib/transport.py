@@ -12,6 +12,8 @@ from __future__ import annotations
 import socket
 import struct
 
+from repro.dlib.protocol import DlibTimeoutError
+
 __all__ = ["Stream", "connect_tcp", "pipe_pair"]
 
 _LEN = struct.Struct("<I")
@@ -44,22 +46,49 @@ class Stream:
     def fileno(self) -> int:
         return self._sock.fileno()
 
+    def settimeout(self, seconds: float | None) -> None:
+        """Bound every subsequent socket operation; expiry raises
+        :class:`~repro.dlib.protocol.DlibTimeoutError`.
+
+        A timeout that fires mid-frame leaves the stream desynchronized;
+        treat the connection as dead and reconnect rather than reuse it.
+        """
+        self._sock.settimeout(seconds)
+
     def send(self, payload: bytes) -> None:
-        """Send one framed message (blocking until fully written)."""
-        if self._closed:
-            raise ConnectionError("stream is closed")
+        """Send one framed message (blocking until fully written).
+
+        Header and payload go out in a single buffer with a single
+        ``sendall``, so a fault between two writes can never emit a naked
+        header with no body.
+        """
         if len(payload) > MAX_FRAME:
             raise ValueError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
-        header = _LEN.pack(len(payload))
-        self._sock.sendall(header)
-        self._sock.sendall(payload)
-        self.bytes_sent += len(header) + len(payload)
+        self.send_raw(_LEN.pack(len(payload)) + bytes(payload))
+
+    def send_raw(self, data: bytes) -> None:
+        """Send unframed bytes (fault injection and tests only).
+
+        ``bytes_sent`` is counted only after the whole buffer went out.
+        """
+        if self._closed:
+            raise ConnectionError("stream is closed")
+        try:
+            self._sock.sendall(data)
+        except socket.timeout as exc:
+            raise DlibTimeoutError("send timed out") from exc
+        self.bytes_sent += len(data)
 
     def _recv_exact(self, n: int) -> bytes:
         chunks = []
         remaining = n
         while remaining:
-            chunk = self._sock.recv(min(remaining, 1 << 20))
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except socket.timeout as exc:
+                raise DlibTimeoutError(
+                    f"receive timed out with {remaining} of {n} bytes pending"
+                ) from exc
             if not chunk:
                 raise ConnectionError("peer closed the connection")
             chunks.append(chunk)

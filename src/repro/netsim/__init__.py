@@ -24,8 +24,12 @@ from repro.netsim.model import (
     table1_rows,
 )
 from repro.netsim.channel import ThrottledChannel, VirtualClock
+from repro.netsim.faults import FaultPlan, FaultStats, FaultyChannel
 
 __all__ = [
+    "FaultPlan",
+    "FaultStats",
+    "FaultyChannel",
     "NetworkModel",
     "ULTRANET_RATED",
     "ULTRANET_VME",

@@ -77,6 +77,15 @@ class ThrottledChannel:
     def fileno(self) -> int:
         return self._stream.fileno()
 
+    def settimeout(self, seconds: float | None) -> None:
+        if hasattr(self._stream, "settimeout"):
+            self._stream.settimeout(seconds)
+
+    def send_raw(self, data: bytes) -> None:
+        """Unframed passthrough (fault injection); still pays the model."""
+        self._delay(len(data))
+        self._stream.send_raw(data)
+
     def _delay(self, nbytes: int) -> None:
         d = self.model.transfer_time(nbytes)
         self.modeled_delay_total += d

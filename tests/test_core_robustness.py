@@ -1,14 +1,17 @@
 """Robustness and integration edge cases for the core system."""
 
+import socket
+import time
+
 import numpy as np
 import pytest
 
 from repro.core import ToolSettings, WindtunnelClient, WindtunnelServer
-from repro.dlib import DlibRemoteError
+from repro.dlib import DlibRemoteError, RetryPolicy
 from repro.dlib.transport import connect_tcp
 from repro.flow import MemoryDataset, RigidRotation, sample_on_grid
 from repro.grid import cartesian_grid
-from repro.netsim import NetworkModel, ThrottledChannel
+from repro.netsim import FaultPlan, FaultyChannel, NetworkModel, ThrottledChannel
 from repro.util import look_at
 
 HEAD = look_at([4.0, -6.0, 2.0], [4.0, 4.0, 2.0], up=[0, 0, 1])
@@ -62,11 +65,10 @@ class TestInvalidRequests:
     def test_leave_twice(self, server):
         c = WindtunnelClient(*server.address)
         c.close()
-        # Second leave (of a departed id) fails remotely but must not
-        # wedge the server.
+        # Leaving is idempotent: a departed (or reaped) id leaves again as
+        # a no-op, and the server keeps serving.
         with WindtunnelClient(*server.address) as c2:
-            with pytest.raises(DlibRemoteError):
-                c2._rpc.call("wt.leave", c.client_id)
+            c2._rpc.call("wt.leave", c.client_id)
             assert c2.fetch_frame() is not None
 
 
@@ -136,6 +138,230 @@ class TestManyClients:
         a.close()
         b.close()
         assert len(server.env.users) == before
+
+
+@pytest.fixture()
+def leased_server():
+    """A windtunnel with a short session lease and a fast reaper."""
+    srv = WindtunnelServer(
+        make_dataset(),
+        settings=ToolSettings(streamline_steps=10),
+        lease_seconds=0.4,
+        reap_interval=0.05,
+    )
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestSessionLeases:
+    def test_ghost_user_is_reaped_and_locks_released(self, leased_server):
+        """A client that dies without wt.leave loses its seat — and its
+        grab locks — once the lease lapses (the paper's FCFS locks must
+        not be held by the dead)."""
+        srv = leased_server
+        c = WindtunnelClient(*srv.address)
+        rid = c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=4)
+        c.send_input([2, 4, 2], [2, 4, 2], "fist")  # grab the rake center
+        assert srv.env.locks.get(rid) == c.client_id
+        c._rpc.stream.close()  # die without wt.leave: a ghost user
+        assert _wait_until(lambda: c.client_id not in srv.env.users)
+        assert rid not in srv.env.locks  # lock released by the reaper
+        assert rid in srv.env.rakes  # but the rake itself survives
+        assert srv.sessions.reaped_total == 1
+        assert srv.reaped_rake_locks == 1
+
+    def test_heartbeat_keeps_an_idle_session_alive(self, leased_server):
+        srv = leased_server
+        with WindtunnelClient(*srv.address) as c:
+            for _ in range(4):
+                time.sleep(0.25)  # past half the lease each time
+                c.heartbeat()
+            assert c.client_id in srv.env.users
+            assert srv.sessions.reaped_total == 0
+
+    def test_reaped_session_resumes_transparently(self, leased_server):
+        """A reaped client's next call rejoins with its token and retries."""
+        srv = leased_server
+        c = WindtunnelClient(*srv.address)
+        try:
+            assert _wait_until(lambda: c.client_id not in srv.env.users)
+            # The seat is gone; this call must resume it, same client_id.
+            c.send_input([1, 1, 1], [1, 1, 1], "open")
+            assert c.client_id in srv.env.users
+            assert c.rejoins >= 1
+            stats = c.server_stats()
+            assert stats["reaped_sessions"] == 1
+            assert stats["resumed_sessions"] >= 1
+        finally:
+            c.close()
+
+    def test_rejoin_with_wrong_token_rejected(self, leased_server):
+        srv = leased_server
+        c = WindtunnelClient(*srv.address)
+        try:
+            with pytest.raises(DlibRemoteError) as exc_info:
+                c._rpc.call_once("wt.rejoin", c.client_id, "forged-token")
+            assert exc_info.value.remote_type == "PermissionError"
+        finally:
+            c.close()
+
+    def test_clean_leave_forgets_the_lease(self, leased_server):
+        srv = leased_server
+        c = WindtunnelClient(*srv.address)
+        cid = c.client_id
+        c.close()
+        assert srv.sessions.get(cid) is None
+        time.sleep(0.6)
+        assert srv.sessions.reaped_total == 0  # nothing left to reap
+
+
+class TestClientDegradation:
+    def test_network_error_is_recorded_not_swallowed(self, server):
+        """A dead transport surfaces on last_network_error."""
+        c = WindtunnelClient(*server.address)
+        c._rpc.stream.close()
+        with pytest.raises((ConnectionError, OSError)):
+            c.fetch_frame()
+        assert c.last_network_error is not None
+        assert c.network_failures >= 1
+
+    def test_network_loop_survives_failure_and_keeps_last_frame(self, server):
+        """Figure 9 degradation: the loop marks state stale and retries;
+        the renderer keeps drawing the last good frame."""
+        c = WindtunnelClient(*server.address, width=80, height=60)
+        rid = c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=3)
+        try:
+            c.fetch_frame()
+            good_state = c.latest_state
+            assert good_state is not None
+            c._rpc.stream.close()  # sever the link under the loop
+            c.start_network_loop(interval=0.01)
+            assert _wait_until(lambda: c.state_stale, timeout=3.0)
+            assert c.last_network_error is not None
+            # The loop thread is still alive, retrying — not returned.
+            assert c._net_thread.is_alive()
+            # And the render half still draws the stale frame.
+            assert c.latest_state is good_state
+            fb = c.render(HEAD)
+            assert fb.nonblack_pixels() > 0
+            c.stop_network_loop()
+        finally:
+            try:
+                c.remove_rake(rid)
+            except Exception:  # noqa: BLE001 - link is dead by design
+                pass
+            c.close()
+
+    def test_reconnect_resumes_session_via_factory(self, server):
+        """With a stream factory, a severed link heals transparently."""
+        c = WindtunnelClient(
+            *server.address,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0, seed=0),
+            call_timeout=2.0,
+        )
+        try:
+            c.fetch_frame()
+            c._rpc.stream.close()
+            state = c.fetch_frame()  # ConnectionError -> reconnect -> rejoin
+            assert state is not None
+            assert c.reconnects >= 1
+            assert c.rejoins >= 1
+            assert c.client_id in server.env.users
+        finally:
+            c.close()
+
+
+class TestFaultToleranceEndToEnd:
+    def test_faulty_client_reconnects_while_staller_is_reaped(self):
+        """The acceptance scenario, all three regimes at once:
+
+        * client A runs 50 full frame() cycles through a FaultyChannel
+          (random drops + one forced mid-frame disconnect), recovering by
+          reconnect + wt.rejoin, rakes intact afterward;
+        * client B stays healthy and its wt.frame latency never spikes,
+          even though
+        * client C sends a partial header, stalls forever holding a rake
+          lock, and gets reaped by the lease sweep.
+        """
+        srv = WindtunnelServer(
+            make_dataset(),
+            settings=ToolSettings(streamline_steps=10),
+            lease_seconds=1.0,
+            reap_interval=0.05,
+        )
+        srv.start()
+        channels = []
+
+        def faulty_factory():
+            plan = (
+                FaultPlan(seed=5, drop_rate=0.12, disconnect_after_sends=4)
+                if not channels
+                else FaultPlan(seed=100 + len(channels), drop_rate=0.12)
+            )
+            chan = FaultyChannel(connect_tcp(*srv.address), plan)
+            channels.append(chan)
+            return chan
+
+        a = b = c_stall = None
+        try:
+            a = WindtunnelClient(
+                stream=faulty_factory(),
+                stream_factory=faulty_factory,
+                retry=RetryPolicy(
+                    max_attempts=6, base_delay=0.01, max_delay=0.1, jitter=0.0, seed=2
+                ),
+                call_timeout=0.25,
+                width=80,
+                height=60,
+            )
+            rake_a = a.add_rake([2, 2, 2], [2, 6, 2], n_seeds=4)
+            b = WindtunnelClient(*srv.address, width=80, height=60)
+            c_stall = WindtunnelClient(*srv.address)
+            rake_c = c_stall.add_rake([6, 2, 2], [6, 6, 2], n_seeds=4)
+            c_stall.send_input([6, 4, 2], [6, 4, 2], "fist")
+            assert srv.env.locks.get(rake_c) == c_stall.client_id
+            # C wedges: half a frame header, then silence forever.
+            c_stall._rpc.stream.send_raw(b"\x2a\x00")
+
+            b_latencies = []
+            for i in range(50):
+                a.frame(HEAD, [4, 4, 2])
+                t0 = time.perf_counter()
+                b.fetch_frame()
+                b_latencies.append(time.perf_counter() - t0)
+
+            # A survived the drops and the forced disconnect, 50/50 cycles.
+            assert a.timer.frames.count == 50
+            assert a.reconnects >= 1 and a.rejoins >= 1
+            assert channels[0].stats.disconnects == 1
+            assert sum(ch.stats.drops for ch in channels) > 0
+            assert rake_a in srv.env.rakes  # A's rake intact
+            assert a.client_id in srv.env.users
+            # B never saw C's stall or A's faults.
+            assert max(b_latencies) < 1.0
+            # C was reaped: seat vacated, lock released, rake survives.
+            assert _wait_until(lambda: c_stall.client_id not in srv.env.users)
+            assert rake_c not in srv.env.locks
+            assert rake_c in srv.env.rakes
+            stats = b.server_stats()
+            assert stats["reaped_sessions"] >= 1
+            assert stats["released_rake_locks"] >= 1
+            assert stats["disconnects"] >= 1
+        finally:
+            for cl in (a, b):
+                if cl is not None:
+                    cl.close()
+            srv.stop()
 
 
 class TestTimerBudgetAccounting:

@@ -182,3 +182,117 @@ class TestServerAbuse:
             c.close()
         with DlibClient(*server.address) as c:
             assert c.call("echo", "alive") == "alive"
+
+
+class TestAdversarialTransport:
+    """Partial frames, mid-payload deaths, and stalls against the server."""
+
+    @pytest.fixture()
+    def server(self):
+        srv = DlibServer()
+        srv.register("echo", lambda ctx, v: v)
+        srv.start()
+        yield srv
+        srv.stop()
+
+    def test_partial_header_then_disconnect(self, server):
+        """Two bytes of a four-byte header, then gone: server sheds it."""
+        import time
+
+        sock = socket.create_connection(server.address)
+        sock.sendall(b"\x10\x00")  # half a length prefix
+        sock.close()
+        time.sleep(0.2)
+        with DlibClient(*server.address) as c:
+            assert c.call("echo", "fine") == "fine"
+            # Teardown accounting: the staller was subtracted, we remain.
+            assert server.context.clients_connected == 1
+            assert server.context.disconnects >= 1
+
+    def test_mid_payload_disconnect(self, server):
+        """A frame promising 100 bytes delivers 7, then the peer dies."""
+        import time
+
+        sock = socket.create_connection(server.address)
+        sock.sendall(struct.pack("<I", 100) + b"partial")
+        sock.close()
+        time.sleep(0.2)
+        with DlibClient(*server.address) as c:
+            assert c.call("echo", "fine") == "fine"
+
+    def test_server_killed_between_call_and_result(self):
+        """The client sees a clean transport error, not a hang."""
+        import threading
+        import time
+
+        release = threading.Event()
+        srv = DlibServer()
+
+        @srv.procedure
+        def slow(ctx):
+            release.set()
+            time.sleep(0.3)
+            return "done"
+
+        srv.start()
+        client = DlibClient(*srv.address)
+        errors = []
+
+        def call():
+            try:
+                client.call("slow")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        t = threading.Thread(target=call)
+        t.start()
+        release.wait(timeout=2.0)
+        srv.stop()  # kills the connection while RESULT is pending
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        client.close()
+        if errors:  # the RESULT may have squeaked out before the close
+            assert isinstance(errors[0], (ConnectionError, OSError))
+
+    def test_stalled_partial_header_does_not_block_other_clients(self, server):
+        """Head-of-line blocking is gone: one wedged client, zero impact.
+
+        Before per-connection reassembly, the blocking ``recv`` inside
+        the select loop meant these echo calls would hang forever.
+        """
+        import time
+
+        staller = socket.create_connection(server.address)
+        staller.sendall(b"\x99")  # one byte of header, then silence
+        try:
+            with DlibClient(*server.address) as c:
+                latencies = []
+                for i in range(20):
+                    t0 = time.perf_counter()
+                    assert c.call("echo", i) == i
+                    latencies.append(time.perf_counter() - t0)
+                assert max(latencies) < 1.0
+        finally:
+            staller.close()
+
+    def test_interleaved_partial_frames_reassemble(self, server):
+        """A frame trickled one byte at a time still dispatches correctly."""
+        from repro.dlib.protocol import MessageKind, encode_message
+
+        sock = socket.create_connection(server.address)
+        try:
+            payload = encode_message(
+                MessageKind.CALL, 9, {"proc": "echo", "args": ["trickle"]}
+            )
+            frame = struct.pack("<I", len(payload)) + payload
+            for i in range(len(frame)):
+                sock.sendall(frame[i : i + 1])
+            with Stream(sock) as s:
+                from repro.dlib.protocol import decode_message as dm
+
+                kind, rid, result = dm(s.recv())
+                assert rid == 9 and result == "trickle"
+                sock = None  # Stream.close owns the socket now
+        finally:
+            if sock is not None:
+                sock.close()

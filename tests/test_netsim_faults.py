@@ -1,0 +1,201 @@
+"""FaultyChannel: deterministic fault injection over real transports."""
+
+import struct
+
+import pytest
+
+from repro.dlib import DlibClient, DlibServer, RetryPolicy
+from repro.dlib.transport import connect_tcp, pipe_pair
+from repro.netsim import (
+    FaultPlan,
+    FaultyChannel,
+    NetworkModel,
+    ThrottledChannel,
+    VirtualClock,
+)
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_rate=-0.1)
+
+    def test_disconnect_counts_from_one(self):
+        with pytest.raises(ValueError):
+            FaultPlan(disconnect_after_sends=0)
+
+    def test_negative_stall_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(stall_seconds=-1.0)
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        a, b = pipe_pair()
+        chan = FaultyChannel(
+            a,
+            FaultPlan(seed=seed, drop_rate=0.3, duplicate_rate=0.2, corrupt_rate=0.2),
+        )
+        try:
+            for i in range(40):
+                chan.send(bytes([i]) * 8)
+            return (
+                chan.stats.drops,
+                chan.stats.duplicates,
+                chan.stats.corruptions,
+            )
+        finally:
+            a.close()
+            b.close()
+
+    def test_same_seed_same_fault_sequence(self):
+        assert self._run(7) == self._run(7)
+
+    def test_different_seed_differs(self):
+        outcomes = {self._run(s) for s in range(6)}
+        assert len(outcomes) > 1
+
+    def test_faults_actually_fire(self):
+        drops, dups, corrupts = self._run(7)
+        assert drops > 0 and dups > 0 and corrupts > 0
+
+
+class TestFrameLevelFaults:
+    def test_drop_means_peer_sees_nothing(self):
+        a, b = pipe_pair()
+        try:
+            chan = FaultyChannel(a, FaultPlan(drop_rate=1.0))
+            chan.send(b"vanishes")
+            assert chan.stats.drops == 1
+            # The peer got zero bytes — not even a header.
+            assert a.bytes_sent == 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_duplicate_emits_two_identical_frames(self):
+        a, b = pipe_pair()
+        try:
+            chan = FaultyChannel(a, FaultPlan(duplicate_rate=1.0))
+            chan.send(b"twice")
+            assert b.recv() == b"twice"
+            assert b.recv() == b"twice"
+            assert chan.stats.duplicates == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_corruption_flips_exactly_one_byte(self):
+        a, b = pipe_pair()
+        try:
+            chan = FaultyChannel(a, FaultPlan(seed=3, corrupt_rate=1.0))
+            chan.send(b"\x00" * 16)
+            got = b.recv()
+            assert len(got) == 16
+            assert sum(byte != 0 for byte in got) == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_forced_disconnect_emits_naked_prefix_then_raises(self):
+        a, b = pipe_pair()
+        try:
+            chan = FaultyChannel(
+                a,
+                FaultPlan(disconnect_after_sends=2, disconnect_partial_bytes=2),
+            )
+            chan.send(b"first frame ok")
+            assert b.recv() == b"first frame ok"
+            with pytest.raises(ConnectionError):
+                chan.send(b"never completes")
+            assert chan.stats.disconnects == 1
+            assert chan.closed
+            # The victim saw 2 bytes of header and then EOF: a torn frame.
+            with pytest.raises(ConnectionError):
+                b.recv()
+        finally:
+            b.close()
+
+
+class TestComposition:
+    def test_faults_compose_with_throttling_and_virtual_clock(self):
+        """The paper's degraded-UltraNet regime *with* faults, for free."""
+        a, b = pipe_pair()
+        clock = VirtualClock()
+        model = NetworkModel("slow", bandwidth=1000.0)
+        try:
+            slow = ThrottledChannel(a, model, clock=clock)
+            flaky = FaultyChannel(
+                slow, FaultPlan(stall_rate=1.0, stall_seconds=0.5), clock=clock
+            )
+            flaky.send(b"x" * 500)
+            assert b.recv() == b"x" * 500
+            # Modeled: 0.5 s injected stall + 0.5 s of 1 kB/s transfer.
+            assert clock.now == pytest.approx(1.0)
+            assert flaky.stats.stalls == 1
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAgainstRealServer:
+    @pytest.fixture()
+    def server(self):
+        srv = DlibServer()
+        srv.register("echo", lambda ctx, v: v)
+        srv.start()
+        yield srv
+        srv.stop()
+
+    def test_duplicate_calls_do_not_desync_the_client(self, server):
+        """Stale responses from duplicated frames are skipped, not fatal."""
+        raw = connect_tcp(*server.address)
+        chan = FaultyChannel(raw, FaultPlan(duplicate_rate=1.0))
+        with DlibClient(stream=chan) as c:
+            for i in range(10):
+                assert c.call("echo", i) == i
+        assert chan.stats.duplicates == 10
+
+    def test_corrupt_frames_cannot_kill_the_server(self, server):
+        """A client spraying corrupted frames is contained to itself."""
+        raw = connect_tcp(*server.address)
+        chan = FaultyChannel(raw, FaultPlan(seed=11, corrupt_rate=1.0))
+        client = DlibClient(stream=chan, call_timeout=0.5)
+        for i in range(5):
+            try:
+                client.call_once("echo", i)
+            except Exception:  # noqa: BLE001 - any outcome but a hang is fine
+                break
+        client.close()
+        with DlibClient(*server.address) as clean:
+            assert clean.call("echo", "alive") == "alive"
+
+    def test_retry_reconnects_through_drops_and_disconnect(self, server):
+        """Idempotent calls survive a lossy first channel via the factory."""
+        channels = []
+
+        def factory():
+            raw = connect_tcp(*server.address)
+            plan = (
+                FaultPlan(seed=1, drop_rate=1.0, disconnect_after_sends=2)
+                if not channels
+                else FaultPlan()
+            )
+            chan = FaultyChannel(raw, plan)
+            channels.append(chan)
+            return chan
+
+        client = DlibClient(
+            stream_factory=factory,
+            call_timeout=0.3,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.0, seed=0),
+            idempotent={"echo"},
+        )
+        try:
+            assert client.call("echo", 42) == 42
+            assert client.reconnects >= 1
+            assert channels[0].stats.drops >= 1
+        finally:
+            client.close()
