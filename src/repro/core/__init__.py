@@ -17,18 +17,26 @@ This package composes every substrate into the paper's system (section 5):
   decoupled from network traffic (figure 9).
 * :mod:`~repro.core.governor` — the frame-budget feedback loop trading
   "a rich environment" against frame rate (section 1.2).
+* :mod:`~repro.core.pipeline` / :mod:`~repro.core.framestore` — figure 8
+  made real: the staged load -> compute -> publish producer pipeline and
+  the immutable, pre-encoded frame store it publishes into.
 """
 
 from repro.core.timectrl import TimeControl
 from repro.core.environment import Environment, UserState
 from repro.core.session import SessionExpiredError, SessionLease, SessionTable
 from repro.core.engine import ComputeEngine, ToolSettings
+from repro.core.framestore import FrameStore, PublishedFrame
+from repro.core.pipeline import FramePipeline
 from repro.core.server import WindtunnelServer
 from repro.core.client import WindtunnelClient
 from repro.core.governor import FrameBudgetGovernor
 from repro.core.recording import SessionPlayer, SessionRecorder, attach_recorder
 
 __all__ = [
+    "FramePipeline",
+    "FrameStore",
+    "PublishedFrame",
     "SessionRecorder",
     "SessionPlayer",
     "attach_recorder",

@@ -52,6 +52,7 @@ _IDEMPOTENT_PROCEDURES = frozenset(
         "wt.frame",
         "wt.snapshot",
         "wt.stats",
+        "wt.pipeline_stats",
         "wt.heartbeat",
         "wt.isosurface",
         "wt.rejoin",
@@ -212,6 +213,10 @@ class WindtunnelClient:
 
     def server_stats(self) -> dict:
         return self._call("wt.stats")
+
+    def pipeline_stats(self) -> dict:
+        """Stage-resolved frame-pipeline statistics (``wt.pipeline_stats``)."""
+        return self._call("wt.pipeline_stats", self.client_id)
 
     def set_tool_settings(self, **settings) -> dict:
         """Adjust shared tracer parameters (steps, dt, streak length)."""

@@ -70,6 +70,9 @@ class ComputeEngine:
         self.backend = backend
         self.workers = workers
         self.loader = loader
+        # The frame pipeline flips this off when it takes over prefetch
+        # prediction (its clock-lookahead guess beats blind t+direction).
+        self.auto_prefetch = True
         self._locator = GridLocator(dataset.grid)
         self._streaks: dict[int, StreaklineTracer] = {}
         self._streak_last: dict[int, int] = {}
@@ -103,7 +106,9 @@ class ComputeEngine:
 
     def _grid_velocity(self, timestep: int, direction: int = 1) -> np.ndarray:
         if self.loader is not None:
-            return self.loader.load(timestep, direction)
+            return self.loader.load(
+                timestep, direction, auto_prefetch=self.auto_prefetch
+            )
         return self.dataset.grid_velocity(timestep)
 
     def compute_rake(
@@ -146,18 +151,42 @@ class ComputeEngine:
         self, env: Environment, timestep: int, *, quality: float = 1.0
     ) -> dict[int, TracerResult]:
         """Compute every rake in the environment.  Returns id -> result."""
-        settings = self.settings if quality >= 1.0 else self.settings.scaled(quality)
-        direction = env.clock.direction
+        return self.compute_rakes(
+            env.rakes, timestep, direction=env.clock.direction, quality=quality
+        )
+
+    def compute_rakes(
+        self,
+        rakes: dict[int, Rake],
+        timestep: int,
+        *,
+        direction: int = 1,
+        quality: float = 1.0,
+        settings: ToolSettings | None = None,
+    ) -> dict[int, TracerResult]:
+        """Compute a rake set (usually an environment snapshot).
+
+        The frame pipeline's producer thread calls this with a *copied*
+        rake dict taken under the environment lock, so the service thread
+        can keep mutating the live environment mid-compute.  Per-rake
+        persistent state (streakline populations, seed warm starts) for
+        rakes absent from ``rakes`` is garbage-collected here — rake ids
+        are never reused, so a later snapshot can't resurrect stale state.
+        """
+        base = settings or self.settings
+        effective = base if quality >= 1.0 else base.scaled(quality)
         out: dict[int, TracerResult] = {}
-        for rake_id, rake in env.rakes.items():
+        for rake_id, rake in rakes.items():
             out[rake_id] = self.compute_rake(
-                rake, timestep, direction=direction, settings=settings
+                rake, timestep, direction=direction, settings=effective
             )
         # Garbage-collect state for rakes that no longer exist.
-        gone = set(self._streaks) - set(env.rakes)
-        for rid in gone:
+        live = set(rakes)
+        for rid in set(self._streaks) - live:
             del self._streaks[rid]
             self._streak_last.pop(rid, None)
+        for rid in set(self._seed_cache) - live:
+            del self._seed_cache[rid]
         return out
 
     def reset_rake_state(self, rake_id: int) -> None:

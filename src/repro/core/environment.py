@@ -9,13 +9,17 @@ who grabbed it first gets control of that rake and the second user is
 locked out ... until the first user lets the rake go.  Other rakes are
 unaffected by this locking"), and the shared flow clock.
 
-Every mutation bumps ``version`` so the server can cache the computed
-visualization per (version, timestep) and hand the *same* result to every
-client — the single shared visualization of the paper's design.
+Every mutation bumps ``version`` and notifies any subscribed listeners —
+the frame pipeline subscribes so a rake edit, tool-settings change, or
+time-control command wakes the producer *immediately* instead of being
+discovered on its next poll.  Mutations take an internal re-entrant lock,
+so the producer thread can snapshot the environment consistently while
+the dlib service thread keeps applying user commands.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -72,18 +76,46 @@ class Environment:
         self.version = 0
         self._next_rake_id = 1
         self._next_client_id = 1
+        # Mutations are serialized against snapshot readers (the frame
+        # pipeline's producer thread); re-entrant because update_user
+        # nests try_grab/release.
+        self.lock = threading.RLock()
+        self._listeners: list = []
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener()`` to run after every version bump.
+
+        Listeners fire with the environment lock held and must be cheap
+        and non-blocking — setting an event, not doing work.  This is the
+        dirty-notification channel that lets the frame pipeline recompute
+        on the mutation itself rather than on its next poll.
+        """
+        self._listeners.append(listener)
+
+    def bump(self) -> None:
+        """Explicitly invalidate the shared visualization.
+
+        For state the environment does not own (tool settings on the
+        engine, time control applied straight to the clock) but whose
+        changes must still invalidate published frames.
+        """
+        with self.lock:
+            self._bump()
 
     def _bump(self) -> None:
         self.version += 1
+        for listener in self._listeners:
+            listener()
 
     # -- users -----------------------------------------------------------------
 
     def add_user(self, name: str = "") -> UserState:
-        user = UserState(client_id=self._next_client_id, name=name)
-        self._next_client_id += 1
-        self.users[user.client_id] = user
-        self._bump()
-        return user
+        with self.lock:
+            user = UserState(client_id=self._next_client_id, name=name)
+            self._next_client_id += 1
+            self.users[user.client_id] = user
+            self._bump()
+            return user
 
     def restore_user(self, client_id: int, name: str = "") -> UserState:
         """Re-seat a previously removed user under their old id.
@@ -93,24 +125,26 @@ class Environment:
         dangle.  The id counter is advanced past the restored id so later
         joins can never collide with it.
         """
-        client_id = int(client_id)
-        if client_id in self.users:
-            raise ValueError(f"client {client_id} is already present")
-        user = UserState(client_id=client_id, name=name)
-        self.users[client_id] = user
-        self._next_client_id = max(self._next_client_id, client_id + 1)
-        self._bump()
-        return user
+        with self.lock:
+            client_id = int(client_id)
+            if client_id in self.users:
+                raise ValueError(f"client {client_id} is already present")
+            user = UserState(client_id=client_id, name=name)
+            self.users[client_id] = user
+            self._next_client_id = max(self._next_client_id, client_id + 1)
+            self._bump()
+            return user
 
     def remove_user(self, client_id: int) -> None:
-        user = self.users.pop(client_id, None)
-        if user is None:
-            raise KeyError(f"no such client {client_id}")
-        # Anything they held is released (their locks evaporate).
-        for rake_id, owner in list(self.locks.items()):
-            if owner == client_id:
-                del self.locks[rake_id]
-        self._bump()
+        with self.lock:
+            user = self.users.pop(client_id, None)
+            if user is None:
+                raise KeyError(f"no such client {client_id}")
+            # Anything they held is released (their locks evaporate).
+            for rake_id, owner in list(self.locks.items()):
+                if owner == client_id:
+                    del self.locks[rake_id]
+            self._bump()
 
     def _user(self, client_id: int) -> UserState:
         user = self.users.get(client_id)
@@ -121,22 +155,39 @@ class Environment:
     # -- rakes -----------------------------------------------------------------
 
     def add_rake(self, rake: Rake) -> int:
-        rake_id = self._next_rake_id
-        self._next_rake_id += 1
-        rake.rake_id = rake_id
-        self.rakes[rake_id] = rake
-        self._bump()
-        return rake_id
+        with self.lock:
+            rake_id = self._next_rake_id
+            self._next_rake_id += 1
+            rake.rake_id = rake_id
+            self.rakes[rake_id] = rake
+            self._bump()
+            return rake_id
 
     def remove_rake(self, rake_id: int) -> None:
-        if rake_id not in self.rakes:
-            raise KeyError(f"no such rake {rake_id}")
-        if rake_id in self.locks:
-            raise PermissionError(
-                f"rake {rake_id} is held by client {self.locks[rake_id]}"
-            )
-        del self.rakes[rake_id]
-        self._bump()
+        with self.lock:
+            if rake_id not in self.rakes:
+                raise KeyError(f"no such rake {rake_id}")
+            if rake_id in self.locks:
+                raise PermissionError(
+                    f"rake {rake_id} is held by client {self.locks[rake_id]}"
+                )
+            del self.rakes[rake_id]
+            self._bump()
+
+    def rakes_snapshot(self) -> tuple[int, dict[int, Rake]]:
+        """A consistent ``(version, rakes)`` copy for off-thread compute.
+
+        The producer thread computes from this snapshot while the service
+        thread keeps mutating; copying the rakes (geometry included)
+        means a mid-compute drag can never tear a seed line — the drag's
+        own version bump triggers the recompute that shows it.
+        """
+        with self.lock:
+            rakes = {
+                rid: Rake.from_dict(rake.to_dict())
+                for rid, rake in self.rakes.items()
+            }
+            return self.version, rakes
 
     def rake_owner(self, rake_id: int) -> int | None:
         return self.locks.get(rake_id)
@@ -150,39 +201,41 @@ class Environment:
         skipped ("the second user is locked out of interaction with that
         rake"), but *other* rakes remain grabbable.
         """
-        user = self._user(client_id)
-        if user.holding is not None:
-            return True  # already holding something
-        hand = np.asarray(hand_position, dtype=np.float64)
-        best: tuple[float, int, GrabPoint] | None = None
-        for rake_id, rake in self.rakes.items():
-            owner = self.locks.get(rake_id)
-            if owner is not None and owner != client_id:
-                continue  # locked out, FCFS
-            grab = rake.nearest_grab(hand, self.grab_radius)
-            if grab is None:
-                continue
-            d = float(np.linalg.norm(rake.grab_position(grab) - hand))
-            if best is None or d < best[0]:
-                best = (d, rake_id, grab)
-        if best is None:
-            return False
-        _, rake_id, grab = best
-        self.locks[rake_id] = client_id
-        user.holding = (rake_id, grab)
-        self._bump()
-        return True
+        with self.lock:
+            user = self._user(client_id)
+            if user.holding is not None:
+                return True  # already holding something
+            hand = np.asarray(hand_position, dtype=np.float64)
+            best: tuple[float, int, GrabPoint] | None = None
+            for rake_id, rake in self.rakes.items():
+                owner = self.locks.get(rake_id)
+                if owner is not None and owner != client_id:
+                    continue  # locked out, FCFS
+                grab = rake.nearest_grab(hand, self.grab_radius)
+                if grab is None:
+                    continue
+                d = float(np.linalg.norm(rake.grab_position(grab) - hand))
+                if best is None or d < best[0]:
+                    best = (d, rake_id, grab)
+            if best is None:
+                return False
+            _, rake_id, grab = best
+            self.locks[rake_id] = client_id
+            user.holding = (rake_id, grab)
+            self._bump()
+            return True
 
     def release(self, client_id: int) -> None:
         """Let go of whatever this user holds (no-op if nothing)."""
-        user = self._user(client_id)
-        if user.holding is None:
-            return
-        rake_id, _ = user.holding
-        user.holding = None
-        if self.locks.get(rake_id) == client_id:
-            del self.locks[rake_id]
-        self._bump()
+        with self.lock:
+            user = self._user(client_id)
+            if user.holding is None:
+                return
+            rake_id, _ = user.holding
+            user.holding = None
+            if self.locks.get(rake_id) == client_id:
+                del self.locks[rake_id]
+            self._bump()
 
     def update_user(
         self,
@@ -197,30 +250,32 @@ class Environment:
         OPEN releases.  Dragging while holding moves the rake with the
         hand, honoring the grab-point semantics (center vs end).
         """
-        user = self._user(client_id)
-        user.head_position = np.asarray(head_position, dtype=np.float64)
-        user.hand_position = np.asarray(hand_position, dtype=np.float64)
-        user.gesture = str(gesture)
-        if gesture == "fist":
-            if user.holding is None:
-                self.try_grab(client_id, user.hand_position)
-            if user.holding is not None:
-                rake_id, grab = user.holding
-                self.rakes[rake_id].move(grab, user.hand_position)
-                self._bump()
-        elif gesture == "open" and user.holding is not None:
-            self.release(client_id)
+        with self.lock:
+            user = self._user(client_id)
+            user.head_position = np.asarray(head_position, dtype=np.float64)
+            user.hand_position = np.asarray(hand_position, dtype=np.float64)
+            user.gesture = str(gesture)
+            if gesture == "fist":
+                if user.holding is None:
+                    self.try_grab(client_id, user.hand_position)
+                if user.holding is not None:
+                    rake_id, grab = user.holding
+                    self.rakes[rake_id].move(grab, user.hand_position)
+                    self._bump()
+            elif gesture == "open" and user.holding is not None:
+                self.release(client_id)
 
     # -- wire ------------------------------------------------------------------
 
     def snapshot(self, wall: float) -> dict:
         """Serializable view of the environment for clients to render."""
-        return {
-            "version": self.version,
-            "clock": self.clock.snapshot(wall),
-            "rakes": {
-                str(rid): {**rake.to_dict(), "owner": self.locks.get(rid)}
-                for rid, rake in self.rakes.items()
-            },
-            "users": {str(uid): u.to_wire() for uid, u in self.users.items()},
-        }
+        with self.lock:
+            return {
+                "version": self.version,
+                "clock": self.clock.snapshot(wall),
+                "rakes": {
+                    str(rid): {**rake.to_dict(), "owner": self.locks.get(rid)}
+                    for rid, rake in self.rakes.items()
+                },
+                "users": {str(uid): u.to_wire() for uid, u in self.users.items()},
+            }

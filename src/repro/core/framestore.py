@@ -1,0 +1,205 @@
+"""The published-frame store: figure 8's hand-off buffer, made explicit.
+
+The producer pipeline computes and encodes frames; the dlib service
+thread serves them.  The seam between the two is this store: a
+double-buffered slot holding the latest :class:`PublishedFrame` (plus the
+one it replaced, so a reader mid-copy can never see a frame torn down
+under it) guarded by a condition variable.  Publishing is the only write;
+reads are lock-brief snapshots; a reader that needs a *fresher* frame
+than the current one waits on the condition with a deadline.
+
+Published frames are immutable by construction: the path arrays are
+read-only NumPy views and the wire encoding is a frozen byte fragment
+(:class:`~repro.dlib.protocol.PreEncoded`), so N clients can share one
+frame with zero copies and zero risk of cross-client corruption — the
+shared-visualization guarantee of section 5.1, enforced by the buffer
+flags instead of by convention.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dlib.protocol import PreEncoded, encode_value
+
+__all__ = ["PublishedFrame", "FrameStore", "encode_paths"]
+
+
+def encode_paths(
+    kinds: dict[int, str], results: dict
+) -> tuple[dict, PreEncoded, int]:
+    """One-shot wire encoding of a frame's tracer results.
+
+    Returns ``(paths, wire, n_points)`` where ``paths`` is the in-process
+    view (read-only float32 vertex and int64 length arrays per rake) and
+    ``wire`` is the same structure pre-encoded as a dlib value fragment.
+    This is the *only* place path arrays are serialized; every
+    ``wt.frame`` response afterwards splices ``wire`` verbatim.
+    """
+    paths: dict[str, dict] = {}
+    n_points = 0
+    for rid, res in results.items():
+        vertices, lengths = res.wire_arrays()
+        paths[str(rid)] = {
+            "kind": kinds[rid],
+            "vertices": vertices,  # float32: 12 bytes/point
+            "lengths": lengths,
+        }
+        n_points += int(lengths.sum())
+    return paths, PreEncoded(encode_value(paths)), n_points
+
+
+@dataclass(frozen=True)
+class PublishedFrame:
+    """One immutable, wire-ready frame of the shared visualization.
+
+    Attributes
+    ----------
+    version, timestep
+        The environment epoch this frame was computed for — the old
+        cache key, now explicit provenance.
+    seq
+        Monotonic publication number (assigned by the store).
+    paths
+        ``{rake_id: {kind, vertices, lengths}}`` with read-only arrays.
+    paths_wire
+        The same structure as a pre-encoded dlib fragment; responses
+        splice it without re-serializing.
+    compute_seconds
+        Production cost (load + locate + integrate) — what the governor
+        saw for this frame.
+    stage_seconds
+        Per-stage wall times: ``load``, ``locate``, ``integrate``,
+        ``encode`` (encode is stamped by the encode stage just before
+        publication).
+    quality
+        Governor quality the frame was computed at.
+    n_points
+        Total valid path points (the paper's particle count).
+    """
+
+    version: int
+    timestep: int
+    seq: int
+    paths: dict
+    paths_wire: PreEncoded
+    compute_seconds: float
+    stage_seconds: dict = field(default_factory=dict)
+    quality: float = 1.0
+    n_points: int = 0
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.version, self.timestep)
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.paths_wire.nbytes
+
+
+class FrameStore:
+    """Double-buffered publication point between producer and servers.
+
+    One writer (the pipeline's encode stage), any number of readers (the
+    dlib service thread today; sharded servers tomorrow).  ``publish``
+    swaps the new frame in and wakes every waiter; ``latest`` is a
+    snapshot read; ``wait_beyond`` blocks until a publication newer than
+    a known sequence number lands (or the deadline passes).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._front: PublishedFrame | None = None
+        self._back: PublishedFrame | None = None  # previous frame, kept alive
+        self._seq = 0
+        self.published_total = 0
+        self.publish_gap = None  # seconds between the last two publishes
+        self._last_publish_mono: float | None = None
+        self._period_sum = 0.0
+        self._period_count = 0
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the latest published frame (0 = none yet)."""
+        with self._cond:
+            return self._seq
+
+    def latest(self) -> PublishedFrame | None:
+        with self._cond:
+            return self._front
+
+    def previous(self) -> PublishedFrame | None:
+        """The frame the latest one replaced (the back buffer)."""
+        with self._cond:
+            return self._back
+
+    @property
+    def publish_period_mean(self) -> float:
+        """Mean seconds between consecutive publishes (0 if < 2 frames)."""
+        with self._cond:
+            if self._period_count == 0:
+                return 0.0
+            return self._period_sum / self._period_count
+
+    def publish(self, frame: PublishedFrame) -> PublishedFrame:
+        """Swap ``frame`` in as the current frame; wake all waiters.
+
+        The store assigns the sequence number — callers build frames with
+        ``seq=0`` and receive the stamped copy back.
+        """
+        with self._cond:
+            self._seq += 1
+            stamped = PublishedFrame(
+                version=frame.version,
+                timestep=frame.timestep,
+                seq=self._seq,
+                paths=frame.paths,
+                paths_wire=frame.paths_wire,
+                compute_seconds=frame.compute_seconds,
+                stage_seconds=frame.stage_seconds,
+                quality=frame.quality,
+                n_points=frame.n_points,
+            )
+            self._back = self._front
+            self._front = stamped
+            self.published_total += 1
+            now = time.monotonic()
+            if self._last_publish_mono is not None:
+                gap = now - self._last_publish_mono
+                self.publish_gap = gap
+                self._period_sum += gap
+                self._period_count += 1
+            self._last_publish_mono = now
+            self._cond.notify_all()
+            return stamped
+
+    def wait_beyond(
+        self, seq: int, timeout: float
+    ) -> PublishedFrame | None:
+        """Block until a frame with sequence > ``seq`` is published.
+
+        Returns the newest such frame, or ``None`` on timeout.  Readers
+        use short slices of this in a loop so they can re-examine the
+        environment clock (and shutdown flags) while waiting.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._seq <= seq:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return self._front
+
+    @staticmethod
+    def freeze_arrays(paths: dict) -> dict:
+        """Utility: mark every ndarray in a paths dict read-only."""
+        for entry in paths.values():
+            for value in entry.values():
+                if isinstance(value, np.ndarray):
+                    value.setflags(write=False)
+        return paths

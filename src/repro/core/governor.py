@@ -6,6 +6,12 @@ watches measured frame times and adjusts a *quality* scalar that the
 compute engine applies to path lengths, keeping the whole cycle inside
 budget as the user piles on rakes — and restoring quality when load
 drops.
+
+The governor lives on the frame pipeline's *producer* thread, not the
+RPC path: it is fed the production cost of each published frame (load +
+locate + integrate), so quality tracks what actually bounds the frame
+period under figure 8's overlapped architecture, and a storm of cheap
+cached ``wt.frame`` reads can no longer dilute the feedback signal.
 """
 
 from __future__ import annotations
@@ -76,3 +82,14 @@ class FrameBudgetGovernor:
         self.quality = 1.0
         self.frames_over_budget = 0
         self.frames_recorded = 0
+
+    def to_wire(self) -> dict:
+        """Serializable state for ``wt.pipeline_stats``."""
+        return {
+            "quality": self.quality,
+            "budget": self.budget,
+            "target": self.target,
+            "frames_recorded": self.frames_recorded,
+            "frames_over_budget": self.frames_over_budget,
+            "over_budget_fraction": self.over_budget_fraction,
+        }

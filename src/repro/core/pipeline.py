@@ -1,0 +1,474 @@
+"""Figure 8 made real: the staged load -> compute -> publish frame pipeline.
+
+The paper's figure 8 shows the remote system as *concurrent* processes:
+while the current visualization computes, the next timestep loads, and
+finished frames stream to the workstation.  Earlier revisions of this
+reproduction collapsed all of that onto the RPC path — every ``wt.frame``
+call computed, encoded, and serialized inline on the dlib service thread,
+so the steady-state frame period was the *sum* of the stage times and a
+slow stage stalled every client.
+
+:class:`FramePipeline` restores the overlap:
+
+* a **producer thread** follows the environment clock, loads the needed
+  timestep (prefetching where the clock is *going*, one production period
+  ahead), locates rake seeds, and integrates the tracers;
+* an **encode stage** (its own thread) serializes the finished results
+  once into a wire-ready fragment and publishes an immutable
+  :class:`~repro.core.framestore.PublishedFrame` into the shared
+  :class:`~repro.core.framestore.FrameStore`;
+* the dlib service thread's ``wt.frame`` handler becomes a cheap read of
+  the store — N clients cost one compute and one encode.
+
+Steady state, the publish period approaches ``max(t_load, t_integrate,
+t_encode)`` instead of their sum (the ``benchmarks/test_fig8_live_pipeline``
+benchmark measures exactly this against the analytic model in
+:mod:`repro.perf.pipeline`).
+
+Production is **demand-gated** so an idle server stays idle and frozen-
+clock tests stay deterministic: the producer computes only when a client
+is actually waiting for a fresh frame, or when the clock has advanced to
+a new timestep while frame demand is live (a ``wt.frame`` arrived within
+the demand window).  Environment mutations *invalidate* (wake) the
+producer immediately via :meth:`Environment.subscribe`, but never cause
+speculative recomputes on their own — the next waiting client does.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+
+from repro.core.environment import Environment
+from repro.core.framestore import FrameStore, PublishedFrame, encode_paths
+from repro.core.governor import FrameBudgetGovernor
+from repro.util.timers import Stopwatch, TimingStats
+
+__all__ = ["FramePipeline"]
+
+log = logging.getLogger(__name__)
+
+STAGES = ("load", "locate", "integrate", "encode")
+
+
+@dataclass
+class _Job:
+    """A computed-but-not-yet-encoded frame, handed producer -> encoder."""
+
+    version: int
+    timestep: int
+    kinds: dict[int, str]
+    results: dict
+    compute_seconds: float
+    stage_seconds: dict = field(default_factory=dict)
+    quality: float = 1.0
+
+
+class FramePipeline:
+    """Producer pipeline feeding a :class:`FrameStore`.
+
+    Parameters
+    ----------
+    engine
+        The compute engine.  In threaded mode the producer thread is the
+        *only* caller of its compute methods (the engine's per-rake state
+        is not thread-safe).
+    env
+        The shared environment; the pipeline subscribes to its version
+        bumps for immediate invalidation wake-ups.
+    store
+        Publication point read by the RPC layer.
+    governor
+        Optional frame-budget governor.  It lives here, on the producer:
+        it is fed the *production* cost (load + locate + integrate) of
+        every frame actually computed, so cheap cached reads cannot
+        dilute its feedback signal.
+    time_fn
+        The environment wall clock (injectable for deterministic tests).
+        Demand-window bookkeeping always uses real ``time.monotonic``.
+    threaded
+        ``True`` runs the producer and encoder threads (figure 8).
+        ``False`` is the serial fallback: ``produce_inline`` runs the
+        same stages synchronously on the caller's thread — used by the
+        benchmark as the sum-of-stages baseline.
+    demand_window
+        Seconds (real time) after a ``wt.frame`` request during which the
+        clock ticking to a new timestep triggers anticipatory production.
+    stage_cost
+        Optional ``{stage: seconds}`` of modeled extra work charged inside
+        the named stages (idiomatic with the repo's disk/network models);
+        the live-pipeline benchmark uses it to build the synthetic
+        three-stage workload of the acceptance criteria.
+    """
+
+    def __init__(
+        self,
+        engine,
+        env: Environment,
+        store: FrameStore,
+        *,
+        governor: FrameBudgetGovernor | None = None,
+        time_fn=time.monotonic,
+        threaded: bool = True,
+        demand_window: float = 0.5,
+        poll_interval: float = 0.02,
+        stage_cost: dict | None = None,
+    ) -> None:
+        self.engine = engine
+        self.env = env
+        self.store = store
+        self.governor = governor
+        self.threaded = bool(threaded)
+        self._time_fn = time_fn
+        self._demand_window = float(demand_window)
+        self._poll_interval = float(poll_interval)
+        self.stage_cost = dict(stage_cost or {})
+
+        self._running = False
+        self._work = threading.Event()
+        self._queue: queue.Queue = queue.Queue(maxsize=1)
+        self._compute_thread: threading.Thread | None = None
+        self._encode_thread: threading.Thread | None = None
+
+        self._state_lock = threading.Lock()
+        self._waiters = 0
+        self._demand_until = 0.0
+        self._last_key: tuple[int, int] | None = None
+
+        self._stats_lock = threading.Lock()
+        self.stage_stats: dict[str, TimingStats] = {
+            name: TimingStats() for name in STAGES
+        }
+        self.compute_stats = TimingStats()  # load + locate + integrate
+        self.frames_produced = 0
+        self.frames_encoded = 0
+        self.frames_anticipated = 0
+        self.requests = 0
+        self.invalidations = 0
+        self.produce_errors = 0
+
+        if engine.loader is not None:
+            # Prefetch prediction is the pipeline's job now — see
+            # ``_predict_next``.  This also covers the engine's internal
+            # loads during the integrate stage.
+            engine.auto_prefetch = False
+
+        env.subscribe(self.invalidate)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "FramePipeline":
+        if not self.threaded:
+            return self
+        if self._running:
+            raise RuntimeError("pipeline already started")
+        self._running = True
+        self._compute_thread = threading.Thread(
+            target=self._compute_loop, name="wt-frame-producer", daemon=True
+        )
+        self._encode_thread = threading.Thread(
+            target=self._encode_loop, name="wt-frame-encoder", daemon=True
+        )
+        self._compute_thread.start()
+        self._encode_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        self._work.set()
+        for t in (self._compute_thread, self._encode_thread):
+            if t is not None and t.is_alive():
+                t.join(timeout=5.0)
+        self._compute_thread = None
+        self._encode_thread = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether a waiting reader can still expect a publication."""
+        if not self.threaded:
+            return True  # inline production happens on the caller's thread
+        return self._running and self._compute_thread is not None
+
+    # -- demand signalling (called from the dlib service thread) -----------
+
+    def note_demand(self) -> None:
+        """A ``wt.frame`` arrived: keep anticipatory production live."""
+        until = time.monotonic() + self._demand_window
+        with self._state_lock:
+            if until > self._demand_until:
+                self._demand_until = until
+
+    @contextmanager
+    def waiting(self):
+        """Scope in which a reader is blocked on a fresh frame.
+
+        Registering a waiter is what authorizes the producer to compute
+        outside the tick-anticipation path, so a frozen clock plus an
+        unchanged environment still yields exactly one compute per
+        distinct ``(version, timestep)``.
+        """
+        with self._state_lock:
+            self._waiters += 1
+            self.requests += 1
+        self._work.set()
+        try:
+            yield
+        finally:
+            with self._state_lock:
+                self._waiters -= 1
+
+    def invalidate(self) -> None:
+        """Environment changed: wake the producer immediately.
+
+        Wired to :meth:`Environment.subscribe`, so it runs under the
+        environment lock — it must stay cheap and non-blocking.
+        """
+        self.invalidations += 1
+        self._work.set()
+
+    # -- the producer ------------------------------------------------------
+
+    def _current_key(self) -> tuple[int, int]:
+        return (
+            self.env.version,
+            self.env.clock.timestep_index(self._time_fn()),
+        )
+
+    def _should_produce(self) -> str | None:
+        """Reason to produce now: ``"request"``, ``"tick"``, or ``None``."""
+        key = self._current_key()
+        with self._state_lock:
+            last = self._last_key
+            if key == last:
+                return None
+            if self._waiters > 0:
+                return "request"
+            if (
+                last is not None
+                and key[0] == last[0]
+                and time.monotonic() < self._demand_until
+            ):
+                # The clock rolled to a new timestep while clients are
+                # actively polling: keep the published frame current so
+                # their next read is a cache hit.
+                return "tick"
+        return None
+
+    def _compute_loop(self) -> None:
+        while self._running:
+            reason = self._should_produce()
+            if reason is None:
+                self._work.wait(self._poll_interval)
+                self._work.clear()
+                continue
+            try:
+                job = self._produce()
+            except Exception:  # pragma: no cover - defensive
+                self.produce_errors += 1
+                with self._state_lock:
+                    self._last_key = None  # let a waiter retry
+                log.exception("frame production failed")
+                time.sleep(self._poll_interval)
+                continue
+            if reason == "tick":
+                self.frames_anticipated += 1
+            self._submit(job)
+
+    def _predict_next(self, timestep: int, direction: int) -> int:
+        """The timestep production will need next.
+
+        One production period ahead on the live clock; when the clock is
+        slower than (or equal to) the pipeline that lands on the current
+        timestep, in which case fall back to classic double buffering:
+        the immediate neighbour in the direction of play.
+        """
+        clock = self.env.clock
+        lead = self.production_period_estimate()
+        predicted = clock.lookahead(self._time_fn(), lead) if lead > 0 else timestep
+        if predicted == timestep:
+            step = 1 if direction >= 0 else -1
+            predicted = timestep + step
+            if clock.wrap:
+                predicted %= clock.n_timesteps
+        return predicted
+
+    def _charge(self, stage: str) -> None:
+        cost = self.stage_cost.get(stage, 0.0)
+        if cost > 0.0:
+            time.sleep(cost)
+
+    def _produce(self) -> _Job:
+        """Run the load / locate / integrate stages for the current key."""
+        wall = self._time_fn()
+        version, rakes = self.env.rakes_snapshot()
+        clock = self.env.clock
+        timestep = clock.timestep_index(wall)
+        direction = clock.direction
+        quality = self.governor.quality if self.governor else 1.0
+        settings = replace(self.engine.settings)
+        stage_seconds: dict[str, float] = {}
+
+        loader = self.engine.loader
+        with Stopwatch() as sw:
+            if loader is not None:
+                loader.load(timestep, direction, auto_prefetch=False)
+                # Aim the prefetch where the clock is actually going: the
+                # timestep one production period ahead (which is not t+1
+                # when the clock outruns production).  Issued *now*, at
+                # the top of the cycle, so the background read overlaps
+                # this frame's integration and is resident when the next
+                # cycle starts.  The pipeline owns prefetch policy
+                # outright (``auto_prefetch=False`` above): the naive
+                # t+direction guess would waste the single background
+                # worker on reads nobody will consume.
+                loader.prefetch(self._predict_next(timestep, direction))
+            self._charge("load")
+        stage_seconds["load"] = sw.elapsed
+
+        with Stopwatch() as sw:
+            for rake in rakes.values():
+                self.engine.rake_seeds_grid(rake)
+            self._charge("locate")
+        stage_seconds["locate"] = sw.elapsed
+
+        with Stopwatch() as sw:
+            results = self.engine.compute_rakes(
+                rakes,
+                timestep,
+                direction=direction,
+                quality=quality,
+                settings=settings,
+            )
+            self._charge("integrate")
+        stage_seconds["integrate"] = sw.elapsed
+
+        compute_seconds = sum(stage_seconds.values())
+        with self._stats_lock:
+            for name in ("load", "locate", "integrate"):
+                self.stage_stats[name].add(stage_seconds[name])
+            self.compute_stats.add(compute_seconds)
+            self.frames_produced += 1
+        if self.governor is not None:
+            self.governor.record(compute_seconds)
+        with self._state_lock:
+            self._last_key = (version, timestep)
+
+        return _Job(
+            version=version,
+            timestep=timestep,
+            kinds={rid: rake.kind for rid, rake in rakes.items()},
+            results=results,
+            compute_seconds=compute_seconds,
+            stage_seconds=stage_seconds,
+            quality=quality,
+        )
+
+    def _submit(self, job: _Job) -> None:
+        """Hand a computed frame to the encode stage (bounded queue).
+
+        ``maxsize=1`` is the pipeline's backpressure: a producer that
+        outruns the encoder blocks here, so at most one frame is ever
+        in flight between the stages.
+        """
+        while self._running:
+            try:
+                self._queue.put(job, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def _encode_loop(self) -> None:
+        while True:
+            try:
+                job = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if not self._running:
+                    return
+                continue
+            try:
+                self._encode_and_publish(job)
+            except Exception:  # pragma: no cover - defensive
+                self.produce_errors += 1
+                log.exception("frame encoding failed")
+
+    def _encode_and_publish(self, job: _Job) -> PublishedFrame:
+        with Stopwatch() as sw:
+            paths, wire, n_points = encode_paths(job.kinds, job.results)
+            self._charge("encode")
+        stage_seconds = dict(job.stage_seconds)
+        stage_seconds["encode"] = sw.elapsed
+        with self._stats_lock:
+            self.stage_stats["encode"].add(sw.elapsed)
+            self.frames_encoded += 1
+        frame = PublishedFrame(
+            version=job.version,
+            timestep=job.timestep,
+            seq=0,  # stamped by the store
+            paths=paths,
+            paths_wire=wire,
+            compute_seconds=job.compute_seconds,
+            stage_seconds=stage_seconds,
+            quality=job.quality,
+            n_points=n_points,
+        )
+        return self.store.publish(frame)
+
+    # -- serial fallback ---------------------------------------------------
+
+    def produce_inline(self) -> PublishedFrame:
+        """Compute, encode, and publish synchronously (serial mode).
+
+        Runs the identical stage code on the caller's thread, so the
+        immutability and encode-once guarantees hold in both modes and
+        the benchmark's serial baseline measures sum-of-stages honestly.
+        """
+        return self._encode_and_publish(self._produce())
+
+    # -- stats -------------------------------------------------------------
+
+    def production_period_estimate(self) -> float:
+        """Steady-state publish period the stage times predict: max(t_i)."""
+        with self._stats_lock:
+            means = [s.mean for s in self.stage_stats.values() if s.count]
+        return max(means) if means else 0.0
+
+    def serial_period_estimate(self) -> float:
+        """What the frame period would be unpipelined: sum(t_i)."""
+        with self._stats_lock:
+            return sum(s.mean for s in self.stage_stats.values() if s.count)
+
+    def stats(self) -> dict:
+        """Stage-resolved pipeline statistics (``wt.pipeline_stats``)."""
+        with self._stats_lock:
+            stages = {
+                name: {
+                    "count": s.count,
+                    "mean": s.mean,
+                    "min": s.min if s.count else 0.0,
+                    "max": s.max,
+                    "total": s.total,
+                }
+                for name, s in self.stage_stats.items()
+            }
+            frames_produced = self.frames_produced
+            frames_encoded = self.frames_encoded
+        return {
+            "pipelined": self.threaded,
+            "frames_produced": frames_produced,
+            "frames_encoded": frames_encoded,
+            "frames_published": self.store.published_total,
+            "publish_seq": self.store.seq,
+            "publish_period_mean": self.store.publish_period_mean,
+            "stages": stages,
+            "steady_period_estimate": self.production_period_estimate(),
+            "serial_period_estimate": self.serial_period_estimate(),
+            "frames_anticipated": self.frames_anticipated,
+            "requests": self.requests,
+            "invalidations": self.invalidations,
+            "produce_errors": self.produce_errors,
+            "governor": self.governor.to_wire() if self.governor else None,
+        }

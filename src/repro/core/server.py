@@ -1,12 +1,18 @@
 """The remote system: a dlib server running the shared windtunnel.
 
 Figure 8's left process: receive user commands off the network, update
-the virtual environment, compute the current visualization, send the
-environment state and path arrays back.  Because all commands funnel
-through the dlib server's serial service loop, conflicts resolve
-first-come-first-served with no further machinery (section 5.1), and the
-computed visualization is *shared*: one compute per (environment version,
-timestep), every client receives the same arrays.
+the virtual environment, and serve the shared visualization.  Commands
+still funnel through the dlib server's serial service loop, so conflicts
+resolve first-come-first-served with no further machinery (section 5.1)
+— but the visualization itself is no longer computed on that loop.  A
+:class:`~repro.core.pipeline.FramePipeline` produces frames (load ->
+locate -> integrate -> encode) on its own threads and publishes them,
+immutable and pre-encoded, into a :class:`~repro.core.framestore.FrameStore`;
+``wt.frame`` is a cheap read of the latest publication plus a per-client
+environment snapshot.  One compute and one encode serve N clients, and
+the steady-state frame period approaches the slowest *stage* rather than
+the sum of all of them (figure 8's concurrency, measured by
+``benchmarks/test_fig8_live_pipeline``).
 """
 
 from __future__ import annotations
@@ -17,13 +23,14 @@ import numpy as np
 
 from repro.core.engine import ComputeEngine, ToolSettings
 from repro.core.environment import Environment
+from repro.core.framestore import FrameStore, PublishedFrame
 from repro.core.governor import FrameBudgetGovernor
+from repro.core.pipeline import FramePipeline
 from repro.core.session import SessionTable
 from repro.diskio.loader import TimestepLoader
 from repro.dlib.server import DlibServer
 from repro.flow.dataset import UnsteadyDataset
 from repro.tracers.rake import Rake
-from repro.util.timers import TimingStats
 
 __all__ = ["WindtunnelServer"]
 
@@ -47,6 +54,19 @@ class WindtunnelServer:
         adapts to hold the 1/8 s budget.
     time_fn
         Wall clock (injectable for deterministic tests).
+    pipelined
+        ``True`` (default) runs the figure-8 producer pipeline on its own
+        threads.  ``False`` is the serial fallback: frames are produced
+        inline on the service thread through the same stage code — the
+        benchmark's sum-of-stages baseline.
+    demand_window
+        Seconds of anticipatory production after a ``wt.frame`` request
+        (see :class:`~repro.core.pipeline.FramePipeline`).
+    stage_cost
+        Optional modeled per-stage extra seconds (synthetic workloads).
+    frame_wait
+        Ceiling on how long a ``wt.frame`` call blocks for a fresh frame
+        before erroring.
     lease_seconds
         Session lease term: a client silent this long (measured on
         ``time_fn``) is reaped — its seat vacated, its rake locks
@@ -68,6 +88,10 @@ class WindtunnelServer:
         loader: TimestepLoader | None = None,
         governor: FrameBudgetGovernor | None = None,
         time_fn=time.monotonic,
+        pipelined: bool = True,
+        demand_window: float = 0.5,
+        stage_cost: dict | None = None,
+        frame_wait: float = 10.0,
         lease_seconds: float = 30.0,
         reap_interval: float = 1.0,
     ) -> None:
@@ -78,11 +102,20 @@ class WindtunnelServer:
         )
         self.governor = governor
         self._time_fn = time_fn
-        self.compute_stats = TimingStats()
+        self._frame_wait = float(frame_wait)
+        self.store = FrameStore()
+        self.pipeline = FramePipeline(
+            self.engine,
+            self.env,
+            self.store,
+            governor=governor,
+            time_fn=time_fn,
+            threaded=pipelined,
+            demand_window=demand_window,
+            stage_cost=stage_cost,
+        )
+        self.compute_stats = self.pipeline.compute_stats
         self.frames_served = 0
-        self.frames_computed = 0
-        self._cache_key: tuple[int, int] | None = None
-        self._cache_payload: dict | None = None
         self._iso_cache_key: tuple | None = None
         self._iso_cache: dict | None = None
         self.sessions = SessionTable(lease_seconds, time_fn=time_fn)
@@ -90,6 +123,11 @@ class WindtunnelServer:
         self.dlib = DlibServer(host, port)
         self.dlib.add_tick(self._reap_tick, interval=reap_interval)
         self._register_procedures()
+
+    @property
+    def frames_computed(self) -> int:
+        """Frames actually produced (one per distinct version/timestep)."""
+        return self.pipeline.frames_produced
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -99,9 +137,14 @@ class WindtunnelServer:
 
     def start(self) -> "WindtunnelServer":
         self.dlib.start()
+        self.pipeline.start()
         return self
 
     def stop(self) -> None:
+        # Stop the pipeline first: service threads blocked in a frame
+        # wait observe ``pipeline.alive`` going false and unwind, so the
+        # dlib join below cannot deadlock on a waiter.
+        self.pipeline.stop()
         self.dlib.stop()
         if self.engine.loader is not None:
             self.engine.loader.close()
@@ -127,6 +170,7 @@ class WindtunnelServer:
         reg("wt.frame", self._rpc_frame)
         reg("wt.snapshot", self._rpc_snapshot)
         reg("wt.stats", self._rpc_stats)
+        reg("wt.pipeline_stats", self._rpc_pipeline_stats)
         reg("wt.set_tool_settings", self._rpc_set_tool_settings)
         reg("wt.isosurface", self._rpc_isosurface)
 
@@ -218,7 +262,12 @@ class WindtunnelServer:
                 f"rake {rake_id} is held by client {owner}"
             )
         self.env.remove_rake(int(rake_id))
-        self.engine.reset_rake_state(int(rake_id))
+        if not self.pipeline.threaded:
+            # Serial mode runs the engine on this thread, so the reset is
+            # safe here.  In pipelined mode the producer thread owns the
+            # engine's per-rake state and garbage-collects it on the next
+            # snapshot compute (rake ids are never reused).
+            self.engine.reset_rake_state(int(rake_id))
 
     def _rpc_time(self, ctx, client_id: int, op: str, value: float = 0.0) -> dict:
         """Shared time control: any user can drive the clock."""
@@ -239,54 +288,85 @@ class WindtunnelServer:
             clock.step(int(value), wall)
         elif op == "reverse":
             clock.reverse(wall)
-        self.env.version += 1
+        self.env.bump()  # invalidates the published frame, wakes the producer
         return clock.snapshot(wall)
 
     def _rpc_snapshot(self, ctx, client_id: int = 0) -> dict:
         self.sessions.touch(int(client_id))
         return self.env.snapshot(self._time_fn())
 
+    def _fresh_or_wait(self) -> tuple[PublishedFrame, bool]:
+        """The latest published frame, waiting for production if stale.
+
+        Returns ``(frame, cached)`` — ``cached`` is true when the store
+        already held a frame for the current (version, timestep), i.e.
+        the request cost no compute at all.  A stale read registers as a
+        *waiter* with the pipeline (which authorizes production) and
+        blocks until a frame at least as new as everything published at
+        arrival time lands; a mid-wait environment change simply extends
+        the wait until the producer catches up to the newest version.
+        """
+        pipeline = self.pipeline
+        pipeline.note_demand()
+        wall = self._time_fn()
+        version = self.env.version
+        timestep = self.env.clock.timestep_index(wall)
+        latest = self.store.latest()
+        if (
+            latest is not None
+            and latest.version == version
+            and latest.timestep == timestep
+        ):
+            return latest, True
+        if not pipeline.threaded:
+            return pipeline.produce_inline(), False
+        seq0 = latest.seq if latest is not None else 0
+        deadline = time.monotonic() + self._frame_wait
+        with pipeline.waiting():
+            seen = seq0
+            while True:
+                frame = self.store.wait_beyond(seen, timeout=0.05)
+                version = self.env.version
+                timestep = self.env.clock.timestep_index(self._time_fn())
+                if frame is not None:
+                    if frame.version == version and frame.timestep == timestep:
+                        return frame, False
+                    if frame.seq > seq0 and frame.version >= version:
+                        # Production moved past our request: newer than
+                        # anything published when we arrived, at most one
+                        # production period behind the clock.
+                        return frame, False
+                    seen = frame.seq
+                if not pipeline.alive:
+                    raise RuntimeError("windtunnel server is shutting down")
+                if time.monotonic() > deadline:
+                    raise RuntimeError("timed out waiting for a frame")
+
     def _rpc_frame(self, ctx, client_id: int = 0) -> dict:
-        """Compute (or reuse) the shared visualization and return it.
+        """Serve the shared visualization from the frame store.
 
         Calling this doubles as the session heartbeat (wt.heartbeat
-        piggybacks on the frame cycle every client runs anyway).
+        piggybacks on the frame cycle every client runs anyway).  The
+        heavy lifting happened on the pipeline's threads; here we splice
+        the frame's pre-encoded path fragment next to a fresh per-client
+        environment snapshot — the only part of the response that is
+        actually per-request.
         """
         self.sessions.touch(int(client_id))
-        wall = self._time_fn()
-        timestep = self.env.clock.timestep_index(wall)
-        key = (self.env.version, timestep)
+        frame, cached = self._fresh_or_wait()
         self.frames_served += 1
-        was_cached = key == self._cache_key and self._cache_payload is not None
-        if not was_cached:
-            quality = self.governor.quality if self.governor else 1.0
-            start = time.perf_counter()
-            results = self.engine.compute_environment(
-                self.env, timestep, quality=quality
-            )
-            elapsed = time.perf_counter() - start
-            self.compute_stats.add(elapsed)
-            if self.governor is not None:
-                self.governor.record(elapsed)
-            self.frames_computed += 1
-            paths = {
-                str(rid): {
-                    "kind": self.env.rakes[rid].kind,
-                    "vertices": res.physical(),  # float32: 12 bytes/point
-                    "lengths": res.lengths.astype(np.int64),
-                }
-                for rid, res in results.items()
-            }
-            self._cache_payload = {
-                "timestep": timestep,
-                "paths": paths,
-                "compute_seconds": elapsed,
-            }
-            self._cache_key = key
-        payload = dict(self._cache_payload)
-        payload["env"] = self.env.snapshot(wall)
-        payload["cached"] = was_cached
-        return payload
+        return {
+            "timestep": frame.timestep,
+            "paths": frame.paths_wire,
+            "compute_seconds": frame.compute_seconds,
+            "env": self.env.snapshot(self._time_fn()),
+            "cached": cached,
+        }
+
+    def _rpc_pipeline_stats(self, ctx, client_id: int = 0) -> dict:
+        """Stage-resolved pipeline statistics (see docs/protocol.md)."""
+        self.sessions.touch(int(client_id))
+        return self.pipeline.stats()
 
     def _rpc_set_tool_settings(self, ctx, client_id: int, settings: dict) -> dict:
         """Adjust tracer parameters at runtime (section 7: 'development of
@@ -315,7 +395,7 @@ class WindtunnelServer:
             if value <= 0:
                 raise ValueError(f"{key} must be positive")
             setattr(s, key, value)
-        self.env.version += 1  # invalidate the shared frame cache
+        self.env.bump()  # invalidate the published frame, wake the producer
         return {
             "streamline_steps": s.streamline_steps,
             "streamline_dt": s.streamline_dt,
@@ -361,6 +441,9 @@ class WindtunnelServer:
         return {
             "frames_served": self.frames_served,
             "frames_computed": self.frames_computed,
+            "frames_published": self.store.published_total,
+            "publish_seq": self.store.seq,
+            "pipelined": self.pipeline.threaded,
             "compute_mean_seconds": self.compute_stats.mean,
             "points_computed": self.engine.points_computed,
             "quality": self.governor.quality if self.governor else 1.0,

@@ -66,6 +66,20 @@ class TimeControl:
         """Integer timestep at wall time ``wall``."""
         return int(self.position(wall)) % self.n_timesteps
 
+    def lookahead(self, wall: float, lead: float) -> int:
+        """The timestep the clock will be on ``lead`` seconds from ``wall``.
+
+        The frame pipeline's prefetch hint: the producer predicts which
+        timestep it will need *next* (one production period ahead) and
+        asks the loader to stage it while the current frame computes —
+        figure 8's "loading can also occur in parallel", aimed where the
+        clock is actually going.  A paused clock predicts its current
+        timestep; a reversed clock predicts upstream.
+        """
+        if not self._playing:
+            return self.timestep_index(wall)
+        return self.timestep_index(wall + max(0.0, float(lead)))
+
     # -- control (each op re-anchors at the current position) ---------------
 
     def _reanchor(self, wall: float) -> None:

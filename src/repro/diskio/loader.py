@@ -99,12 +99,18 @@ class TimestepLoader:
 
     # -- public API --------------------------------------------------------------
 
-    def load(self, t: int, direction: int = 1) -> np.ndarray:
+    def load(
+        self, t: int, direction: int = 1, *, auto_prefetch: bool = True
+    ) -> np.ndarray:
         """Load timestep ``t``; schedule a prefetch of ``t + direction``.
 
         Direction follows the user's time control — the windtunnel can run
         time backwards (section 2), in which case the loader prefetches
-        upstream.
+        upstream.  Pass ``auto_prefetch=False`` when a caller (the frame
+        pipeline) manages its own prefetch prediction — the naive
+        ``t + direction`` guess wastes the single background worker when
+        the clock outruns production and the next needed timestep is
+        further ahead.
         """
         t = int(t)
         with self._lock:
@@ -125,18 +131,36 @@ class TimestepLoader:
             gv = self._read(t)
             self._store(t, gv)
 
-        nxt = t + (1 if direction >= 0 else -1)
-        if (
-            self.prefetch_enabled
-            and self._pool is not None
-            and 0 <= nxt < self.dataset.n_timesteps
-        ):
-            with self._lock:
-                already = nxt in self._buffer or nxt in self._pending
-                if not already:
-                    self._pending[nxt] = self._pool.submit(self._prefetch_job, nxt)
-                    self.prefetch_issued += 1
+        if auto_prefetch:
+            self.prefetch(t + (1 if direction >= 0 else -1))
         return gv
+
+    def prefetch(self, t: int) -> bool:
+        """Hint: stage timestep ``t`` in the background.
+
+        The pipeline's prefetch hook — the producer calls this with its
+        *predicted* next timestep (which may not be ``t ± 1`` when the
+        clock outruns the compute), so the background read overlaps the
+        current frame's integration.  Returns ``True`` if a background
+        load was actually issued; already-buffered, already-pending, or
+        out-of-range timesteps are a cheap no-op.
+        """
+        if not self.prefetch_enabled or self._pool is None:
+            return False
+        t = int(t)
+        if not (0 <= t < self.dataset.n_timesteps):
+            return False
+        with self._lock:
+            if t in self._buffer or t in self._pending:
+                return False
+            self._pending[t] = self._pool.submit(self._prefetch_job, t)
+            self.prefetch_issued += 1
+            return True
+
+    def peek(self, t: int) -> np.ndarray | None:
+        """The buffered array for timestep ``t``, or ``None`` (no charge)."""
+        with self._lock:
+            return self._buffer.get(int(t))
 
     @property
     def buffered_timesteps(self) -> list[int]:

@@ -26,6 +26,7 @@ from repro.dlib.protocol import (
     DlibProtocolError,
     DlibTimeoutError,
     MessageKind,
+    PreEncoded,
     decode_message,
     decode_value,
     encode_message,
@@ -41,6 +42,7 @@ __all__ = [
     "DlibProtocolError",
     "DlibTimeoutError",
     "MessageKind",
+    "PreEncoded",
     "encode_value",
     "decode_value",
     "encode_message",

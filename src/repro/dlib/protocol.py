@@ -23,6 +23,7 @@ __all__ = [
     "DlibProtocolError",
     "DlibTimeoutError",
     "MessageKind",
+    "PreEncoded",
     "encode_value",
     "decode_value",
     "encode_message",
@@ -66,6 +67,42 @@ class MessageKind(IntEnum):
     ERROR = 3
 
 
+class PreEncoded:
+    """A value already serialized with :func:`encode_value`.
+
+    Value encoding is compositional — a container's encoding is the
+    concatenation of its elements' encodings — so a fragment encoded once
+    can be spliced verbatim into any later message.  The frame pipeline
+    uses this to encode a published frame's path arrays exactly once at
+    publish time; every subsequent ``wt.frame`` response is a memcpy of
+    the cached fragment instead of a fresh array serialization.
+
+    The wrapper exists only on the sending side: the decoder sees plain
+    wire bytes and produces the original value.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = bytes(data)
+
+    @classmethod
+    def wrap(cls, value) -> "PreEncoded":
+        """Encode ``value`` now; splice it into messages later for free."""
+        return cls(encode_value(value))
+
+    def decode(self):
+        """Decode back to the original value (mainly for tests/debugging)."""
+        return decode_value(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreEncoded({len(self.data)} bytes)"
+
+
 def encode_value(value, _depth: int = 0) -> bytes:
     """Serialize a Python/NumPy value to wire bytes."""
     if _depth > _MAX_DEPTH:
@@ -104,6 +141,8 @@ def _encode_into(out: bytearray, value, depth: int) -> None:
         out += b"B"
         out += struct.pack("<I", len(raw))
         out += raw
+    elif isinstance(value, PreEncoded):
+        out += value.data
     elif isinstance(value, np.ndarray):
         _encode_array(out, value)
     elif isinstance(value, (np.generic,)):

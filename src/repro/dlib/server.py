@@ -177,6 +177,8 @@ class DlibServer:
         self.context = ServerContext(memory_budget)
         self._procedures: dict[str, Callable] = {}
         self._ticks: list[list] = []  # [fn, interval, next_due]
+        self.ticks_run = 0
+        self.tick_errors = 0
         self._listener: socket.socket | None = None
         self._thread: threading.Thread | None = None
         self._running = False
@@ -227,6 +229,8 @@ class DlibServer:
                 "protocol_errors": ctx.protocol_errors,
                 "memory_segments": ctx_mem.n_segments,
                 "memory_allocated": ctx_mem.allocated_bytes,
+                "ticks_run": self.ticks_run,
+                "tick_errors": self.tick_errors,
             }
 
         def mem_alloc(ctx, nbytes):
@@ -357,10 +361,11 @@ class DlibServer:
             fn, interval, due = tick
             if now >= due:
                 tick[2] = now + interval
+                self.ticks_run += 1
                 try:
                     fn(self.context)
                 except Exception:  # noqa: BLE001 - a tick must never kill the loop
-                    pass
+                    self.tick_errors += 1
 
     def _dispatch(self, conn: _Connection, frame: bytes) -> None:
         kind, request_id, payload = decode_message(frame)

@@ -20,6 +20,7 @@ limits how long a particle path can be computed in real time.
 from __future__ import annotations
 
 import json
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from pathlib import Path
@@ -54,6 +55,10 @@ class UnsteadyDataset(ABC):
         self.cache_timesteps = int(cache_timesteps)
         self._jacobian: np.ndarray | None = None
         self._gv_cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        # The cache is shared by the frame pipeline's producer thread, the
+        # loader's prefetch worker, and the dlib service thread (isosurface
+        # requests) — guard the OrderedDict against concurrent mutation.
+        self._gv_lock = threading.Lock()
 
     # -- subclass interface -------------------------------------------------
 
@@ -86,24 +91,27 @@ class UnsteadyDataset(ABC):
         step (section 2.1).
         """
         t = self._check_timestep(t)
-        cached = self._gv_cache.get(t)
-        if cached is not None:
-            self._gv_cache.move_to_end(t)
-            return cached
+        with self._gv_lock:
+            cached = self._gv_cache.get(t)
+            if cached is not None:
+                self._gv_cache.move_to_end(t)
+                return cached
         gv = physical_to_grid_velocity(
             self.grid.xyz, np.asarray(self.velocity(t), dtype=np.float64),
             jac=self.jacobian,
         )
         gv.setflags(write=False)
-        self._gv_cache[t] = gv
-        while len(self._gv_cache) > self.cache_timesteps:
-            self._gv_cache.popitem(last=False)
+        with self._gv_lock:
+            self._gv_cache[t] = gv
+            while len(self._gv_cache) > self.cache_timesteps:
+                self._gv_cache.popitem(last=False)
         return gv
 
     @property
     def cached_timesteps(self) -> list[int]:
         """Timesteps currently resident in the grid-velocity cache."""
-        return list(self._gv_cache.keys())
+        with self._gv_lock:
+            return list(self._gv_cache.keys())
 
     @property
     def timestep_nbytes(self) -> int:

@@ -16,7 +16,7 @@ from repro.perf.scenario import (
     run_benchmark,
     table3_rows,
 )
-from repro.perf.pipeline import PipelineResult, simulate_pipeline
+from repro.perf.pipeline import PipelineResult, compare_to_model, simulate_pipeline
 from repro.perf.profiling import ProfileReport, ProfileRow, profile_call
 
 __all__ = [
@@ -32,4 +32,5 @@ __all__ = [
     "table3_rows",
     "PipelineResult",
     "simulate_pipeline",
+    "compare_to_model",
 ]

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["PipelineResult", "simulate_pipeline"]
+__all__ = ["PipelineResult", "simulate_pipeline", "compare_to_model"]
 
 
 @dataclass(frozen=True)
@@ -94,3 +94,32 @@ def simulate_pipeline(
         overlapped_total=float(completion[-1]),
         completion_times=completion,
     )
+
+
+def compare_to_model(
+    stages: dict[str, float],
+    measured_period: float,
+    *,
+    tolerance: float = 0.25,
+    n_frames: int = 100,
+) -> dict:
+    """Check a measured steady-state frame period against the model.
+
+    Used by the live-pipeline benchmark: feed it the *measured* per-stage
+    times from ``wt.pipeline_stats`` and the measured publish period; it
+    simulates the ideal schedule and reports whether the measurement is
+    within ``tolerance`` (relative) of the model's steady period.
+    """
+    if measured_period <= 0:
+        raise ValueError("measured_period must be positive")
+    result = simulate_pipeline(stages, n_frames=n_frames)
+    predicted = result.steady_period
+    error = abs(measured_period - predicted) / predicted if predicted else 0.0
+    return {
+        "predicted_period": predicted,
+        "serial_period": result.serial_period,
+        "measured_period": measured_period,
+        "relative_error": error,
+        "within_tolerance": error <= tolerance,
+        "speedup_vs_serial": result.serial_period / measured_period,
+    }

@@ -57,6 +57,21 @@ class TracerResult:
         full = self.physical(dtype)
         return [full[i, : self.lengths[i]] for i in range(self.n_paths)]
 
+    def wire_arrays(self, dtype=np.float32) -> tuple[np.ndarray, np.ndarray]:
+        """One-shot wire conversion: ``(vertices, lengths)`` ready to ship.
+
+        The grid->physical conversion and the dtype narrowing run exactly
+        once here; both arrays come back contiguous and *read-only*, so a
+        published frame can hand the same buffers to every consumer
+        without risking cross-client corruption.  The frame pipeline calls
+        this at publish time and never touches the tracer result again.
+        """
+        vertices = np.ascontiguousarray(self.physical(dtype))
+        lengths = np.ascontiguousarray(self.lengths.astype(np.int64))
+        vertices.setflags(write=False)
+        lengths.setflags(write=False)
+        return vertices, lengths
+
     @property
     def nbytes_wire(self) -> int:
         """Bytes this result occupies on the wire at 12 bytes/point."""

@@ -1,0 +1,308 @@
+"""The figure-8 frame pipeline: store, producer, and RPC seam.
+
+Covers the guarantees the refactor introduced:
+
+* published frames are immutable — one client's mutations can never
+  corrupt another client's response (the shallow-copy bug regression);
+* vertices are encoded exactly once per produced frame, however many
+  clients read it;
+* the governor, now fed on the producer thread, still converges under a
+  slow engine;
+* environment mutations invalidate and republish promptly (bounded
+  staleness);
+* the serial fallback mode serves through the identical stage code.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FrameBudgetGovernor,
+    FramePipeline,
+    FrameStore,
+    PublishedFrame,
+    ToolSettings,
+    WindtunnelClient,
+    WindtunnelServer,
+)
+from repro.core.framestore import encode_paths
+from repro.dlib.protocol import PreEncoded, decode_value, encode_value
+from repro.flow import MemoryDataset, RigidRotation, UniformFlow, sample_on_grid
+from repro.grid import cartesian_grid
+
+
+def make_dataset(n_times=8):
+    grid = cartesian_grid((9, 9, 5), lo=(0, 0, 0), hi=(8, 8, 4))
+    field = RigidRotation(omega=[0, 0, 0.5], center=[4, 4, 0]) + UniformFlow(
+        [0.1, 0, 0]
+    )
+    vel = sample_on_grid(field, grid, np.arange(n_times) * 0.2, dtype=np.float64)
+    return MemoryDataset(grid, vel, dt=0.2)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset()
+
+
+@pytest.fixture()
+def server(dataset):
+    clock = {"now": 0.0}
+    srv = WindtunnelServer(
+        dataset,
+        settings=ToolSettings(streamline_steps=20, streakline_length=8),
+        time_speed=1.0,
+        time_fn=lambda: clock["now"],
+    )
+    srv._test_clock = clock
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestPreEncoded:
+    def test_fragment_decodes_to_original_value(self):
+        value = {"a": np.arange(6, dtype=np.float32).reshape(2, 3), "b": [1, "x"]}
+        frag = PreEncoded.wrap(value)
+        out = frag.decode()
+        assert out["b"] == [1, "x"]
+        np.testing.assert_array_equal(out["a"], value["a"])
+
+    def test_fragment_splices_into_enclosing_value(self):
+        inner = {"k": np.ones(4, dtype=np.float32)}
+        spliced = {"paths": PreEncoded.wrap(inner), "n": 3}
+        out = decode_value(encode_value(spliced))
+        assert out["n"] == 3
+        np.testing.assert_array_equal(out["paths"]["k"], inner["k"])
+
+
+class TestFrameStore:
+    def test_publish_stamps_monotonic_seq(self):
+        store = FrameStore()
+        frames = [
+            store.publish(
+                PublishedFrame(
+                    version=1, timestep=t, seq=0,
+                    paths={}, paths_wire=PreEncoded.wrap({}),
+                    compute_seconds=0.0,
+                )
+            )
+            for t in range(3)
+        ]
+        assert [f.seq for f in frames] == [1, 2, 3]
+        assert store.latest().timestep == 2
+        assert store.previous().timestep == 1
+
+    def test_wait_beyond_times_out_without_publication(self):
+        store = FrameStore()
+        assert store.wait_beyond(0, timeout=0.05) is None
+
+    def test_wait_beyond_wakes_on_publish(self):
+        store = FrameStore()
+        got = []
+
+        def reader():
+            got.append(store.wait_beyond(0, timeout=2.0))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        store.publish(
+            PublishedFrame(
+                version=1, timestep=0, seq=0,
+                paths={}, paths_wire=PreEncoded.wrap({}),
+                compute_seconds=0.0,
+            )
+        )
+        t.join(timeout=2.0)
+        assert got and got[0].seq == 1
+
+
+class TestImmutablePublication:
+    def test_published_arrays_are_read_only(self, server):
+        with WindtunnelClient(*server.address) as c:
+            c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=4)
+            c.fetch_frame()
+            frame = server.store.latest()
+            entry = next(iter(frame.paths.values()))
+            assert not entry["vertices"].flags.writeable
+            assert not entry["lengths"].flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                entry["vertices"][...] = 0.0
+
+    def test_client_mutation_cannot_corrupt_other_clients(self, server):
+        """Regression: the old RPC path shared one mutable paths dict
+        across responses — scribbling on client A's arrays changed what
+        client B received from the cache."""
+        with WindtunnelClient(*server.address) as a, WindtunnelClient(
+            *server.address
+        ) as b:
+            a.add_rake([2, 2, 2], [2, 6, 2], n_seeds=4)
+            sa = a.fetch_frame()
+            pa = next(iter(sa["paths"].values()))["vertices"]
+            expected = pa.copy()
+            pa[...] = -777.0  # client A goes rogue
+            sb = b.fetch_frame()
+            assert sb["cached"]  # same shared frame, no recompute
+            pb = next(iter(sb["paths"].values()))["vertices"]
+            np.testing.assert_array_equal(pb, expected)
+            # The published master copy is untouched too.
+            master = next(iter(server.store.latest().paths.values()))["vertices"]
+            np.testing.assert_array_equal(master, expected)
+
+
+class TestEncodeOnce:
+    def test_encode_count_equals_frames_computed(self, server):
+        clients = [WindtunnelClient(*server.address) for _ in range(4)]
+        try:
+            clients[0].add_rake([2, 2, 2], [2, 6, 2], n_seeds=4)
+            produced_before = server.pipeline.frames_produced
+            for c in clients:
+                c.fetch_frame()
+            stats = clients[0].pipeline_stats()
+            assert server.pipeline.frames_produced == produced_before + 1
+            assert stats["frames_encoded"] == stats["frames_produced"]
+            assert stats["stages"]["encode"]["count"] == stats["frames_produced"]
+            assert server.frames_served >= 4
+        finally:
+            for c in clients:
+                c.close()
+
+    def test_encode_happens_per_new_frame_not_per_request(self, server):
+        with WindtunnelClient(*server.address) as c:
+            c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=4)
+            c.fetch_frame()
+            encoded_one = server.pipeline.frames_encoded
+            for _ in range(5):
+                c.fetch_frame()  # all cache hits: frozen clock, no mutation
+            assert server.pipeline.frames_encoded == encoded_one
+            server._test_clock["now"] = 1.0  # clock tick -> one new frame
+            c.fetch_frame()
+            assert server.pipeline.frames_encoded == encoded_one + 1
+
+
+class TestGovernorUnderPipeline:
+    def test_quality_converges_with_slow_engine(self, dataset):
+        """A modeled-slow integrate stage must drive quality down to fit
+        the budget — the governor's feedback now runs on the producer."""
+        gov = FrameBudgetGovernor(budget=0.01)
+        clock = {"now": 0.0}
+        with WindtunnelServer(
+            dataset,
+            settings=ToolSettings(streamline_steps=30),
+            governor=gov,
+            time_fn=lambda: clock["now"],
+            stage_cost={"integrate": 0.03},  # 3x the budget, every frame
+        ) as srv:
+            with WindtunnelClient(*srv.address) as c:
+                c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=5)
+                for i in range(6):
+                    c.fetch_frame()
+                    clock["now"] += 1.0  # force a fresh frame each round
+                stats = c.pipeline_stats()
+                assert stats["governor"]["quality"] < 0.5
+                assert stats["governor"]["frames_recorded"] >= 6
+                assert stats["governor"]["over_budget_fraction"] == 1.0
+
+    def test_pipeline_stats_consistent_with_serving(self, server):
+        with WindtunnelClient(*server.address) as c:
+            c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=4)
+            c.fetch_frame()
+            stats = c.pipeline_stats()
+            assert stats["pipelined"] is True
+            assert stats["frames_published"] == stats["frames_encoded"]
+            assert stats["publish_seq"] >= 1
+            for stage in ("load", "locate", "integrate", "encode"):
+                assert stage in stats["stages"]
+            assert stats["serial_period_estimate"] >= stats[
+                "steady_period_estimate"
+            ]
+
+
+class TestInvalidationRepublish:
+    def test_settings_change_republishes_promptly(self, server):
+        """wt.set_tool_settings bumps the version; the very next frame a
+        client sees must already reflect it (staleness bounded by one
+        request/production cycle, not by polling luck)."""
+        with WindtunnelClient(*server.address) as c:
+            c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=3)
+            s0 = c.fetch_frame()
+            long_paths = next(iter(s0["paths"].values()))["vertices"].shape[1]
+            c.set_tool_settings(streamline_steps=5)
+            version = server.env.version
+            t0 = time.perf_counter()
+            s1 = c.fetch_frame()
+            elapsed = time.perf_counter() - t0
+            assert s1["cached"] is False
+            assert s1["env"]["version"] >= version
+            short_paths = next(iter(s1["paths"].values()))["vertices"].shape[1]
+            assert short_paths < long_paths
+            assert elapsed < 5.0  # one blocking production, not a poll cycle
+
+    def test_rake_mutation_invalidates_published_frame(self, server):
+        with WindtunnelClient(*server.address) as c:
+            rid = c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=3)
+            c.fetch_frame()
+            invalidations_before = server.pipeline.invalidations
+            c.remove_rake(rid)
+            assert server.pipeline.invalidations > invalidations_before
+            s = c.fetch_frame()
+            assert s["cached"] is False
+            assert s["paths"] == {}  # the removed rake is gone from the frame
+
+    def test_env_bump_wakes_producer_without_spurious_compute(self, server):
+        """Bumps alone must not burn compute: with nobody asking for a
+        frame, an invalidation wakes the producer and nothing else."""
+        with WindtunnelClient(*server.address) as c:
+            c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=3)
+            c.fetch_frame()
+            produced = server.pipeline.frames_produced
+            for _ in range(3):
+                c.time_control("step", 1)  # version bumps, no frame demand
+            time.sleep(0.15)  # give a (wrongly) eager producer time to run
+            assert server.pipeline.frames_produced == produced
+
+
+class TestSerialFallback:
+    def test_serial_mode_serves_identically(self, dataset):
+        clock = {"now": 0.0}
+        with WindtunnelServer(
+            dataset,
+            settings=ToolSettings(streamline_steps=20),
+            time_fn=lambda: clock["now"],
+            pipelined=False,
+        ) as srv:
+            with WindtunnelClient(*srv.address) as c:
+                c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=4)
+                s0 = c.fetch_frame()
+                assert s0["cached"] is False
+                s1 = c.fetch_frame()
+                assert s1["cached"] is True
+                stats = c.pipeline_stats()
+                assert stats["pipelined"] is False
+                # Encode-once and immutability hold in serial mode too.
+                assert stats["frames_encoded"] == stats["frames_produced"] == 1
+                entry = next(iter(srv.store.latest().paths.values()))
+                assert not entry["vertices"].flags.writeable
+
+
+class TestEncodePaths:
+    def test_encode_paths_round_trip(self, dataset):
+        from repro.core import ComputeEngine
+        from repro.tracers.rake import Rake
+
+        engine = ComputeEngine(dataset, ToolSettings(streamline_steps=10))
+        rake = Rake([2, 2, 2], [2, 6, 2], n_seeds=3)
+        rake.rake_id = 7
+        results = engine.compute_rakes({7: rake}, 0)
+        paths, wire, n_points = encode_paths({7: "streamline"}, results)
+        assert n_points > 0
+        assert not paths["7"]["vertices"].flags.writeable
+        decoded = wire.decode()
+        np.testing.assert_array_equal(
+            decoded["7"]["vertices"], paths["7"]["vertices"]
+        )
+        assert decoded["7"]["kind"] == "streamline"
