@@ -56,8 +56,10 @@ _IDEMPOTENT_PROCEDURES = frozenset(
         "wt.heartbeat",
         "wt.isosurface",
         "wt.rejoin",
+        "wt.metrics",
         "dlib.ping",
         "dlib.stats",
+        "dlib.metrics",
     }
 )
 
@@ -85,6 +87,12 @@ class WindtunnelClient:
         Framebuffer size.  The paper's VGX ran 1280x1024; tests use less.
     stereo
         Render writemask anaglyph stereo (section 3) vs mono.
+    trace
+        ``True`` traces every RPC: the server's span tree for the last
+        call lands on :attr:`last_trace` / :meth:`trace_report`.
+    registry
+        Optional client-side :class:`~repro.obs.registry.MetricsRegistry`
+        recording per-procedure RPC latency histograms.
     """
 
     def __init__(
@@ -102,6 +110,8 @@ class WindtunnelClient:
         stereo: bool = True,
         ipd: float = 0.064,
         fov_y: float = np.pi / 2,
+        trace: bool = False,
+        registry=None,
     ) -> None:
         self._session_token: str | None = None
         self.last_network_error: BaseException | None = None
@@ -117,6 +127,8 @@ class WindtunnelClient:
             retry=retry,
             idempotent=_IDEMPOTENT_PROCEDURES,
             on_reconnect=self._on_reconnect,
+            trace=trace,
+            registry=registry,
         )
         info = self._rpc.call("wt.join", name)
         self.client_id: int = info["client_id"]
@@ -217,6 +229,20 @@ class WindtunnelClient:
     def pipeline_stats(self) -> dict:
         """Stage-resolved frame-pipeline statistics (``wt.pipeline_stats``)."""
         return self._call("wt.pipeline_stats", self.client_id)
+
+    def metrics(self, trace_limit: int = 8) -> dict:
+        """The server's observability snapshot (``wt.metrics``): the full
+        metrics registry plus its most recent span trees."""
+        return self._call("wt.metrics", self.client_id, trace_limit)
+
+    @property
+    def last_trace(self) -> dict | None:
+        """Span tree of the last traced RPC (``None`` until one runs)."""
+        return self._rpc.last_trace
+
+    def trace_report(self) -> str:
+        """Pretty-print the last traced RPC next to its observed latency."""
+        return self._rpc.trace_report()
 
     def set_tool_settings(self, **settings) -> dict:
         """Adjust shared tracer parameters (steps, dt, streak length)."""

@@ -111,7 +111,7 @@ class FrameStore:
     a known sequence number lands (or the deadline passes).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, registry=None) -> None:
         self._cond = threading.Condition()
         self._front: PublishedFrame | None = None
         self._back: PublishedFrame | None = None  # previous frame, kept alive
@@ -121,6 +121,16 @@ class FrameStore:
         self._last_publish_mono: float | None = None
         self._period_sum = 0.0
         self._period_count = 0
+        # Optional MetricsRegistry: publish cadence feeds the shared
+        # observability registry (framestore.* metrics) when wired in.
+        self._published_counter = (
+            registry.counter("framestore.frames_published") if registry else None
+        )
+        self._gap_hist = (
+            registry.histogram("framestore.publish_gap_seconds")
+            if registry
+            else None
+        )
 
     @property
     def seq(self) -> int:
@@ -173,7 +183,11 @@ class FrameStore:
                 self.publish_gap = gap
                 self._period_sum += gap
                 self._period_count += 1
+                if self._gap_hist is not None:
+                    self._gap_hist.observe(gap)
             self._last_publish_mono = now
+            if self._published_counter is not None:
+                self._published_counter.inc()
             self._cond.notify_all()
             return stamped
 

@@ -55,14 +55,34 @@ class FrameBudgetGovernor:
         self.quality = 1.0
         self.frames_over_budget = 0
         self.frames_recorded = 0
+        self._quality_gauge = None
+        self._recorded_counter = None
+        self._over_budget_counter = None
+
+    def bind_registry(self, registry) -> "FrameBudgetGovernor":
+        """Mirror governor state into a metrics registry (``governor.*``).
+
+        Every :meth:`record` thereafter updates the ``governor.quality``
+        gauge and the recorded / over-budget counters, so the feedback
+        loop is visible through ``wt.metrics`` without a bespoke RPC.
+        """
+        self._quality_gauge = registry.gauge("governor.quality")
+        self._recorded_counter = registry.counter("governor.frames_recorded")
+        self._over_budget_counter = registry.counter("governor.frames_over_budget")
+        self._quality_gauge.set(self.quality)
+        return self
 
     def record(self, frame_seconds: float) -> float:
         """Feed one measured frame time; returns the updated quality."""
         if frame_seconds < 0:
             raise ValueError("frame time must be non-negative")
         self.frames_recorded += 1
+        if self._recorded_counter is not None:
+            self._recorded_counter.inc()
         if frame_seconds > self.budget:
             self.frames_over_budget += 1
+            if self._over_budget_counter is not None:
+                self._over_budget_counter.inc()
         if frame_seconds > self.target:
             # Scale down proportionally to the overshoot, bounded by the
             # configured decrease factor.
@@ -70,6 +90,8 @@ class FrameBudgetGovernor:
             self.quality = max(self.min_quality, self.quality * factor)
         elif frame_seconds < 0.6 * self.target:
             self.quality = min(1.0, self.quality * self._increase)
+        if self._quality_gauge is not None:
+            self._quality_gauge.set(self.quality)
         return self.quality
 
     @property
@@ -82,6 +104,8 @@ class FrameBudgetGovernor:
         self.quality = 1.0
         self.frames_over_budget = 0
         self.frames_recorded = 0
+        if self._quality_gauge is not None:
+            self._quality_gauge.set(self.quality)
 
     def to_wire(self) -> dict:
         """Serializable state for ``wt.pipeline_stats``."""

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.environment import Environment
 from repro.core.framestore import FrameStore, PublishedFrame, encode_paths
 from repro.core.governor import FrameBudgetGovernor
+from repro.obs import MetricsRegistry
 from repro.util.timers import Stopwatch, TimingStats
 
 __all__ = ["FramePipeline"]
@@ -103,6 +104,11 @@ class FramePipeline:
         the named stages (idiomatic with the repo's disk/network models);
         the live-pipeline benchmark uses it to build the synthetic
         three-stage workload of the acceptance criteria.
+    registry
+        Optional :class:`~repro.obs.registry.MetricsRegistry` the pipeline
+        records into (``pipeline.*`` metrics).  A private registry is
+        created when omitted, so the counter/stats attribute API works
+        unchanged for standalone pipelines.
     """
 
     def __init__(
@@ -117,6 +123,7 @@ class FramePipeline:
         demand_window: float = 0.5,
         poll_interval: float = 0.02,
         stage_cost: dict | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.engine = engine
         self.env = env
@@ -140,16 +147,30 @@ class FramePipeline:
         self._last_key: tuple[int, int] | None = None
 
         self._stats_lock = threading.Lock()
-        self.stage_stats: dict[str, TimingStats] = {
-            name: TimingStats() for name in STAGES
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._stage_hist = {
+            name: self.registry.histogram(f"pipeline.stage.{name}_seconds")
+            for name in STAGES
         }
-        self.compute_stats = TimingStats()  # load + locate + integrate
-        self.frames_produced = 0
-        self.frames_encoded = 0
-        self.frames_anticipated = 0
-        self.requests = 0
-        self.invalidations = 0
-        self.produce_errors = 0
+        # Live views into the registry histograms' running stats, so the
+        # pre-registry attribute API (``pipeline.stage_stats["load"].mean``)
+        # keeps working while the registry stays the single source of truth.
+        self.stage_stats: dict[str, TimingStats] = {
+            name: h.stats for name, h in self._stage_hist.items()
+        }
+        self._compute_hist = self.registry.histogram("pipeline.compute_seconds")
+        self.compute_stats = self._compute_hist.stats  # load + locate + integrate
+        self._quality_gauge = self.registry.gauge("pipeline.quality")
+        self._quality_gauge.set(governor.quality if governor else 1.0)
+        self._frames_produced = self.registry.counter("pipeline.frames_produced")
+        self._frames_encoded = self.registry.counter("pipeline.frames_encoded")
+        self._frames_anticipated = self.registry.counter(
+            "pipeline.frames_anticipated"
+        )
+        self._requests = self.registry.counter("pipeline.requests")
+        self._invalidations = self.registry.counter("pipeline.invalidations")
+        self._produce_errors = self.registry.counter("pipeline.produce_errors")
+        self._idle_cycles = self.registry.counter("pipeline.idle_cycles")
 
         if engine.loader is not None:
             # Prefetch prediction is the pipeline's job now — see
@@ -158,6 +179,42 @@ class FramePipeline:
             engine.auto_prefetch = False
 
         env.subscribe(self.invalidate)
+
+    # -- registry-backed counters (read API unchanged) -----------------------
+
+    @property
+    def frames_produced(self) -> int:
+        return self._frames_produced.value
+
+    @property
+    def frames_encoded(self) -> int:
+        return self._frames_encoded.value
+
+    @property
+    def frames_anticipated(self) -> int:
+        return self._frames_anticipated.value
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value
+
+    @property
+    def produce_errors(self) -> int:
+        return self._produce_errors.value
+
+    @property
+    def idle_cycles(self) -> int:
+        """Producer wake-ups that found nothing to do.
+
+        Event-driven tests wait for this to advance instead of sleeping:
+        once it ticks past a remembered value, the producer has completed
+        a full look at the current key and decided against producing.
+        """
+        return self._idle_cycles.value
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -213,7 +270,7 @@ class FramePipeline:
         """
         with self._state_lock:
             self._waiters += 1
-            self.requests += 1
+            self._requests.inc()
         self._work.set()
         try:
             yield
@@ -227,7 +284,7 @@ class FramePipeline:
         Wired to :meth:`Environment.subscribe`, so it runs under the
         environment lock — it must stay cheap and non-blocking.
         """
-        self.invalidations += 1
+        self._invalidations.inc()
         self._work.set()
 
     # -- the producer ------------------------------------------------------
@@ -262,20 +319,21 @@ class FramePipeline:
         while self._running:
             reason = self._should_produce()
             if reason is None:
+                self._idle_cycles.inc()
                 self._work.wait(self._poll_interval)
                 self._work.clear()
                 continue
             try:
                 job = self._produce()
             except Exception:  # pragma: no cover - defensive
-                self.produce_errors += 1
+                self._produce_errors.inc()
                 with self._state_lock:
                     self._last_key = None  # let a waiter retry
                 log.exception("frame production failed")
                 time.sleep(self._poll_interval)
                 continue
             if reason == "tick":
-                self.frames_anticipated += 1
+                self._frames_anticipated.inc()
             self._submit(job)
 
     def _predict_next(self, timestep: int, direction: int) -> int:
@@ -349,11 +407,12 @@ class FramePipeline:
         compute_seconds = sum(stage_seconds.values())
         with self._stats_lock:
             for name in ("load", "locate", "integrate"):
-                self.stage_stats[name].add(stage_seconds[name])
-            self.compute_stats.add(compute_seconds)
-            self.frames_produced += 1
+                self._stage_hist[name].observe(stage_seconds[name])
+            self._compute_hist.observe(compute_seconds)
+        self._frames_produced.inc()
         if self.governor is not None:
             self.governor.record(compute_seconds)
+            self._quality_gauge.set(self.governor.quality)
         with self._state_lock:
             self._last_key = (version, timestep)
 
@@ -392,7 +451,7 @@ class FramePipeline:
             try:
                 self._encode_and_publish(job)
             except Exception:  # pragma: no cover - defensive
-                self.produce_errors += 1
+                self._produce_errors.inc()
                 log.exception("frame encoding failed")
 
     def _encode_and_publish(self, job: _Job) -> PublishedFrame:
@@ -402,8 +461,8 @@ class FramePipeline:
         stage_seconds = dict(job.stage_seconds)
         stage_seconds["encode"] = sw.elapsed
         with self._stats_lock:
-            self.stage_stats["encode"].add(sw.elapsed)
-            self.frames_encoded += 1
+            self._stage_hist["encode"].observe(sw.elapsed)
+        self._frames_encoded.inc()
         frame = PublishedFrame(
             version=job.version,
             timestep=job.timestep,
@@ -470,5 +529,6 @@ class FramePipeline:
             "requests": self.requests,
             "invalidations": self.invalidations,
             "produce_errors": self.produce_errors,
+            "idle_cycles": self.idle_cycles,
             "governor": self.governor.to_wire() if self.governor else None,
         }

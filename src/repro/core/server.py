@@ -18,6 +18,7 @@ the sum of all of them (figure 8's concurrency, measured by
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -25,11 +26,12 @@ from repro.core.engine import ComputeEngine, ToolSettings
 from repro.core.environment import Environment
 from repro.core.framestore import FrameStore, PublishedFrame
 from repro.core.governor import FrameBudgetGovernor
-from repro.core.pipeline import FramePipeline
+from repro.core.pipeline import STAGES, FramePipeline
 from repro.core.session import SessionTable
 from repro.diskio.loader import TimestepLoader
 from repro.dlib.server import DlibServer
 from repro.flow.dataset import UnsteadyDataset
+from repro.obs import MetricsRegistry, current_trace
 from repro.tracers.rake import Rake
 
 __all__ = ["WindtunnelServer"]
@@ -73,6 +75,10 @@ class WindtunnelServer:
         released — but can resume via ``wt.rejoin`` with its token.
     reap_interval
         How often the reaper sweep runs on the dlib service thread.
+    registry
+        The :class:`~repro.obs.registry.MetricsRegistry` every subsystem
+        (dlib server, pipeline, frame store, governor) records into; a
+        fresh one is created when omitted.  Exposed over ``wt.metrics``.
     """
 
     def __init__(
@@ -94,16 +100,20 @@ class WindtunnelServer:
         frame_wait: float = 10.0,
         lease_seconds: float = 30.0,
         reap_interval: float = 1.0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.dataset = dataset
         self.env = Environment(dataset.n_timesteps, time_speed=time_speed)
         self.engine = ComputeEngine(
             dataset, settings, backend=backend, workers=workers, loader=loader
         )
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.governor = governor
+        if governor is not None:
+            governor.bind_registry(self.registry)
         self._time_fn = time_fn
         self._frame_wait = float(frame_wait)
-        self.store = FrameStore()
+        self.store = FrameStore(registry=self.registry)
         self.pipeline = FramePipeline(
             self.engine,
             self.env,
@@ -113,16 +123,23 @@ class WindtunnelServer:
             threaded=pipelined,
             demand_window=demand_window,
             stage_cost=stage_cost,
+            registry=self.registry,
         )
         self.compute_stats = self.pipeline.compute_stats
-        self.frames_served = 0
+        self._frames_served = self.registry.counter("wt.frames_served")
+        self._frame_cache_hits = self.registry.counter("wt.frame_cache_hits")
         self._iso_cache_key: tuple | None = None
         self._iso_cache: dict | None = None
         self.sessions = SessionTable(lease_seconds, time_fn=time_fn)
         self.reaped_rake_locks = 0
-        self.dlib = DlibServer(host, port)
+        self.dlib = DlibServer(host, port, registry=self.registry)
         self.dlib.add_tick(self._reap_tick, interval=reap_interval)
         self._register_procedures()
+
+    @property
+    def frames_served(self) -> int:
+        """``wt.frame`` responses sent (cache hits included)."""
+        return self._frames_served.value
 
     @property
     def frames_computed(self) -> int:
@@ -171,6 +188,7 @@ class WindtunnelServer:
         reg("wt.snapshot", self._rpc_snapshot)
         reg("wt.stats", self._rpc_stats)
         reg("wt.pipeline_stats", self._rpc_pipeline_stats)
+        reg("wt.metrics", self._rpc_metrics)
         reg("wt.set_tool_settings", self._rpc_set_tool_settings)
         reg("wt.isosurface", self._rpc_isosurface)
 
@@ -351,15 +369,32 @@ class WindtunnelServer:
         the frame's pre-encoded path fragment next to a fresh per-client
         environment snapshot — the only part of the response that is
         actually per-request.
+
+        A traced call gets production spans grafted under ``frame_wait``:
+        the stages ran on the pipeline threads, so their measured
+        durations are re-plotted back-to-back inside the wait — a slow
+        frame names the stage that made it slow.
         """
         self.sessions.touch(int(client_id))
-        frame, cached = self._fresh_or_wait()
-        self.frames_served += 1
+        trace = current_trace()
+        with trace.span("frame_wait") if trace else nullcontext() as wait_span:
+            frame, cached = self._fresh_or_wait()
+        if trace is not None and not cached:
+            offset = wait_span.start
+            for stage in STAGES:
+                seconds = float(frame.stage_seconds.get(stage, 0.0))
+                wait_span.add_child(stage, offset, seconds)
+                offset += seconds
+        with trace.span("snapshot") if trace else nullcontext():
+            env = self.env.snapshot(self._time_fn())
+        self._frames_served.inc()
+        if cached:
+            self._frame_cache_hits.inc()
         return {
             "timestep": frame.timestep,
             "paths": frame.paths_wire,
             "compute_seconds": frame.compute_seconds,
-            "env": self.env.snapshot(self._time_fn()),
+            "env": env,
             "cached": cached,
         }
 
@@ -367,6 +402,20 @@ class WindtunnelServer:
         """Stage-resolved pipeline statistics (see docs/protocol.md)."""
         self.sessions.touch(int(client_id))
         return self.pipeline.stats()
+
+    def _rpc_metrics(self, ctx, client_id: int = 0, trace_limit: int = 8) -> dict:
+        """Process-wide observability snapshot (see docs/observability.md).
+
+        Returns the full metrics registry (every subsystem records into
+        the same one) plus the most recent server-side span trees — the
+        only place a response's own socket-write span is visible.
+        """
+        self.sessions.touch(int(client_id))
+        return {
+            "registry": self.registry.snapshot(),
+            "traces": self.dlib.traces.to_wire(int(trace_limit)),
+            "traces_total": self.dlib.traces.total,
+        }
 
     def _rpc_set_tool_settings(self, ctx, client_id: int, settings: dict) -> dict:
         """Adjust tracer parameters at runtime (section 7: 'development of

@@ -33,10 +33,12 @@ from repro.dlib.protocol import (
     DlibProtocolError,
     DlibTimeoutError,
     MessageKind,
-    decode_message,
+    decode_message_ex,
     encode_message,
 )
 from repro.dlib.transport import Stream, connect_tcp
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import format_trace
 
 __all__ = ["DlibClient", "DlibRemoteError", "RetryPolicy"]
 
@@ -146,6 +148,16 @@ class DlibClient:
     on_reconnect
         Callback ``fn(client)`` invoked after each successful reconnect —
         the hook for session resume handshakes.
+    trace
+        ``True`` stamps a fresh trace ID (strictly increasing per
+        client) into every call's message header; the server replies
+        with its span tree, kept on :attr:`last_trace` and printed by
+        :meth:`trace_report`.  Untraced calls are byte-identical to the
+        pre-tracing wire format.
+    registry
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        given, every call records a ``client.rpc.<procedure>`` latency
+        histogram and a ``client.calls`` counter.
     """
 
     def __init__(
@@ -160,6 +172,8 @@ class DlibClient:
         retry: RetryPolicy | None = None,
         idempotent: Iterable[str] = (),
         on_reconnect: Callable[["DlibClient"], None] | None = None,
+        trace: bool = False,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if stream is None and (host is None or port is None) and stream_factory is None:
             raise ValueError("provide host and port, a stream, or a stream_factory")
@@ -179,6 +193,11 @@ class DlibClient:
         self.last_error: BaseException | None = None
         self._request_ids = itertools.count(1)
         self._sleep = time.sleep
+        self.trace = bool(trace)
+        self.registry = registry
+        self._trace_ids = itertools.count(1)
+        self.last_trace: dict | None = None
+        self.last_latency = 0.0
 
     @property
     def stream(self) -> Stream:
@@ -244,13 +263,38 @@ class DlibClient:
 
     def call_once(self, procedure: str, *args, **kwargs):
         """One wire round-trip, no retries (see :meth:`call`)."""
+        trace_id = next(self._trace_ids) if self.trace else 0
+        return self._roundtrip(procedure, args, kwargs, trace_id)
+
+    def traced_call(self, procedure: str, *args, **kwargs) -> tuple[object, dict]:
+        """One traced round-trip regardless of :attr:`trace`.
+
+        Returns ``(result, trace)`` where ``trace`` is the server's span
+        tree for exactly this call (also kept on :attr:`last_trace`).
+        Diagnostic path: no retries, so the trace describes one wire
+        exchange, not a retry saga.
+        """
+        trace_id = next(self._trace_ids)
+        result = self._roundtrip(procedure, args, kwargs, trace_id)
+        return result, self.last_trace
+
+    def trace_report(self) -> str:
+        """Pretty-print the last traced call's span tree."""
+        if self.last_trace is None:
+            return "no traced call yet"
+        return format_trace(self.last_trace, client_seconds=self.last_latency)
+
+    def _roundtrip(self, procedure: str, args, kwargs, trace_id: int):
         request_id = next(self._request_ids) & 0xFFFFFFFF
         payload = {"proc": procedure, "args": list(args), "kwargs": kwargs}
         if self.call_timeout is not None and hasattr(self._stream, "settimeout"):
             self._stream.settimeout(self.call_timeout)
-        self._stream.send(encode_message(MessageKind.CALL, request_id, payload))
+        t0 = time.perf_counter()
+        self._stream.send(
+            encode_message(MessageKind.CALL, request_id, payload, trace_id=trace_id)
+        )
         for _ in range(_MAX_STALE_RESPONSES + 1):
-            kind, rid, result = decode_message(self._stream.recv())
+            kind, rid, rsp_trace_id, result = decode_message_ex(self._stream.recv())
             if rid == request_id:
                 break
             # A stale response: the reply to a duplicated frame or to a
@@ -259,7 +303,17 @@ class DlibClient:
             raise DlibProtocolError(
                 f"gave up after {_MAX_STALE_RESPONSES} stale responses"
             )
+        self.last_latency = time.perf_counter() - t0
+        if self.registry is not None:
+            self.registry.counter("client.calls").inc()
+            self.registry.histogram(f"client.rpc.{procedure}").observe(
+                self.last_latency
+            )
         if kind is MessageKind.RESULT:
+            if rsp_trace_id and isinstance(result, dict) and "t" in result:
+                # Traced envelope: {"t": span tree, "r": the actual result}.
+                self.last_trace = result["t"]
+                return result.get("r")
             return result
         if kind is MessageKind.ERROR:
             raise DlibRemoteError(

@@ -9,6 +9,13 @@ on.  No pickle: the decoder can only ever produce plain data.
 
 A *message* is ``(kind, request_id, payload_value)``; framing (length
 prefix) lives in :mod:`repro.dlib.transport`.
+
+Tracing extension (backward compatible): a message may carry a 32-bit
+*trace ID* after ``request_id``.  Its presence is flagged by the high
+bit of the kind byte (:data:`TRACE_FLAG`), so a message with
+``trace_id=0`` is byte-identical to the pre-extension format — old
+decoders read new untraced traffic unchanged, and the new decoder reads
+old traffic as ``trace_id=0``.  See docs/protocol.md, "Traced messages".
 """
 
 from __future__ import annotations
@@ -24,10 +31,12 @@ __all__ = [
     "DlibTimeoutError",
     "MessageKind",
     "PreEncoded",
+    "TRACE_FLAG",
     "encode_value",
     "decode_value",
     "encode_message",
     "decode_message",
+    "decode_message_ex",
 ]
 
 _MAX_DEPTH = 32
@@ -169,7 +178,9 @@ def _encode_into(out: bytearray, value, depth: int) -> None:
 
 
 def _encode_array(out: bytearray, arr: np.ndarray) -> None:
-    arr = np.ascontiguousarray(arr)
+    # Not ascontiguousarray: that promotes 0-d arrays to shape (1,),
+    # which would silently change the shape across a round trip.
+    arr = np.asarray(arr, order="C")
     dt = arr.dtype.newbyteorder("<") if arr.dtype.byteorder == ">" else arr.dtype
     if dt.byteorder == "=":
         dt = dt.newbyteorder("<")
@@ -284,20 +295,65 @@ def _decode(r: _Reader, depth: int):
 
 
 _HEADER = struct.Struct("<BI")
+_TRACE_ID = struct.Struct("<I")
+
+#: High bit of the kind byte: a 32-bit trace ID follows ``request_id``.
+#: Untraced messages (``trace_id=0``) never set it, so their bytes are
+#: identical to the pre-extension wire format.
+TRACE_FLAG = 0x80
 
 
-def encode_message(kind: MessageKind, request_id: int, payload) -> bytes:
-    """Encode a complete message (unframed)."""
-    return _HEADER.pack(int(kind), request_id) + encode_value(payload)
+def encode_message(
+    kind: MessageKind, request_id: int, payload, trace_id: int = 0
+) -> bytes:
+    """Encode a complete message (unframed).
+
+    ``trace_id=0`` (the default) produces the classic header; a nonzero
+    trace ID sets :data:`TRACE_FLAG` on the kind byte and appends the ID
+    after ``request_id`` (see docs/protocol.md, "Traced messages").
+    """
+    if not 0 <= trace_id < 2**32:
+        raise DlibProtocolError("trace_id must fit in 32 bits")
+    if trace_id:
+        header = _HEADER.pack(int(kind) | TRACE_FLAG, request_id) + _TRACE_ID.pack(
+            trace_id
+        )
+    else:
+        header = _HEADER.pack(int(kind), request_id)
+    return header + encode_value(payload)
 
 
-def decode_message(data: bytes) -> tuple[MessageKind, int, object]:
-    """Decode a complete message produced by :func:`encode_message`."""
+def decode_message_ex(data: bytes) -> tuple[MessageKind, int, int, object]:
+    """Decode a message to ``(kind, request_id, trace_id, payload)``.
+
+    Accepts both wire formats: messages without :data:`TRACE_FLAG`
+    decode with ``trace_id=0``.
+    """
     if len(data) < _HEADER.size:
         raise DlibProtocolError("message shorter than header")
     kind_raw, request_id = _HEADER.unpack_from(data)
+    trace_id = 0
+    body = _HEADER.size
+    if kind_raw & TRACE_FLAG:
+        kind_raw &= ~TRACE_FLAG
+        if len(data) < _HEADER.size + _TRACE_ID.size:
+            raise DlibProtocolError("traced message shorter than its header")
+        (trace_id,) = _TRACE_ID.unpack_from(data, _HEADER.size)
+        if trace_id == 0:
+            raise DlibProtocolError("traced message carries trace_id 0")
+        body += _TRACE_ID.size
     try:
         kind = MessageKind(kind_raw)
     except ValueError as exc:
         raise DlibProtocolError(f"unknown message kind {kind_raw}") from exc
-    return kind, request_id, decode_value(data[_HEADER.size :])
+    return kind, request_id, trace_id, decode_value(data[body:])
+
+
+def decode_message(data: bytes) -> tuple[MessageKind, int, object]:
+    """Decode a complete message produced by :func:`encode_message`.
+
+    The classic three-field view; any trace ID is dropped (use
+    :func:`decode_message_ex` to see it).
+    """
+    kind, request_id, _trace_id, payload = decode_message_ex(data)
+    return kind, request_id, payload

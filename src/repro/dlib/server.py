@@ -25,15 +25,20 @@ import threading
 import time
 import traceback
 from collections.abc import Callable
+from contextlib import nullcontext
 
 from repro.dlib.memory import MemoryManager
 from repro.dlib.protocol import (
     DlibProtocolError,
     MessageKind,
-    decode_message,
+    PreEncoded,
+    decode_message_ex,
     encode_message,
+    encode_value,
 )
 from repro.dlib.transport import MAX_FRAME
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Trace, TraceCollector, use_trace
 
 __all__ = ["ServerContext", "DlibServer"]
 
@@ -56,6 +61,12 @@ class ServerContext:
         shared virtual environment lives here.
     memory
         Remote memory segments (see :mod:`repro.dlib.memory`).
+    registry
+        The server's :class:`~repro.obs.registry.MetricsRegistry`.  The
+        service counters below are *views into it* (``dlib.*`` metrics),
+        not private ints — one source of truth for ``dlib.stats``,
+        ``dlib.metrics``, and any procedure that wants to record its own
+        numbers.
     calls_served
         Total procedure invocations, all clients.
     clients_connected
@@ -68,13 +79,35 @@ class ServerContext:
         Teardowns caused specifically by malformed wire data.
     """
 
-    def __init__(self, memory_budget: int | None = None) -> None:
+    def __init__(
+        self,
+        memory_budget: int | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.state: dict = {}
         self.memory = MemoryManager(memory_budget)
-        self.calls_served = 0
-        self.clients_connected = 0
-        self.disconnects = 0
-        self.protocol_errors = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._calls = self.registry.counter("dlib.calls_served")
+        self._errors = self.registry.counter("dlib.call_errors")
+        self._clients = self.registry.gauge("dlib.clients_connected")
+        self._disconnects = self.registry.counter("dlib.disconnects")
+        self._protocol_errors = self.registry.counter("dlib.protocol_errors")
+
+    @property
+    def calls_served(self) -> int:
+        return self._calls.value
+
+    @property
+    def clients_connected(self) -> int:
+        return int(self._clients.value)
+
+    @property
+    def disconnects(self) -> int:
+        return self._disconnects.value
+
+    @property
+    def protocol_errors(self) -> int:
+        return self._protocol_errors.value
 
 
 class _Connection:
@@ -93,17 +126,23 @@ class _Connection:
         self.bytes_received = 0
         self.bytes_sent = 0
 
-    def pump(self) -> list[bytes]:
-        """Read available bytes; return every newly completed frame."""
+    def pump(self) -> list[tuple[bytes, float]]:
+        """Read available bytes; return every newly completed frame.
+
+        Each frame is paired with its ``time.perf_counter()`` arrival
+        stamp — the origin of the request's trace, so queue wait (time
+        parked behind other clients' calls) is attributable.
+        """
         try:
             data = self.sock.recv(_READ_CHUNK)
         except (BlockingIOError, InterruptedError):
             return []
         if not data:
             raise ConnectionError("peer closed the connection")
+        arrived = time.perf_counter()
         self.buf += data
         self.bytes_received += len(data)
-        frames: list[bytes] = []
+        frames: list[tuple[bytes, float]] = []
         while len(self.buf) >= _LEN.size:
             (length,) = _LEN.unpack_from(self.buf)
             if length > MAX_FRAME:
@@ -113,7 +152,7 @@ class _Connection:
             end = _LEN.size + length
             if len(self.buf) < end:
                 break
-            frames.append(bytes(self.buf[_LEN.size:end]))
+            frames.append((bytes(self.buf[_LEN.size:end]), arrived))
             del self.buf[:end]
         return frames
 
@@ -172,18 +211,32 @@ class DlibServer:
         port: int = 0,
         *,
         memory_budget: int | None = None,
+        registry: MetricsRegistry | None = None,
+        trace_capacity: int = 64,
     ) -> None:
         self._host, self._requested_port = host, port
-        self.context = ServerContext(memory_budget)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.context = ServerContext(memory_budget, registry=self.registry)
+        self.traces = TraceCollector(trace_capacity)
+        self._dispatch_hist = self.registry.histogram("dlib.dispatch_seconds")
+        self._send_hist = self.registry.histogram("dlib.send_seconds")
+        self._ticks_run = self.registry.counter("dlib.ticks_run")
+        self._tick_errors = self.registry.counter("dlib.tick_errors")
         self._procedures: dict[str, Callable] = {}
         self._ticks: list[list] = []  # [fn, interval, next_due]
-        self.ticks_run = 0
-        self.tick_errors = 0
         self._listener: socket.socket | None = None
         self._thread: threading.Thread | None = None
         self._running = False
         self._lock = threading.Lock()
         self._register_builtins()
+
+    @property
+    def ticks_run(self) -> int:
+        return self._ticks_run.value
+
+    @property
+    def tick_errors(self) -> int:
+        return self._tick_errors.value
 
     # -- registry ---------------------------------------------------------
 
@@ -247,7 +300,14 @@ class DlibServer:
             ctx.memory.free(int(segment_id))
             return None
 
-        for fn in (ping, procedures, stats, mem_alloc, mem_write, mem_read, mem_free):
+        def metrics(ctx):
+            """Full registry snapshot (counters/gauges/histograms)."""
+            return ctx.registry.snapshot()
+
+        for fn in (
+            ping, procedures, stats, metrics,
+            mem_alloc, mem_write, mem_read, mem_free,
+        ):
             self._procedures[f"dlib.{fn.__name__}"] = fn
 
     # -- lifecycle ----------------------------------------------------------
@@ -311,7 +371,7 @@ class DlibServer:
                             )
                         conns[sock] = _Connection(sock)
                         sel.register(sock, selectors.EVENT_READ, "client")
-                        self.context.clients_connected += 1
+                        self.context._clients.inc()
                     else:
                         sock = key.fileobj
                         conn = conns.get(sock)
@@ -322,10 +382,10 @@ class DlibServer:
                                 pass
                             continue
                         try:
-                            for frame in conn.pump():
-                                self._dispatch(conn, frame)
+                            for frame, arrived in conn.pump():
+                                self._dispatch(conn, frame, arrived)
                         except DlibProtocolError:
-                            self.context.protocol_errors += 1
+                            self.context._protocol_errors.inc()
                             self._drop(sel, conns, sock)
                         except (ConnectionError, OSError):
                             self._drop(sel, conns, sock)
@@ -350,8 +410,8 @@ class DlibServer:
         except (KeyError, ValueError):
             pass
         conn.close()
-        self.context.clients_connected -= 1
-        self.context.disconnects += 1
+        self.context._clients.dec()
+        self.context._disconnects.inc()
 
     def _run_ticks(self) -> None:
         if not self._ticks:
@@ -361,14 +421,14 @@ class DlibServer:
             fn, interval, due = tick
             if now >= due:
                 tick[2] = now + interval
-                self.ticks_run += 1
+                self._ticks_run.inc()
                 try:
                     fn(self.context)
                 except Exception:  # noqa: BLE001 - a tick must never kill the loop
-                    self.tick_errors += 1
+                    self._tick_errors.inc()
 
-    def _dispatch(self, conn: _Connection, frame: bytes) -> None:
-        kind, request_id, payload = decode_message(frame)
+    def _dispatch(self, conn: _Connection, frame: bytes, arrived: float) -> None:
+        kind, request_id, trace_id, payload = decode_message_ex(frame)
         if kind is not MessageKind.CALL:
             raise DlibProtocolError(f"client sent non-CALL message {kind}")
         if not isinstance(payload, dict) or "proc" not in payload:
@@ -390,11 +450,37 @@ class DlibServer:
                 )
             )
             return
+        # A traced call opens a span tree anchored at frame arrival, so
+        # queue wait (time parked behind other clients on this serial
+        # loop, plus decode) is the first span.  Handlers reach the live
+        # trace through ``obs.current_trace()`` to graft their own spans.
+        trace = Trace(trace_id, name, origin=arrived) if trace_id else None
+        if trace is not None:
+            trace.mark("queue_wait", trace.now(), start=0.0)
         try:
-            result = fn(self.context, *args, **kwargs)
-            self.context.calls_served += 1
-            response = encode_message(MessageKind.RESULT, request_id, result)
+            with use_trace(trace):
+                with trace.span("handler") if trace else nullcontext():
+                    result = fn(self.context, *args, **kwargs)
+            self.context._calls.inc()
+            if trace is not None:
+                # Encode the result first (under its own span), then
+                # splice the finished tree next to it: the reply carries
+                # queue_wait + handler + encode.  The socket write below
+                # cannot be inside its own payload; it lands in the
+                # trace collector and the dlib.send_seconds histogram.
+                with trace.span("encode"):
+                    body = PreEncoded(encode_value(result))
+                trace.finish()
+                response = encode_message(
+                    MessageKind.RESULT,
+                    request_id,
+                    {"t": trace.to_wire(), "r": body},
+                    trace_id=trace_id,
+                )
+            else:
+                response = encode_message(MessageKind.RESULT, request_id, result)
         except Exception as exc:  # noqa: BLE001 - faults must cross the wire
+            self.context._errors.inc()
             response = encode_message(
                 MessageKind.ERROR,
                 request_id,
@@ -403,5 +489,14 @@ class DlibServer:
                     "message": str(exc),
                     "traceback": traceback.format_exc(),
                 },
+                trace_id=trace_id,
             )
+        t0 = time.perf_counter()
         conn.send_frame(response)
+        send_seconds = time.perf_counter() - t0
+        self._send_hist.observe(send_seconds)
+        if trace is not None:
+            trace.mark("send", send_seconds)
+            trace.root.duration = trace.now()
+            self.traces.add(trace)
+            self._dispatch_hist.observe(trace.root.duration)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import socket
 import struct
+import time
 
 from repro.dlib.protocol import DlibTimeoutError
 
@@ -38,6 +39,20 @@ class Stream:
         self.bytes_sent = 0
         self.bytes_received = 0
         self._closed = False
+        self._send_hist = None
+        self._recv_hist = None
+        self._sent_counter = None
+        self._recv_counter = None
+
+    def bind_registry(self, registry) -> "Stream":
+        """Record send/recv wall times and byte totals into ``registry``
+        (``transport.*`` metrics).  Off by default: the unbound stream
+        pays nothing on the hot path."""
+        self._send_hist = registry.histogram("transport.send_seconds")
+        self._recv_hist = registry.histogram("transport.recv_seconds")
+        self._sent_counter = registry.counter("transport.bytes_sent")
+        self._recv_counter = registry.counter("transport.bytes_received")
+        return self
 
     @property
     def closed(self) -> bool:
@@ -73,11 +88,15 @@ class Stream:
         """
         if self._closed:
             raise ConnectionError("stream is closed")
+        t0 = time.perf_counter()
         try:
             self._sock.sendall(data)
         except socket.timeout as exc:
             raise DlibTimeoutError("send timed out") from exc
         self.bytes_sent += len(data)
+        if self._send_hist is not None:
+            self._send_hist.observe(time.perf_counter() - t0)
+            self._sent_counter.inc(len(data))
 
     def _recv_exact(self, n: int) -> bytes:
         chunks = []
@@ -100,10 +119,15 @@ class Stream:
         """Receive one framed message (blocking)."""
         if self._closed:
             raise ConnectionError("stream is closed")
+        t0 = time.perf_counter()
         (length,) = _LEN.unpack(self._recv_exact(_LEN.size))
         if length > MAX_FRAME:
             raise ConnectionError(f"peer announced oversized frame ({length} bytes)")
-        return self._recv_exact(length)
+        payload = self._recv_exact(length)
+        if self._recv_hist is not None:
+            self._recv_hist.observe(time.perf_counter() - t0)
+            self._recv_counter.inc(_LEN.size + length)
+        return payload
 
     def close(self) -> None:
         if not self._closed:
@@ -121,11 +145,16 @@ class Stream:
         self.close()
 
 
-def connect_tcp(host: str, port: int, timeout: float | None = 10.0) -> Stream:
+def connect_tcp(
+    host: str, port: int, timeout: float | None = 10.0, *, registry=None
+) -> Stream:
     """Connect a framed stream to a listening dlib server."""
     sock = socket.create_connection((host, port), timeout=timeout)
     sock.settimeout(None)
-    return Stream(sock)
+    stream = Stream(sock)
+    if registry is not None:
+        stream.bind_registry(registry)
+    return stream
 
 
 def pipe_pair() -> tuple[Stream, Stream]:

@@ -54,11 +54,20 @@ class ThrottledChannel:
         model: NetworkModel,
         *,
         clock: VirtualClock | None = None,
+        registry=None,
     ) -> None:
         self._stream = stream
         self.model = model
         self._clock = clock
         self.modeled_delay_total = 0.0
+        # Optional MetricsRegistry: modeled delays become observable next
+        # to the real timings (netsim.* metrics).
+        self._delay_hist = (
+            registry.histogram("netsim.modeled_delay_seconds") if registry else None
+        )
+        self._throttled_bytes = (
+            registry.counter("netsim.throttled_bytes") if registry else None
+        )
 
     # -- Stream interface ----------------------------------------------------
 
@@ -89,6 +98,9 @@ class ThrottledChannel:
     def _delay(self, nbytes: int) -> None:
         d = self.model.transfer_time(nbytes)
         self.modeled_delay_total += d
+        if self._delay_hist is not None:
+            self._delay_hist.observe(d)
+            self._throttled_bytes.inc(nbytes)
         if self._clock is not None:
             self._clock.sleep(d)
         elif d > 0:

@@ -107,6 +107,7 @@ class FaultyChannel:
         plan: FaultPlan,
         *,
         clock: VirtualClock | None = None,
+        registry=None,
     ) -> None:
         self._stream = stream
         self.plan = plan
@@ -114,6 +115,29 @@ class FaultyChannel:
         self._rng = random.Random(plan.seed)
         self._clock = clock
         self._disconnected = False
+        # Optional MetricsRegistry: injected faults land in the same
+        # registry the server reports, so a soak run reconciles observed
+        # losses against scheduled ones from one snapshot.
+        self._counters = (
+            {
+                name: registry.counter(f"faults.{name}")
+                for name in (
+                    "sends",
+                    "recvs",
+                    "drops",
+                    "duplicates",
+                    "corruptions",
+                    "stalls",
+                    "disconnects",
+                )
+            }
+            if registry is not None
+            else None
+        )
+
+    def _record(self, name: str) -> None:
+        if self._counters is not None:
+            self._counters[name].inc()
 
     # -- Stream interface ----------------------------------------------------
 
@@ -140,6 +164,7 @@ class FaultyChannel:
         """Send one framed message, subject to the fault plan."""
         plan, rng = self.plan, self._rng
         self.stats.sends += 1
+        self._record("sends")
         if (
             plan.disconnect_after_sends is not None
             and not self._disconnected
@@ -148,9 +173,11 @@ class FaultyChannel:
             self._inject_disconnect(payload)
         if plan.stall_rate and rng.random() < plan.stall_rate:
             self.stats.stalls += 1
+            self._record("stalls")
             self._stall(plan.stall_seconds)
         if plan.drop_rate and rng.random() < plan.drop_rate:
             self.stats.drops += 1
+            self._record("drops")
             return  # the frame silently vanishes in the network
         data = payload
         if plan.corrupt_rate and payload and rng.random() < plan.corrupt_rate:
@@ -158,13 +185,16 @@ class FaultyChannel:
             corrupted[rng.randrange(len(corrupted))] ^= 0xFF
             data = bytes(corrupted)
             self.stats.corruptions += 1
+            self._record("corruptions")
         self._stream.send(data)
         if plan.duplicate_rate and rng.random() < plan.duplicate_rate:
             self.stats.duplicates += 1
+            self._record("duplicates")
             self._stream.send(data)
 
     def recv(self) -> bytes:
         self.stats.recvs += 1
+        self._record("recvs")
         return self._stream.recv()
 
     def close(self) -> None:
@@ -189,6 +219,7 @@ class FaultyChannel:
         """Emit a naked prefix of the frame, sever the link, raise."""
         self._disconnected = True
         self.stats.disconnects += 1
+        self._record("disconnects")
         frame = _LEN.pack(len(payload)) + bytes(payload)
         cut = min(self.plan.disconnect_partial_bytes, len(frame))
         if cut and hasattr(self._stream, "send_raw"):

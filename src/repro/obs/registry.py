@@ -1,0 +1,214 @@
+"""The process-wide metrics registry.
+
+Three instrument kinds, all thread-safe and all snapshotted to plain
+data (so a snapshot crosses the dlib wire unmodified):
+
+* :class:`Counter` — a monotone event count (``calls_served``, fault
+  injections, frames produced).
+* :class:`Gauge` — a settable level (``clients_connected``, governor
+  quality).
+* :class:`Histogram` — a latency distribution: streaming
+  :class:`~repro.util.timers.TimingStats` (exact count/mean/min/max over
+  the full history) plus a bounded :class:`~repro.util.ringbuffer.
+  RingBuffer` of recent samples for p50/p95/p99 quantiles.  The ring
+  bounds memory — an arbitrarily long run costs a fixed window — which
+  is also the right semantics for tail latency: quantiles describe *now*,
+  not the process's whole life.
+
+Instruments are created on first use (``registry.counter("dlib.calls")``)
+and shared by name afterwards, so the producing and the reporting side
+never need to agree on setup order.  A module-level default registry
+(:func:`get_registry`) serves code with no better scope; servers create
+their own so tests and co-hosted instances cannot bleed into each other.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.util.ringbuffer import RingBuffer
+from repro.util.timers import TimingStats
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry"]
+
+#: Default quantiles reported by a histogram snapshot.
+QUANTILES = (0.5, 0.95, 0.99)
+
+#: Default number of recent samples a histogram keeps for quantiles.
+HISTOGRAM_WINDOW = 512
+
+
+class Counter:
+    """A monotone event counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters are monotone; use a Gauge to go down")
+        with self._lock:
+            self._value += n
+
+
+class Gauge:
+    """A settable level (may go up or down)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value -= n
+
+
+class Histogram:
+    """Latency distribution: exact streaming stats + windowed quantiles.
+
+    :attr:`stats` is a plain :class:`~repro.util.timers.TimingStats`, so
+    existing code that kept a private ``TimingStats`` can hold a
+    registry histogram's ``.stats`` instead and keep its API — that is
+    how the frame pipeline's per-stage timings moved into the registry
+    without changing :meth:`FramePipeline.stats`.
+    """
+
+    __slots__ = ("name", "stats", "_ring", "_lock")
+
+    def __init__(self, name: str, window: int = HISTOGRAM_WINDOW) -> None:
+        self.name = name
+        self.stats = TimingStats()
+        self._ring = RingBuffer(window, 1)
+        self._lock = threading.Lock()
+
+    @property
+    def count(self) -> int:
+        return self.stats.count
+
+    def observe(self, seconds: float) -> None:
+        """Record one sample (non-negative, like all durations here)."""
+        with self._lock:
+            self.stats.add(seconds)
+            self._ring.append(np.array([seconds]))
+
+    def quantile(self, q: float) -> float:
+        """Quantile of the recent-sample window (0 if empty)."""
+        with self._lock:
+            if len(self._ring) == 0:
+                return 0.0
+            return float(self._ring.quantile(q)[0])
+
+    def snapshot(self) -> dict:
+        """Plain-data summary (wire-encodable)."""
+        with self._lock:
+            s = self.stats
+            out = {
+                "count": s.count,
+                "mean": s.mean,
+                "min": s.min if s.count else 0.0,
+                "max": s.max,
+                "total": s.total,
+            }
+            if len(self._ring):
+                qs = self._ring.quantile(list(QUANTILES))
+                for q, v in zip(QUANTILES, np.asarray(qs).reshape(len(QUANTILES), -1)):
+                    out[f"p{int(q * 100)}"] = float(v[0])
+            else:
+                for q in QUANTILES:
+                    out[f"p{int(q * 100)}"] = 0.0
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Instruments are created lazily and shared by name; asking for an
+    existing name with a different kind is a programming error and
+    raises.  :meth:`snapshot` returns plain nested dicts — the exact
+    payload of the ``wt.metrics`` / ``dlib.metrics`` RPCs.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _get(self, table: dict, others: tuple[dict, ...], name: str, factory):
+        with self._lock:
+            inst = table.get(name)
+            if inst is None:
+                for other in others:
+                    if name in other:
+                        raise ValueError(
+                            f"metric {name!r} already registered as a different kind"
+                        )
+                inst = table[name] = factory(name)
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(
+            self._counters, (self._gauges, self._histograms), name, Counter
+        )
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(
+            self._gauges, (self._counters, self._histograms), name, Gauge
+        )
+
+    def histogram(self, name: str, window: int = HISTOGRAM_WINDOW) -> Histogram:
+        return self._get(
+            self._histograms,
+            (self._counters, self._gauges),
+            name,
+            lambda n: Histogram(n, window),
+        )
+
+    def snapshot(self) -> dict:
+        """``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {n: h.snapshot() for n, h in sorted(histograms.items())},
+        }
+
+
+_default = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry.
+
+    Servers make their own (isolation across tests and co-hosted
+    instances); this one backs code with no natural owner.
+    """
+    return _default

@@ -1,0 +1,235 @@
+"""Per-RPC request tracing: span trees over the frame path.
+
+A *trace* is one RPC's story: the client allocates a trace ID, stamps
+it into the dlib message header (see docs/protocol.md, "Traced
+messages"), and the server dispatch opens a :class:`Trace` whose spans
+tile the server-side wall time — queue wait, handler execution, reply
+encoding, socket write.  Handlers deep in the stack reach the live
+trace through :func:`current_trace` and graft their own spans in; the
+``wt.frame`` handler uses this to attach the served frame's production
+stages (load -> locate -> integrate -> encode), so a slow frame names
+the stage that made it slow.
+
+Span times are offsets in seconds from the trace origin (the moment the
+request's last byte arrived), measured on ``time.perf_counter``.  The
+wire form is plain nested dicts, so a span tree rides the normal value
+encoding back to the client, where :func:`format_trace` pretty-prints
+it next to the client-observed latency.
+
+One deliberate asymmetry: the socket-write span of a reply cannot be
+*inside* that same reply (the bytes are already encoded when the write
+happens).  The send span is therefore recorded after the fact into the
+server's :class:`TraceCollector` ring and the ``dlib.send_seconds``
+histogram; the client-visible tree ends at reply encoding.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from threading import Lock
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceCollector",
+    "current_trace",
+    "format_trace",
+    "use_trace",
+]
+
+
+class Span:
+    """One named interval: ``start``/``duration`` are seconds from the
+    trace origin; ``children`` nest inside it."""
+
+    __slots__ = ("name", "start", "duration", "children")
+
+    def __init__(self, name: str, start: float = 0.0, duration: float = 0.0) -> None:
+        self.name = name
+        self.start = float(start)
+        self.duration = float(duration)
+        self.children: list[Span] = []
+
+    def add_child(self, name: str, start: float, duration: float) -> "Span":
+        """Attach a reconstructed child span (e.g. a pipeline stage whose
+        duration was measured elsewhere)."""
+        child = Span(name, start, duration)
+        self.children.append(child)
+        return child
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "children": [c.to_wire() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, +{self.start * 1e3:.2f}ms, {self.duration * 1e3:.2f}ms)"
+
+
+class Trace:
+    """The span tree of one traced RPC.
+
+    Parameters
+    ----------
+    trace_id
+        Client-allocated identifier carried in the message header.
+    proc
+        The procedure being traced.
+    origin
+        ``time.perf_counter()`` value of the trace's time zero —
+        normally the instant the request frame completed reassembly, so
+        queue wait is visible.  Defaults to "now".
+    """
+
+    __slots__ = ("trace_id", "proc", "_origin", "root", "_stack", "_clock")
+
+    def __init__(
+        self,
+        trace_id: int,
+        proc: str,
+        *,
+        origin: float | None = None,
+        clock=time.perf_counter,
+    ) -> None:
+        self.trace_id = int(trace_id)
+        self.proc = proc
+        self._clock = clock
+        self._origin = clock() if origin is None else float(origin)
+        self.root = Span("server")
+        self._stack = [self.root]
+
+    def now(self) -> float:
+        """Seconds since the trace origin."""
+        return self._clock() - self._origin
+
+    @contextmanager
+    def span(self, name: str):
+        """Open a child span of the innermost open span."""
+        sp = Span(name, start=self.now())
+        self._stack[-1].children.append(sp)
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.duration = self.now() - sp.start
+            self._stack.pop()
+
+    def mark(self, name: str, duration: float, *, start: float | None = None) -> Span:
+        """Record a span whose interval already elapsed (no nesting)."""
+        sp = Span(name, self.now() - duration if start is None else start, duration)
+        self._stack[-1].children.append(sp)
+        return sp
+
+    def finish(self) -> "Trace":
+        """Close the root span at "now"."""
+        self.root.duration = self.now()
+        return self
+
+    def to_wire(self) -> dict:
+        wire = self.root.to_wire()
+        wire["trace_id"] = self.trace_id
+        wire["proc"] = self.proc
+        return wire
+
+
+#: The trace of the RPC currently being dispatched (None outside one).
+_current: ContextVar[Trace | None] = ContextVar("repro_obs_trace", default=None)
+
+
+def current_trace() -> Trace | None:
+    """The live trace of the RPC being handled, if the caller traced it."""
+    return _current.get()
+
+
+@contextmanager
+def use_trace(trace: Trace | None):
+    """Make ``trace`` the current trace for the duration of the block."""
+    token = _current.set(trace)
+    try:
+        yield trace
+    finally:
+        _current.reset(token)
+
+
+class TraceCollector:
+    """A bounded ring of recently completed trace trees (wire form).
+
+    The server keeps one so ``wt.metrics`` / post-mortems can show the
+    last N requests *including* their socket-write spans, which the
+    in-reply tree cannot carry.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._items: list[dict] = []
+        self._lock = Lock()
+        self.total = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, trace: Trace | dict) -> None:
+        wire = trace.to_wire() if isinstance(trace, Trace) else dict(trace)
+        with self._lock:
+            self._items.append(wire)
+            if len(self._items) > self._capacity:
+                del self._items[0]
+            self.total += 1
+
+    def latest(self) -> dict | None:
+        with self._lock:
+            return self._items[-1] if self._items else None
+
+    def to_wire(self, limit: int | None = None) -> list[dict]:
+        with self._lock:
+            items = self._items[-limit:] if limit else list(self._items)
+        return items
+
+
+def format_trace(wire: dict, *, client_seconds: float | None = None) -> str:
+    """Pretty-print a span tree (the client-side ``trace_report()``).
+
+    >>> print(format_trace(trace.to_wire()))    # doctest: +SKIP
+    trace 7 wt.frame — server 12.41 ms
+      queue_wait        0.08 ms
+      handler          11.90 ms
+        frame_wait     11.62 ms
+          load          0.91 ms
+          ...
+    """
+    if not isinstance(wire, dict) or "name" not in wire:
+        raise ValueError("not a trace wire dict")
+    header = (
+        f"trace {wire.get('trace_id', '?')} {wire.get('proc', '?')}"
+        f" — server {wire.get('duration', 0.0) * 1e3:.2f} ms"
+    )
+    if client_seconds is not None:
+        header += f" (client observed {client_seconds * 1e3:.2f} ms)"
+    lines = [header]
+    width = max(
+        (len(s["name"]) + 2 * d for s, d in _walk(wire.get("children", []), 0)),
+        default=10,
+    )
+
+    def emit(children: list, depth: int) -> None:
+        for child in children:
+            pad = "  " * depth
+            name = f"{pad}{child['name']}"
+            lines.append(f"  {name:<{width + 2}} {child['duration'] * 1e3:9.2f} ms")
+            emit(child.get("children", []), depth + 1)
+
+    emit(wire.get("children", []), 0)
+    return "\n".join(lines)
+
+
+def _walk(children: list, depth: int):
+    for child in children:
+        yield child, depth
+        yield from _walk(child.get("children", []), depth + 1)

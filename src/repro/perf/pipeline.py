@@ -69,8 +69,10 @@ def simulate_pipeline(
         raise ValueError("need at least one stage")
     names = tuple(n for n, _ in items)
     times = tuple(float(t) for _, t in items)
-    if any(t < 0 for t in times):
-        raise ValueError("stage durations must be non-negative")
+    # NaN fails every comparison, so `t < 0` alone would wave it through
+    # and poison the whole schedule — check finiteness explicitly.
+    if any(not np.isfinite(t) or t < 0 for t in times):
+        raise ValueError("stage durations must be finite and non-negative")
     if n_frames < 1:
         raise ValueError("need at least one frame")
 
@@ -110,8 +112,8 @@ def compare_to_model(
     simulates the ideal schedule and reports whether the measurement is
     within ``tolerance`` (relative) of the model's steady period.
     """
-    if measured_period <= 0:
-        raise ValueError("measured_period must be positive")
+    if not np.isfinite(measured_period) or measured_period <= 0:
+        raise ValueError("measured_period must be a positive finite number")
     result = simulate_pipeline(stages, n_frames=n_frames)
     predicted = result.steady_period
     error = abs(measured_period - predicted) / predicted if predicted else 0.0

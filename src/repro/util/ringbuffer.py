@@ -97,6 +97,18 @@ class RingBuffer:
             (self._data[self._start :], self._data[: end - self._capacity])
         )
 
+    def quantile(self, q) -> np.ndarray:
+        """Per-column quantile(s) of the live window.
+
+        ``q`` is a scalar or sequence of quantiles in [0, 1]; the result
+        has one row per quantile and one column per record column.  The
+        observability layer uses width-1 rings of latency samples for
+        p50/p95/p99 (see :class:`repro.obs.registry.Histogram`).
+        """
+        if self._size == 0:
+            raise ValueError("ring buffer is empty")
+        return np.quantile(self.view(), q, axis=0)
+
     def oldest(self) -> np.ndarray:
         if self._size == 0:
             raise IndexError("ring buffer is empty")

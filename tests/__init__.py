@@ -1,0 +1,49 @@
+"""Shared test helpers — and the house rules for timing-sensitive tests.
+
+De-flaking pattern (use it; do not sleep-and-assert)
+----------------------------------------------------
+
+A test that does ``time.sleep(0.15); assert nothing_happened()`` is
+flaky twice over: on a loaded CI box the sleep may be too *short* for
+the background thread to misbehave (false pass), and it always costs
+wall time even when the system settles instantly.  The repo's rules:
+
+1. **Wait on events, not on time.**  When the code under test exposes a
+   completion signal (a ``threading.Event``, a condition variable, a
+   returned future), block on that with a generous timeout.  The timeout
+   is a failure detector, never the synchronization itself.
+2. **Wait on progress counters for "nothing happened" claims.**  To
+   assert a background thread *declined* to act, wait until one of its
+   progress counters (e.g. ``FramePipeline.idle_cycles``) advances past
+   a remembered value — proof the thread completed full evaluations of
+   the new state — then assert the side effect is absent.  Use
+   :func:`wait_until` below.
+3. **Drive clocks, don't chase them.**  Time-dependent logic takes an
+   injectable ``time_fn``/``clock`` everywhere in this repo; tests pass
+   a fake (``clock = {"now": 0.0}; time_fn=lambda: clock["now"]``) and
+   advance it explicitly (see ``test_core_timectrl.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.005):
+    """Poll ``predicate`` until it returns a truthy value; return it.
+
+    Raises ``AssertionError`` after ``timeout`` seconds.  The timeout is
+    deliberately generous — it only bounds a genuinely broken test, it
+    does not pace a healthy one (a healthy one returns on the first few
+    polls).
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"condition {predicate!r} not met within {timeout}s"
+            )
+        time.sleep(interval)

@@ -33,6 +33,8 @@ from repro.dlib.protocol import PreEncoded, decode_value, encode_value
 from repro.flow import MemoryDataset, RigidRotation, UniformFlow, sample_on_grid
 from repro.grid import cartesian_grid
 
+from tests import wait_until
+
 
 def make_dataset(n_times=8):
     grid = cartesian_grid((9, 9, 5), lo=(0, 0, 0), hi=(8, 8, 4))
@@ -101,15 +103,21 @@ class TestFrameStore:
         assert store.wait_beyond(0, timeout=0.05) is None
 
     def test_wait_beyond_wakes_on_publish(self):
+        # Event-driven, not sleep-paced (see tests/__init__.py): the
+        # assertion holds under either interleaving — a reader parked in
+        # wait_beyond is woken by publish, and a reader that arrives
+        # after the publish returns immediately (seq already advanced).
         store = FrameStore()
+        entered = threading.Event()
         got = []
 
         def reader():
-            got.append(store.wait_beyond(0, timeout=2.0))
+            entered.set()
+            got.append(store.wait_beyond(0, timeout=5.0))
 
         t = threading.Thread(target=reader)
         t.start()
-        time.sleep(0.05)
+        assert entered.wait(2.0)
         store.publish(
             PublishedFrame(
                 version=1, timestep=0, seq=0,
@@ -117,7 +125,7 @@ class TestFrameStore:
                 compute_seconds=0.0,
             )
         )
-        t.join(timeout=2.0)
+        t.join(timeout=5.0)
         assert got and got[0].seq == 1
 
 
@@ -255,14 +263,21 @@ class TestInvalidationRepublish:
 
     def test_env_bump_wakes_producer_without_spurious_compute(self, server):
         """Bumps alone must not burn compute: with nobody asking for a
-        frame, an invalidation wakes the producer and nothing else."""
+        frame, an invalidation wakes the producer and nothing else.
+
+        Instead of sleeping and hoping an eager producer had time to
+        misbehave, wait until ``idle_cycles`` advances past its
+        post-bump value — proof the producer completed full evaluations
+        of the bumped state and declined to produce each time.
+        """
         with WindtunnelClient(*server.address) as c:
             c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=3)
             c.fetch_frame()
             produced = server.pipeline.frames_produced
             for _ in range(3):
                 c.time_control("step", 1)  # version bumps, no frame demand
-            time.sleep(0.15)  # give a (wrongly) eager producer time to run
+            idle0 = server.pipeline.idle_cycles
+            wait_until(lambda: server.pipeline.idle_cycles >= idle0 + 2)
             assert server.pipeline.frames_produced == produced
 
 

@@ -1,4 +1,10 @@
-"""Tests for TimeControl — the paper's interactive time control."""
+"""Tests for TimeControl — the paper's interactive time control.
+
+Timing-flakiness audit: every test here drives TimeControl with
+explicit wall-clock *values* (``tc.position(1.0)``) — rule 3 of the
+de-flaking pattern in ``tests/__init__.py``.  No real clock is read and
+nothing sleeps, so these tests are deterministic by construction.
+"""
 
 import pytest
 

@@ -1,0 +1,199 @@
+"""Property-based round-trip tests for the dlib codec.
+
+Complements ``test_dlib_protocol.py`` (which covers the value grammar
+and rejection paths) with the properties the observability PR leans on:
+
+* arrays of *every* whitelisted dtype, at any shape and nesting depth,
+  survive a round trip bit-for-bit;
+* a :class:`PreEncoded` fragment is indistinguishable on the wire from
+  encoding the original value inline — at any position in a payload;
+* the trace-ID header extension round-trips, and its absence is
+  byte-identical to the pre-extension format, so old-format messages
+  (and old decoders) keep working — the compat regression suite.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.dlib.protocol import (
+    TRACE_FLAG,
+    DlibProtocolError,
+    MessageKind,
+    PreEncoded,
+    decode_message,
+    decode_message_ex,
+    decode_value,
+    encode_message,
+    encode_value,
+)
+
+# Every dtype the wire whitelists (docs/protocol.md, "Value encoding").
+WIRE_DTYPES = [
+    np.dtype(t)
+    for t in ("<f4", "<f8", "<i2", "<i4", "<i8", "<u2", "<u4", "<u8",
+              "|i1", "|u1", "|b1")
+]
+
+wire_arrays = st.sampled_from(WIRE_DTYPES).flatmap(
+    lambda dt: arrays(
+        dtype=dt,
+        shape=array_shapes(min_dims=0, max_dims=4, min_side=0, max_side=4),
+        elements=(
+            st.booleans()
+            if dt.kind == "b"
+            else st.integers(
+                max(np.iinfo(dt).min, -100) if dt.kind in "iu" else -100,
+                min(np.iinfo(dt).max, 100) if dt.kind in "iu" else 100,
+            )
+            if dt.kind in "iu"
+            else st.floats(-1e6, 1e6, width=dt.itemsize * 8 if dt.itemsize <= 8 else 64)
+        ),
+    )
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+# Unlike the sibling file's strategy, arrays appear at any nesting level.
+payloads = st.recursive(
+    st.one_of(scalars, wire_arrays),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=6), children, max_size=3),
+    ),
+    max_leaves=10,
+)
+
+
+def assert_wire_equal(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a, b = np.asarray(a), np.asarray(b)
+        assert a.shape == b.shape
+        np.testing.assert_array_equal(a, b)
+    elif isinstance(a, (list, tuple)):
+        assert type(a) is type(b) and len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_wire_equal(x, y)
+    elif isinstance(a, dict):
+        assert set(a) == set(b)
+        for k in a:
+            assert_wire_equal(a[k], b[k])
+    else:
+        assert a == b
+
+
+class TestDeepPayloadRoundtrip:
+    @given(payloads)
+    @settings(max_examples=150)
+    def test_nested_payloads_with_arrays_roundtrip(self, value):
+        assert_wire_equal(decode_value(encode_value(value)), value)
+
+    @given(wire_arrays)
+    @settings(max_examples=150)
+    def test_every_whitelisted_dtype_roundtrips_exactly(self, arr):
+        back = decode_value(encode_value(arr))
+        assert back.shape == arr.shape
+        assert back.dtype.str.lstrip("<=|") == arr.dtype.str.lstrip("<=|")
+        np.testing.assert_array_equal(back, arr)
+
+
+class TestPreEncodedPassthrough:
+    """A pre-encoded fragment must be a perfect wire citizen: splicing
+    ``PreEncoded(encode_value(v))`` anywhere produces the exact bytes of
+    encoding ``v`` inline (this is what lets the frame store encode each
+    published frame once and the server reuse the fragment per client)."""
+
+    @given(payloads)
+    @settings(max_examples=100)
+    def test_toplevel_passthrough_is_byte_identical(self, value):
+        inline = encode_value(value)
+        assert encode_value(PreEncoded(inline)) == inline
+
+    @given(payloads)
+    @settings(max_examples=100)
+    def test_nested_passthrough_decodes_to_original(self, value):
+        wrapped = {"frame": PreEncoded(encode_value(value)), "seq": 7}
+        plain = {"frame": value, "seq": 7}
+        assert encode_value(wrapped) == encode_value(plain)
+        assert_wire_equal(decode_value(encode_value(wrapped)), plain)
+
+
+_OLD_HEADER = struct.Struct("<BI")
+
+
+def old_format_message(kind: MessageKind, request_id: int, payload) -> bytes:
+    """Hand-pack the pre-extension wire format (no trace field)."""
+    return _OLD_HEADER.pack(int(kind), request_id) + encode_value(payload)
+
+
+class TestTraceHeaderExtension:
+    @given(
+        st.sampled_from(list(MessageKind)),
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 2**32 - 1),
+        payloads,
+    )
+    @settings(max_examples=100)
+    def test_traced_message_roundtrip(self, kind, rid, trace_id, payload):
+        wire = encode_message(kind, rid, payload, trace_id=trace_id)
+        assert wire[0] & TRACE_FLAG
+        kind2, rid2, tid2, payload2 = decode_message_ex(wire)
+        assert kind2 is kind and rid2 == rid and tid2 == trace_id
+        assert_wire_equal(payload2, payload)
+
+    @given(st.sampled_from(list(MessageKind)), st.integers(0, 2**32 - 1), payloads)
+    @settings(max_examples=100)
+    def test_untraced_message_is_byte_identical_to_old_format(self, kind, rid, payload):
+        assert encode_message(kind, rid, payload) == old_format_message(
+            kind, rid, payload
+        )
+
+    @given(st.sampled_from(list(MessageKind)), st.integers(0, 2**32 - 1), payloads)
+    @settings(max_examples=100)
+    def test_old_format_decodes_with_trace_id_zero(self, kind, rid, payload):
+        """Compat regression: the new decoder reads pre-extension bytes."""
+        kind2, rid2, tid, payload2 = decode_message_ex(
+            old_format_message(kind, rid, payload)
+        )
+        assert kind2 is kind and rid2 == rid and tid == 0
+        assert_wire_equal(payload2, payload)
+
+    @given(st.integers(1, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_classic_decoder_drops_the_trace_id(self, trace_id):
+        wire = encode_message(MessageKind.CALL, 3, {"proc": "p"}, trace_id=trace_id)
+        kind, rid, payload = decode_message(wire)
+        assert kind is MessageKind.CALL and rid == 3
+        assert payload == {"proc": "p"}
+
+    def test_trace_id_out_of_range_rejected(self):
+        for bad in (-1, 2**32):
+            with pytest.raises(DlibProtocolError, match="32 bits"):
+                encode_message(MessageKind.CALL, 1, None, trace_id=bad)
+
+    def test_traced_header_truncation_rejected(self):
+        wire = encode_message(MessageKind.CALL, 1, None, trace_id=9)
+        with pytest.raises(DlibProtocolError, match="shorter"):
+            decode_message_ex(wire[: _OLD_HEADER.size + 2])
+
+    def test_flag_with_zero_trace_id_rejected(self):
+        # A forged header: TRACE_FLAG set, but the appended ID is 0.
+        wire = (
+            _OLD_HEADER.pack(int(MessageKind.CALL) | TRACE_FLAG, 1)
+            + struct.pack("<I", 0)
+            + encode_value(None)
+        )
+        with pytest.raises(DlibProtocolError, match="trace_id 0"):
+            decode_message_ex(wire)

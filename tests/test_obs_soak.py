@@ -1,0 +1,189 @@
+"""Deterministic multi-client soak: 4 clients x 200 RPCs over faulty links.
+
+Each client runs its full RPC budget through its own
+:class:`~repro.netsim.faults.FaultyChannel` with a *seeded* fault plan —
+the whole fault schedule is a pure function of the seeds, so a failure
+reproduces byte for byte.  The fault mix is chosen so that every
+injected fault has an exactly accountable consequence:
+
+* duplicates  — the server executes the call twice and the client skips
+  the stale second response: ``dlib.calls_served`` exceeds the success
+  count by exactly the duplicate count;
+* stalls      — run on a :class:`VirtualClock`, so they are free at test
+  time and cannot interact with timeouts;
+* drops       — the request vanishes before the server ever sees it, so
+  each drop costs exactly one client retry and zero server executions.
+
+The assertions are the ISSUE-3 soak contract: no lost responses (every
+call returns its own echo), strictly monotone trace IDs per client, and
+registry counters that reconcile *exactly* — server-side executions,
+client-side successes, and injected-fault counts all from one snapshot.
+
+``WT_BENCH_FAST=1`` shrinks the per-client budget for CI smoke runs;
+the accounting identities are budget-independent.
+"""
+
+import os
+
+import pytest
+
+from repro.dlib import DlibClient, DlibServer, RetryPolicy
+from repro.dlib.transport import connect_tcp
+from repro.netsim import FaultPlan, FaultyChannel, VirtualClock
+from repro.obs import MetricsRegistry
+
+from tests import wait_until
+
+N_CLIENTS = 4
+RPCS_PER_CLIENT = 50 if os.environ.get("WT_BENCH_FAST") else 200
+
+
+@pytest.fixture()
+def soak():
+    """A dlib server with an echo procedure and a shared client registry."""
+    registry = MetricsRegistry()
+    srv = DlibServer(registry=registry, trace_capacity=16)
+    srv.register("soak.echo", lambda ctx, x: x)
+    srv.start()
+    client_registry = MetricsRegistry()
+    yield srv, registry, client_registry
+    srv.stop()
+
+
+def test_multi_client_soak_reconciles_exactly(soak):
+    srv, server_reg, client_reg = soak
+    clock = VirtualClock()
+    plans = [
+        FaultPlan(seed=11),                                   # clean baseline
+        FaultPlan(seed=22, duplicate_rate=0.08),              # duplicated requests
+        FaultPlan(seed=33, stall_rate=0.20, stall_seconds=0.5),  # virtual stalls
+        FaultPlan(seed=44, drop_rate=0.04),                   # dropped requests
+    ]
+    channels: list[FaultyChannel] = []
+    clients: list[DlibClient] = []
+    retry_seeds = iter(range(1000, 2000))
+
+    def make_channel(plan):
+        chan = FaultyChannel(
+            connect_tcp(*srv.address), plan,
+            clock=clock if plan.stall_rate else None,
+            registry=client_reg,
+        )
+        channels.append(chan)
+        return chan
+
+    try:
+        for i, plan in enumerate(plans):
+            dropper = plan.drop_rate > 0
+            clients.append(
+                DlibClient(
+                    stream=make_channel(plan),
+                    # A drop is invisible to the sender: recovery is a
+                    # deadline + retry, which reconnects through the
+                    # factory (a fresh channel continues the plan's PRNG
+                    # sequence via a derived seed).
+                    stream_factory=(
+                        (lambda p=plan: make_channel(
+                            FaultPlan(seed=p.seed + len(channels),
+                                      drop_rate=p.drop_rate)))
+                        if dropper else None
+                    ),
+                    call_timeout=0.2 if dropper else None,
+                    retry=RetryPolicy(
+                        max_attempts=8, base_delay=0.005, max_delay=0.05,
+                        jitter=0.0, seed=next(retry_seeds),
+                    ) if dropper else None,
+                    idempotent=("soak.echo",),
+                    trace=True,
+                    registry=client_reg,
+                )
+            )
+
+        # -- the soak ----------------------------------------------------
+        lost = 0
+        trace_ids = [[] for _ in clients]
+        for k in range(RPCS_PER_CLIENT):
+            for i, c in enumerate(clients):
+                token = f"c{i}-{k}"
+                if c.call("soak.echo", token) != token:
+                    lost += 1
+                trace_ids[i].append(c.last_trace["trace_id"])
+
+        # -- no lost responses -------------------------------------------
+        total = N_CLIENTS * RPCS_PER_CLIENT
+        assert lost == 0
+
+        # -- monotone trace IDs per client -------------------------------
+        for ids in trace_ids:
+            assert len(ids) == RPCS_PER_CLIENT
+            assert all(b > a for a, b in zip(ids, ids[1:]))
+
+        # -- the fault schedule actually fired (and deterministically) ---
+        stats = [ch.stats for ch in channels]
+        duplicates = sum(s.duplicates for s in stats)
+        drops = sum(s.drops for s in stats)
+        stalls = sum(s.stalls for s in stats)
+        assert duplicates > 0 and drops > 0 and stalls > 0
+        assert clock.now == pytest.approx(sum(s.stalled_seconds for s in stats))
+
+        # -- exact reconciliation, one snapshot each side ----------------
+        # The dispatch record of a call is written *after* its response
+        # bytes go out, so the client can observe the reply a beat
+        # before the server finishes the bookkeeping: wait on the
+        # progress counter, per the pattern in tests/__init__.py.
+        wait_until(lambda: srv.traces.total >= total + duplicates)
+        server_counters = server_reg.snapshot()["counters"]
+        client_counters = client_reg.snapshot()["counters"]
+
+        # Every duplicate executed once more than the client observed;
+        # every drop executed once less than the client attempted.
+        assert server_counters["dlib.calls_served"] == total + duplicates
+        assert server_counters["dlib.call_errors"] == 0
+        assert server_counters["dlib.protocol_errors"] == 0
+
+        # All executions were traced: the dispatch histogram and the
+        # trace collector saw exactly the executed calls.
+        hists = server_reg.snapshot()["histograms"]
+        assert hists["dlib.dispatch_seconds"]["count"] == total + duplicates
+        assert srv.traces.total == total + duplicates
+
+        # Client side: one success per call, and the channels' own
+        # fault counters landed in the same registry as the stats.
+        assert client_counters["client.calls"] == total
+        assert client_counters["faults.duplicates"] == duplicates
+        assert client_counters["faults.drops"] == drops
+        assert client_counters["faults.stalls"] == stalls
+        assert client_counters["faults.sends"] == sum(s.sends for s in stats)
+
+        # The per-procedure latency histogram saw every success.
+        client_hists = client_reg.snapshot()["histograms"]
+        assert client_hists["client.rpc.soak.echo"]["count"] == total
+    finally:
+        for c in clients:
+            try:
+                c.close()
+            except Exception:
+                pass
+
+
+def test_soak_is_reproducible_from_seeds():
+    """Two identical runs inject byte-identical fault schedules."""
+
+    def run():
+        srv = DlibServer()
+        srv.register("soak.echo", lambda ctx, x: x)
+        srv.start()
+        try:
+            chan = FaultyChannel(
+                connect_tcp(*srv.address), FaultPlan(seed=7, duplicate_rate=0.3)
+            )
+            with DlibClient(stream=chan, trace=True) as c:
+                for k in range(30):
+                    assert c.call("soak.echo", k) == k
+            return (
+                chan.stats.sends, chan.stats.duplicates, srv.context.calls_served
+            )
+        finally:
+            srv.stop()
+
+    assert run() == run()

@@ -1,0 +1,149 @@
+"""Unit tests for request tracing (repro.obs.trace).
+
+All span timing here is driven by a fake clock (rule 3 of the
+de-flaking pattern in ``tests/__init__.py``): the tests assert *exact*
+durations, which a real clock could never support.
+"""
+
+import pytest
+
+from repro.obs import Span, Trace, TraceCollector, current_trace, format_trace, use_trace
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_trace(**kw):
+    clock = FakeClock(100.0)
+    return Trace(7, "wt.frame", clock=clock, **kw), clock
+
+
+class TestTrace:
+    def test_span_nesting_and_exact_durations(self):
+        tr, clock = make_trace()
+        with tr.span("handler"):
+            clock.advance(0.010)
+            with tr.span("inner"):
+                clock.advance(0.005)
+            clock.advance(0.001)
+        tr.finish()
+        root = tr.root
+        assert root.duration == pytest.approx(0.016)
+        (handler,) = root.children
+        assert handler.name == "handler"
+        assert handler.start == pytest.approx(0.0)
+        assert handler.duration == pytest.approx(0.016)
+        (inner,) = handler.children
+        assert inner.start == pytest.approx(0.010)
+        assert inner.duration == pytest.approx(0.005)
+
+    def test_origin_in_the_past_makes_queue_wait_visible(self):
+        clock = FakeClock(50.0)
+        tr = Trace(1, "p", origin=49.9, clock=clock)
+        tr.mark("queue_wait", tr.now(), start=0.0)
+        (qw,) = tr.root.children
+        assert qw.start == 0.0
+        assert qw.duration == pytest.approx(0.1)
+
+    def test_mark_backdates_an_elapsed_interval(self):
+        tr, clock = make_trace()
+        clock.advance(0.2)
+        sp = tr.mark("io", 0.05)
+        assert sp.start == pytest.approx(0.15)
+        assert sp.duration == pytest.approx(0.05)
+
+    def test_to_wire_shape(self):
+        tr, clock = make_trace()
+        with tr.span("handler"):
+            clock.advance(0.01)
+        wire = tr.finish().to_wire()
+        assert wire["trace_id"] == 7 and wire["proc"] == "wt.frame"
+        assert wire["name"] == "server"
+        assert wire["children"][0]["name"] == "handler"
+        assert wire["children"][0]["children"] == []
+
+    def test_add_child_grafts_reconstructed_stages(self):
+        sp = Span("frame_wait", 0.0, 0.05)
+        sp.add_child("load", 0.0, 0.02)
+        sp.add_child("integrate", 0.02, 0.03)
+        wire = sp.to_wire()
+        assert [c["name"] for c in wire["children"]] == ["load", "integrate"]
+        assert sum(c["duration"] for c in wire["children"]) == pytest.approx(
+            sp.duration
+        )
+
+
+class TestCurrentTrace:
+    def test_no_trace_outside_a_block(self):
+        assert current_trace() is None
+
+    def test_use_trace_scopes_the_context(self):
+        tr, _ = make_trace()
+        with use_trace(tr):
+            assert current_trace() is tr
+            with use_trace(None):
+                assert current_trace() is None
+            assert current_trace() is tr
+        assert current_trace() is None
+
+
+class TestTraceCollector:
+    def test_capacity_bound_keeps_latest(self):
+        col = TraceCollector(capacity=3)
+        for i in range(5):
+            tr = Trace(i, "p", clock=FakeClock())
+            col.add(tr.finish())
+        assert len(col) == 3
+        assert col.total == 5
+        ids = [t["trace_id"] for t in col.to_wire()]
+        assert ids == [2, 3, 4]
+        assert col.latest()["trace_id"] == 4
+
+    def test_to_wire_limit(self):
+        col = TraceCollector()
+        for i in range(4):
+            col.add(Trace(i, "p", clock=FakeClock()).finish())
+        assert [t["trace_id"] for t in col.to_wire(2)] == [2, 3]
+
+    def test_accepts_wire_dicts(self):
+        col = TraceCollector()
+        col.add({"name": "server", "trace_id": 9})
+        assert col.latest()["trace_id"] == 9
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCollector(0)
+
+
+class TestFormatTrace:
+    def test_renders_tree_and_client_latency(self):
+        tr, clock = make_trace()
+        tr.mark("queue_wait", 0.0, start=0.0)
+        with tr.span("handler"):
+            clock.advance(0.010)
+            with tr.span("frame_wait"):
+                clock.advance(0.002)
+        tr.finish()
+        text = format_trace(tr.to_wire(), client_seconds=0.015)
+        assert "trace 7 wt.frame" in text
+        assert "client observed 15.00 ms" in text
+        lines = text.splitlines()
+        assert any(l.strip().startswith("queue_wait") for l in lines)
+        # Nesting is rendered as indentation.
+        (fw_line,) = [l for l in lines if "frame_wait" in l]
+        (h_line,) = [l for l in lines if "handler" in l]
+        assert len(fw_line) - len(fw_line.lstrip()) > len(h_line) - len(
+            h_line.lstrip()
+        )
+
+    def test_rejects_non_trace_input(self):
+        with pytest.raises(ValueError):
+            format_trace({"nope": 1})

@@ -1,0 +1,209 @@
+"""End-to-end request tracing: the observability acceptance tests.
+
+The headline property (ISSUE 3 acceptance): a traced ``wt.frame`` call
+returns a span tree whose spans tile the server-side latency, and the
+client-observed RPC latency brackets that tree — every millisecond the
+user waited is attributed to a named stage or to the wire.
+
+Also here: old-format interoperability.  A client speaking the
+pre-extension wire format (no trace field in the header) must work
+against the traced server unchanged, byte for byte.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core import ToolSettings, WindtunnelClient, WindtunnelServer
+from repro.core.pipeline import STAGES
+from repro.dlib.protocol import (
+    MessageKind,
+    decode_message,
+    encode_message,
+    encode_value,
+)
+from repro.dlib.transport import connect_tcp
+from repro.flow import MemoryDataset, RigidRotation, sample_on_grid
+from repro.grid import cartesian_grid
+
+#: Slack on wall-clock brackets.  One-sided bounds are exact (client and
+#: server share one perf_counter in-process); this only guards against a
+#: pathologically loaded box, it does not pace the test.
+WALL_SLACK = 1.0
+
+
+def make_dataset(n_times=4):
+    grid = cartesian_grid((9, 9, 5), lo=(0, 0, 0), hi=(8, 8, 4))
+    vel = sample_on_grid(
+        RigidRotation(omega=[0, 0, 0.5], center=[4, 4, 0]), grid,
+        np.arange(n_times) * 0.2, dtype=np.float64,
+    )
+    return MemoryDataset(grid, vel, dt=0.2)
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = WindtunnelServer(
+        make_dataset(), settings=ToolSettings(streamline_steps=12),
+        time_fn=lambda: 0.0,
+    )
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def span_names(wire):
+    return [c["name"] for c in wire["children"]]
+
+
+def find(wire, name):
+    for child in wire["children"]:
+        if child["name"] == name:
+            return child
+    raise AssertionError(f"span {name!r} not in {span_names(wire)}")
+
+
+class TestTracedFrameCall:
+    def test_span_tree_sums_to_client_latency(self, server):
+        """The acceptance criterion, verbatim."""
+        with WindtunnelClient(*server.address, trace=True) as c:
+            rid = c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=3)
+            try:
+                state = c.fetch_frame()
+                tree = c.last_trace
+                client_seconds = c._rpc.last_latency
+
+                assert tree is not None
+                assert tree["proc"] == "wt.frame"
+                assert span_names(tree) == ["queue_wait", "handler", "encode"]
+
+                # The top-level spans tile the server-side duration.
+                tiled = sum(ch["duration"] for ch in tree["children"])
+                assert tiled <= tree["duration"] + 1e-6
+                assert tiled == pytest.approx(tree["duration"], abs=0.005)
+
+                # ... and the client-observed latency brackets the tree:
+                # never less than the server spent (same perf_counter,
+                # same process), never more than wire + decode slack.
+                assert client_seconds >= tree["duration"] - 1e-6
+                assert client_seconds <= tree["duration"] + WALL_SLACK
+
+                # A fresh frame grafts the production stages into the
+                # wait, and their compute portion matches the frame's
+                # own accounting exactly.
+                handler = find(tree, "handler")
+                wait = find(handler, "frame_wait")
+                if not state["cached"]:
+                    assert [c_["name"] for c_ in wait["children"]] == list(STAGES)
+                    compute = sum(
+                        c_["duration"]
+                        for c_ in wait["children"]
+                        if c_["name"] in ("load", "locate", "integrate")
+                    )
+                    assert compute == pytest.approx(
+                        state["compute_seconds"], rel=1e-6
+                    )
+                find(handler, "snapshot")
+            finally:
+                c.remove_rake(rid)
+
+    def test_trace_ids_increase_and_cached_frames_have_no_stages(self, server):
+        with WindtunnelClient(*server.address, trace=True) as c:
+            first = c.fetch_frame()  # noqa: F841 - warm the frame store
+            id1 = c.last_trace["trace_id"]
+            state = c.fetch_frame()
+            id2 = c.last_trace["trace_id"]
+            assert id2 > id1
+            if state["cached"]:
+                wait = find(find(c.last_trace, "handler"), "frame_wait")
+                assert wait["children"] == []  # no production happened
+
+    def test_trace_report_renders(self, server):
+        with WindtunnelClient(*server.address, trace=True) as c:
+            c.fetch_frame()
+            text = c.trace_report()
+            assert "wt.frame" in text
+            assert "client observed" in text
+            assert "handler" in text and "frame_wait" in text
+
+    def test_untraced_client_pays_nothing(self, server):
+        with WindtunnelClient(*server.address) as c:
+            state = c.fetch_frame()
+            assert c.last_trace is None
+            assert "paths" in state
+            assert c.trace_report() == "no traced call yet"
+
+
+class TestMetricsRpc:
+    def test_wt_metrics_reconciles_with_activity(self, server):
+        with WindtunnelClient(*server.address, trace=True) as c:
+            c.fetch_frame()
+            c.fetch_frame()
+            out = c.metrics()
+            counters = out["registry"]["counters"]
+            hists = out["registry"]["histograms"]
+            assert counters["wt.frames_served"] >= 2
+            assert counters["dlib.calls_served"] >= 3  # join + 2 frames
+            assert counters["pipeline.frames_produced"] >= 1
+            assert hists["dlib.dispatch_seconds"]["count"] >= 2
+            for q in ("p50", "p95", "p99"):
+                assert hists["dlib.dispatch_seconds"][q] >= 0.0
+            # The collector's copy of a trace carries the one span the
+            # reply itself cannot: the socket write of that reply.
+            assert out["traces_total"] >= 2
+            latest = out["traces"][-1]
+            assert "send" in span_names(latest)
+
+    def test_server_counters_match_wt_stats(self, server):
+        with WindtunnelClient(*server.address) as c:
+            c.fetch_frame()
+            stats = c.server_stats()
+            reg = c.metrics()["registry"]["counters"]
+            assert reg["wt.frames_served"] >= stats["frames_computed"]
+            assert reg["dlib.calls_served"] > 0
+
+
+class TestOldFormatInterop:
+    """A pre-extension client against the traced server."""
+
+    _OLD_HEADER = struct.Struct("<BI")
+
+    def _old_call(self, stream, request_id, proc, *args):
+        payload = {"proc": proc, "args": list(args), "kwargs": {}}
+        stream.send(self._OLD_HEADER.pack(int(MessageKind.CALL), request_id)
+                    + encode_value(payload))
+        kind, rid, result = decode_message(stream.recv())
+        assert kind is MessageKind.RESULT and rid == request_id
+        return result
+
+    def test_old_format_client_interoperates(self, server):
+        stream = connect_tcp(*server.address)
+        try:
+            pong = self._old_call(stream, 1, "dlib.ping", "legacy")
+            assert pong == "legacy"
+            info = self._old_call(stream, 2, "wt.join", "legacy-client")
+            state = self._old_call(stream, 3, "wt.frame", info["client_id"])
+            assert "paths" in state and "env" in state
+            # The reply is a plain result — no trace envelope leaked in.
+            assert "t" not in state and "r" not in state
+            self._old_call(stream, 4, "wt.leave", info["client_id"])
+        finally:
+            stream.close()
+
+    def test_old_and_traced_clients_share_one_server(self, server):
+        stream = connect_tcp(*server.address)
+        try:
+            with WindtunnelClient(*server.address, trace=True) as c:
+                c.fetch_frame()
+                assert c.last_trace is not None
+                assert self._old_call(stream, 9, "dlib.ping", 42) == 42
+                assert c.fetch_frame() is not None
+        finally:
+            stream.close()
+
+    def test_new_untraced_wire_bytes_equal_old_format(self):
+        payload = {"proc": "dlib.ping", "args": [1], "kwargs": {}}
+        new = encode_message(MessageKind.CALL, 5, payload)
+        old = self._OLD_HEADER.pack(int(MessageKind.CALL), 5) + encode_value(payload)
+        assert new == old
