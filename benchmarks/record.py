@@ -1,0 +1,183 @@
+"""Perf-trajectory recorder: run the headline benchmarks, emit BENCH_4.json.
+
+Runs the section 5.3 compute scenario and the fused-frame scenario
+without pytest, so CI (and anyone bisecting a perf regression) can get
+the tracked numbers in one short command::
+
+    PYTHONPATH=src python benchmarks/record.py            # full run
+    WT_BENCH_FAST=1 PYTHONPATH=src python benchmarks/record.py  # CI smoke
+
+Output: ``benchmarks/output/BENCH_4.json`` (override with ``--output``) —
+points/second, frame latency, and the fused-vs-per-rake speedup, plus the
+fitted :class:`repro.perf.ComputeModel` parameters, so the perf
+trajectory is comparable across PRs from this one on.  The fast variant
+also *gates*: it exits non-zero if the fused path loses to the per-rake
+baseline, making the CI job a smoke test rather than a scrapbook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ComputeEngine, ToolSettings  # noqa: E402
+from repro.flow import tapered_cylinder_dataset  # noqa: E402
+from repro.perf import ComputeModel, run_benchmark  # noqa: E402
+from repro.tracers import Rake  # noqa: E402
+from repro.tracers.integrate import transport_stats  # noqa: E402
+
+FAST = bool(os.environ.get("WT_BENCH_FAST"))
+
+#: The acceptance scenario: 8 rakes x 16 seeds = 128 streamlines.
+N_RAKES = 8
+SEEDS_PER_RAKE = 16
+STEPS = 60 if FAST else 200
+ROUNDS = 3 if FAST else 10
+#: The fused path must beat per-rake by this factor (relaxed under FAST:
+#: the tracked number comes from full runs; CI only smoke-gates).
+MIN_SPEEDUP = 1.0 if FAST else 2.0
+
+
+def make_rakes(dataset, n_rakes: int, n_seeds: int) -> dict[int, Rake]:
+    nodes = dataset.grid.xyz.reshape(-1, 3)
+    lo, hi = nodes.min(axis=0), nodes.max(axis=0)
+    span = hi - lo
+    rakes = {}
+    for i in range(n_rakes):
+        frac = 0.15 + 0.7 * i / max(1, n_rakes - 1)
+        a = lo + span * np.array([0.2, frac, 0.3])
+        b = lo + span * np.array([0.8, frac, 0.7])
+        rakes[i + 1] = Rake(a, b, n_seeds=n_seeds, kind="streamline", rake_id=i + 1)
+    return rakes
+
+
+def best_of(fn, rounds: int) -> float:
+    return min(
+        (lambda s: (fn(), time.perf_counter() - s)[1])(time.perf_counter())
+        for _ in range(rounds)
+    )
+
+
+def bench_fused_frame(dataset) -> dict:
+    """Fused vs per-rake on the 8-rake frame; asserts identical output."""
+    settings = ToolSettings(streamline_steps=STEPS, streamline_dt=0.05)
+    rakes = make_rakes(dataset, N_RAKES, SEEDS_PER_RAKE)
+    fused = ComputeEngine(dataset, settings, fused=True)
+    per_rake = ComputeEngine(dataset, settings, fused=False)
+
+    out_fused = fused.compute_rakes(dict(rakes), 0)  # warmup + golden check
+    out_base = per_rake.compute_rakes(dict(rakes), 0)
+    for rid in out_base:
+        if not np.array_equal(
+            out_fused[rid].grid_paths, out_base[rid].grid_paths
+        ):
+            raise AssertionError(f"fused output diverged on rake {rid}")
+    points = sum(r.n_points for r in out_fused.values())
+
+    t_base = best_of(lambda: per_rake.compute_rakes(dict(rakes), 0), ROUNDS)
+    t_fused = best_of(lambda: fused.compute_rakes(dict(rakes), 0), ROUNDS)
+    model = ComputeModel.fit([N_RAKES, 1], [points, points], [t_base, t_fused])
+    return {
+        "scenario": {
+            "n_rakes": N_RAKES,
+            "seeds_per_rake": SEEDS_PER_RAKE,
+            "streamline_steps": STEPS,
+            "points": points,
+        },
+        "per_rake_frame_seconds": t_base,
+        "fused_frame_seconds": t_fused,
+        "speedup": t_base / t_fused,
+        "points_per_second": points / t_fused,
+        "compute_model": {
+            "launch_overhead_seconds": model.launch_overhead,
+            "per_point_seconds": model.per_point_seconds,
+        },
+    }
+
+
+def bench_table3(dataset, backends: list[str], workers: int) -> dict:
+    """The section 5.3 scenario (100 streamlines x 200 points) per backend."""
+    dataset.grid_velocity(0)  # pre-convert, as the Convex pre-converted
+    out = {}
+    for backend in backends:
+        rounds = 1 if FAST else 2
+        run_benchmark(dataset, backend, workers=workers)  # warmup
+        res = None
+        best = float("inf")
+        for _ in range(rounds):
+            res = run_benchmark(dataset, backend, workers=workers)
+            best = min(best, res.seconds)
+        out[backend] = {
+            "seconds": best,
+            "points": res.n_points,
+            "points_per_second": res.n_points / best,
+        }
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).parent / "output" / "BENCH_4.json",
+    )
+    parser.add_argument(
+        "--skip-table3", action="store_true",
+        help="record only the fused-frame scenario",
+    )
+    args = parser.parse_args(argv)
+
+    shape = (16, 16, 8) if FAST else (32, 32, 16)
+    dataset = tapered_cylinder_dataset(shape=shape, n_timesteps=2, dt=0.25)
+    workers = max(2, min(4, os.cpu_count() or 2))
+
+    result = {
+        "bench": "BENCH_4",
+        "fast_mode": FAST,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "dataset_shape": list(shape),
+        "fused_frame": bench_fused_frame(dataset),
+    }
+    if not args.skip_table3:
+        backends = ["vector", "scalar"] if FAST else [
+            "vector", "vector-strip", "scalar", "parallel", "vector-group"
+        ]
+        paper = tapered_cylinder_dataset(
+            shape=(24, 24, 12) if FAST else (64, 64, 32), n_timesteps=1
+        )
+        result["table3"] = bench_table3(paper, backends, workers)
+    # Captured after the table-3 process backends so the shm-residency
+    # counters reflect a real run, not a cold module.
+    result["transport"] = transport_stats()
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    ff = result["fused_frame"]
+    print(f"fused frame   {ff['fused_frame_seconds'] * 1e3:8.2f} ms")
+    print(f"per-rake      {ff['per_rake_frame_seconds'] * 1e3:8.2f} ms")
+    print(f"speedup       {ff['speedup']:8.2f}x  (gate {MIN_SPEEDUP}x)")
+    print(f"points/sec    {ff['points_per_second']:,.0f}")
+    print(f"wrote {args.output}")
+    if ff["speedup"] < MIN_SPEEDUP:
+        print("FAIL: fused path lost to the per-rake baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""The fused-frame benchmark: megabatch vs per-rake compute.
+
+The acceptance scenario for the fused frame path: an 8-streamline-rake
+environment (16 seeds each, 200 integration steps — 128 streamlines, the
+Convex's vector length, spread across rakes the way a real shared session
+spreads them).  The per-rake baseline pays 8 kernel launches per frame;
+the fused path gathers every rake's seeds into one batch, integrates
+once, and slices the results back by offset.
+
+Asserted here: the fused path is **>= 2x faster** at **bit-identical**
+output on the ``vector`` backend, and the measured per-rake/fused pair is
+explained by the :class:`repro.perf.ComputeModel` launch-overhead law.
+
+Set ``WT_BENCH_FAST=1`` for the CI smoke variant (fewer rounds, shorter
+paths, and a relaxed 1.3x floor — CI machines are noisy; the tracked
+number comes from ``benchmarks/record.py``).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import ComputeEngine, ToolSettings
+from repro.perf import ComputeModel
+from repro.tracers import Rake
+
+FAST = bool(os.environ.get("WT_BENCH_FAST"))
+N_RAKES = 8
+SEEDS_PER_RAKE = 16
+STEPS = 60 if FAST else 200
+ROUNDS = 3 if FAST else 10
+MIN_SPEEDUP = 1.3 if FAST else 2.0
+
+
+def make_rakes(dataset, n_rakes=N_RAKES, n_seeds=SEEDS_PER_RAKE):
+    """``n_rakes`` parallel rakes fanned across the dataset interior."""
+    nodes = dataset.grid.xyz.reshape(-1, 3)
+    lo, hi = nodes.min(axis=0), nodes.max(axis=0)
+    span = hi - lo
+    rakes = {}
+    for i in range(n_rakes):
+        frac = 0.15 + 0.7 * i / max(1, n_rakes - 1)
+        a = lo + span * np.array([0.2, frac, 0.3])
+        b = lo + span * np.array([0.8, frac, 0.7])
+        rakes[i + 1] = Rake(a, b, n_seeds=n_seeds, kind="streamline", rake_id=i + 1)
+    return rakes
+
+
+def measure(engine, rakes, rounds=ROUNDS):
+    """Best-of-N frame time (the steady-state number, not the warmup)."""
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        engine.compute_rakes(dict(rakes), 0)
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_fused_vs_per_rake_speedup(cylinder_dataset, record, benchmark):
+    ds = cylinder_dataset
+    ds.grid_velocity(0)  # pre-convert, as every backend bench does
+    settings = ToolSettings(streamline_steps=STEPS, streamline_dt=0.05)
+    rakes = make_rakes(ds)
+    fused = ComputeEngine(ds, settings, fused=True)
+    per_rake = ComputeEngine(ds, settings, fused=False)
+
+    # Identical output first — a speedup at different answers is a bug.
+    out_fused = fused.compute_rakes(dict(rakes), 0)
+    out_base = per_rake.compute_rakes(dict(rakes), 0)
+    for rid in out_base:
+        assert np.array_equal(
+            out_fused[rid].grid_paths, out_base[rid].grid_paths
+        ), rid
+        assert np.array_equal(out_fused[rid].lengths, out_base[rid].lengths), rid
+
+    t_base = measure(per_rake, rakes)
+    t_fused = benchmark(lambda: measure(fused, rakes, rounds=1))
+    t_fused = measure(fused, rakes)
+    speedup = t_base / t_fused
+    points = sum(r.n_points for r in out_fused.values())
+
+    # The launch-overhead cost law, fitted from the two measurements:
+    # t = n_launches * overhead + points * per_point.
+    model = ComputeModel.fit(
+        [N_RAKES, 1], [points, points], [t_base, t_fused]
+    )
+    record(
+        "fused_compute",
+        [
+            f"rakes={N_RAKES} seeds/rake={SEEDS_PER_RAKE} steps={STEPS}",
+            f"per-rake frame  {t_base * 1e3:8.2f} ms",
+            f"fused frame     {t_fused * 1e3:8.2f} ms",
+            f"speedup         {speedup:8.2f}x  (floor {MIN_SPEEDUP}x)",
+            f"points/second   {points / t_fused:,.0f}",
+            f"fitted launch overhead   {model.launch_overhead * 1e3:.3f} ms",
+            f"fitted per-point cost    {model.per_point_seconds * 1e9:.1f} ns",
+        ],
+    )
+    assert speedup >= MIN_SPEEDUP, (t_base, t_fused)
+    # The model round-trips: with the fitted parameters, fusing this
+    # frame should predict (close to) the measured speedup.
+    assert model.predicted_speedup(N_RAKES, points) > MIN_SPEEDUP

@@ -9,6 +9,7 @@ float32 path arrays — 12 bytes per point — ready for the network.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,7 +18,8 @@ from repro.core.environment import Environment
 from repro.diskio.loader import TimestepLoader
 from repro.flow.dataset import UnsteadyDataset
 from repro.grid.search import GridLocator
-from repro.tracers.integrate import integrate_steady
+from repro.obs import get_registry
+from repro.tracers.integrate import IntegratorWorkspace, integrate_steady
 from repro.tracers.particlepath import compute_particle_paths
 from repro.tracers.rake import Rake
 from repro.tracers.result import TracerResult
@@ -64,12 +66,22 @@ class ComputeEngine:
         backend: str = "vector",
         workers: int = 4,
         loader: TimestepLoader | None = None,
+        fused: bool = True,
+        registry=None,
     ) -> None:
         self.dataset = dataset
         self.settings = settings or ToolSettings()
         self.backend = backend
         self.workers = workers
         self.loader = loader
+        # Megabatch mode: one integration call per frame across all rakes
+        # of a kind (the paper's "vectorize across streamlines", extended
+        # across rakes).  ``False`` is the per-rake baseline the fused
+        # benchmark compares against.
+        self.fused = bool(fused)
+        # Optional MetricsRegistry; the frame pipeline wires its own in.
+        # ``None`` falls back to the process-wide registry at record time.
+        self.registry = registry
         # The frame pipeline flips this off when it takes over prefetch
         # prediction (its clock-lookahead guess beats blind t+direction).
         self.auto_prefetch = True
@@ -78,6 +90,13 @@ class ComputeEngine:
         self._streak_last: dict[int, int] = {}
         self._seed_cache: dict[int, tuple[bytes, np.ndarray]] = {}
         self.points_computed = 0
+        # Zero-allocation scratch for the fused vector kernels.  Owned by
+        # whichever single thread calls the compute methods (the producer
+        # thread under the frame pipeline) — not thread-safe.
+        self.workspace = IntegratorWorkspace()
+        # Last-frame fused metrics (also exported as engine.* gauges).
+        self.fused_batch_size = 0
+        self.points_per_second = 0.0
 
     # -- seeds --------------------------------------------------------------
 
@@ -175,11 +194,16 @@ class ComputeEngine:
         """
         base = settings or self.settings
         effective = base if quality >= 1.0 else base.scaled(quality)
-        out: dict[int, TracerResult] = {}
-        for rake_id, rake in rakes.items():
-            out[rake_id] = self.compute_rake(
-                rake, timestep, direction=direction, settings=effective
+        if self.fused and rakes:
+            out = self._compute_rakes_fused(
+                rakes, timestep, direction=direction, settings=effective
             )
+        else:
+            out = {}
+            for rake_id, rake in rakes.items():
+                out[rake_id] = self.compute_rake(
+                    rake, timestep, direction=direction, settings=effective
+                )
         # Garbage-collect state for rakes that no longer exist.
         live = set(rakes)
         for rid in set(self._streaks) - live:
@@ -187,6 +211,110 @@ class ComputeEngine:
             self._streak_last.pop(rid, None)
         for rid in set(self._seed_cache) - live:
             del self._seed_cache[rid]
+        return out
+
+    def _compute_rakes_fused(
+        self,
+        rakes: dict[int, Rake],
+        timestep: int,
+        *,
+        direction: int,
+        settings: ToolSettings,
+    ) -> dict[int, TracerResult]:
+        """One megabatch integration per rake kind, sliced back by offset.
+
+        All streamline rakes' seeds concatenate into one
+        :func:`integrate_steady` call (and likewise all particle-path
+        rakes into one :func:`compute_particle_paths` call), so the
+        kernel-launch overhead, the per-step trilinear gathers, and — on
+        the process backends — the field transport are paid once per
+        frame instead of once per rake, and active-particle compaction
+        amortizes over the whole environment.  Streaklines stay per-rake:
+        their population state is inherently per-tracer.
+
+        Slicing is exact: every integration backend computes each
+        particle independently (elementwise kernels, per-particle scalar
+        loops), so the union batch is bit-identical to per-rake calls.
+        The sliced ``grid_paths`` are views into the engine workspace's
+        rotating buffer pool — valid while the frame pipeline encodes
+        them (which copies), overwritten a few frames later.
+        """
+        s = settings
+        out: dict[int, TracerResult] = {}
+        stream_ids: list[int] = []
+        stream_seeds: list[np.ndarray] = []
+        ppath_ids: list[int] = []
+        ppath_seeds: list[np.ndarray] = []
+        for rid, rake in rakes.items():
+            if rake.kind == "streamline":
+                stream_ids.append(rid)
+                stream_seeds.append(self.rake_seeds_grid(rake))
+            elif rake.kind == "particle_path":
+                ppath_ids.append(rid)
+                ppath_seeds.append(self.rake_seeds_grid(rake))
+            else:
+                out[rid] = self.compute_rake(
+                    rake, timestep, direction=direction, settings=s
+                )
+        batch = 0
+        points = 0
+        start = time.perf_counter()
+        if stream_ids:
+            gv = self._grid_velocity(timestep, direction)
+            cat = (
+                np.concatenate(stream_seeds, axis=0)
+                if len(stream_seeds) > 1
+                else stream_seeds[0]
+            )
+            batch += cat.shape[0]
+            paths, lengths = integrate_steady(
+                gv, cat, s.streamline_steps, s.streamline_dt,
+                backend=self.backend, workers=self.workers,
+                workspace=self.workspace if self.backend == "vector" else None,
+            )
+            offset = 0
+            for rid, seeds in zip(stream_ids, stream_seeds):
+                n = seeds.shape[0]
+                result = TracerResult(
+                    paths[offset : offset + n],
+                    lengths[offset : offset + n],
+                    self.dataset.grid,
+                )
+                offset += n
+                out[rid] = result
+                points += result.n_points
+        if ppath_ids:
+            cat = (
+                np.concatenate(ppath_seeds, axis=0)
+                if len(ppath_seeds) > 1
+                else ppath_seeds[0]
+            )
+            batch += cat.shape[0]
+            merged = compute_particle_paths(
+                self.dataset, timestep, cat,
+                n_steps=s.particle_path_steps, max_window=s.max_window,
+                workspace=self.workspace,
+            )
+            offset = 0
+            for rid, seeds in zip(ppath_ids, ppath_seeds):
+                n = seeds.shape[0]
+                result = TracerResult(
+                    merged.grid_paths[offset : offset + n],
+                    merged.lengths[offset : offset + n],
+                    self.dataset.grid,
+                )
+                offset += n
+                out[rid] = result
+                points += result.n_points
+        elapsed = time.perf_counter() - start
+        self.points_computed += points
+        self.fused_batch_size = batch
+        self.points_per_second = points / elapsed if elapsed > 0 else 0.0
+        registry = self.registry if self.registry is not None else get_registry()
+        registry.gauge("engine.fused_batch_size").set(float(batch))
+        registry.gauge("engine.points_per_second").set(self.points_per_second)
+        registry.counter("engine.fused_frames").inc()
+        registry.counter("engine.points_computed").inc(points)
         return out
 
     def reset_rake_state(self, rake_id: int) -> None:

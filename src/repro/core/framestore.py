@@ -80,6 +80,10 @@ class PublishedFrame:
         Governor quality the frame was computed at.
     n_points
         Total valid path points (the paper's particle count).
+    batch
+        Fused-compute provenance: ``{"fused", "fused_batch_size",
+        "points_per_second"}`` as recorded by the engine for this frame
+        (empty for engines that predate the megabatch path).
     """
 
     version: int
@@ -91,6 +95,7 @@ class PublishedFrame:
     stage_seconds: dict = field(default_factory=dict)
     quality: float = 1.0
     n_points: int = 0
+    batch: dict = field(default_factory=dict)
 
     @property
     def key(self) -> tuple[int, int]:
@@ -173,6 +178,7 @@ class FrameStore:
                 stage_seconds=frame.stage_seconds,
                 quality=frame.quality,
                 n_points=frame.n_points,
+                batch=frame.batch,
             )
             self._back = self._front
             self._front = stamped

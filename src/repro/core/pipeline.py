@@ -47,6 +47,7 @@ from repro.core.environment import Environment
 from repro.core.framestore import FrameStore, PublishedFrame, encode_paths
 from repro.core.governor import FrameBudgetGovernor
 from repro.obs import MetricsRegistry
+from repro.tracers.integrate import transport_stats
 from repro.util.timers import Stopwatch, TimingStats
 
 __all__ = ["FramePipeline"]
@@ -67,6 +68,7 @@ class _Job:
     compute_seconds: float
     stage_seconds: dict = field(default_factory=dict)
     quality: float = 1.0
+    batch: dict = field(default_factory=dict)
 
 
 class FramePipeline:
@@ -177,6 +179,11 @@ class FramePipeline:
             # ``_predict_next``.  This also covers the engine's internal
             # loads during the integrate stage.
             engine.auto_prefetch = False
+        if getattr(engine, "registry", None) is None:
+            # The engine's fused-compute gauges (engine.fused_batch_size,
+            # engine.points_per_second) land in the pipeline's registry so
+            # ``wt.metrics`` exposes one coherent namespace per server.
+            engine.registry = self.registry
 
         env.subscribe(self.invalidate)
 
@@ -424,6 +431,15 @@ class FramePipeline:
             compute_seconds=compute_seconds,
             stage_seconds=stage_seconds,
             quality=quality,
+            batch={
+                "fused": bool(getattr(self.engine, "fused", False)),
+                "fused_batch_size": int(
+                    getattr(self.engine, "fused_batch_size", 0)
+                ),
+                "points_per_second": float(
+                    getattr(self.engine, "points_per_second", 0.0)
+                ),
+            },
         )
 
     def _submit(self, job: _Job) -> None:
@@ -473,6 +489,7 @@ class FramePipeline:
             stage_seconds=stage_seconds,
             quality=job.quality,
             n_points=n_points,
+            batch=job.batch,
         )
         return self.store.publish(frame)
 
@@ -531,4 +548,15 @@ class FramePipeline:
             "produce_errors": self.produce_errors,
             "idle_cycles": self.idle_cycles,
             "governor": self.governor.to_wire() if self.governor else None,
+            "compute": {
+                "fused": bool(getattr(self.engine, "fused", False)),
+                "fused_batch_size": int(
+                    getattr(self.engine, "fused_batch_size", 0)
+                ),
+                "points_per_second": float(
+                    getattr(self.engine, "points_per_second", 0.0)
+                ),
+                "backend": getattr(self.engine, "backend", None),
+                "transport": transport_stats(),
+            },
         }

@@ -5,13 +5,27 @@ interpolation" per access (section 5.3); this module is the NumPy analogue —
 a gather of the eight cell corners followed by the blend, batched over all
 query points at once so it vectorizes the way the Convex code did across
 streamlines.
+
+Two execution paths share the same arithmetic (and therefore produce
+bit-identical results):
+
+* the plain path — every call allocates its own corner/blend temporaries;
+  simple, safe, what casual callers get;
+* the scratch path — a :class:`TrilinearScratch` preallocates the clamp,
+  cell-index, fractional-offset, corner-gather, and blend buffers once per
+  (capacity, channel-count) and every subsequent sample reuses them, so
+  the RK2 inner loop of :mod:`repro.tracers.integrate` performs no
+  per-step array allocations.  The scratch also caches the flattened
+  field view and the ``[:n]`` buffer bindings, rebuilding them only when
+  the field object or the active-point count changes — in steady state
+  (no particle deaths) a sample call touches no allocator at all.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["trilinear_interpolate", "in_domain_mask"]
+__all__ = ["trilinear_interpolate", "in_domain_mask", "TrilinearScratch"]
 
 
 def in_domain_mask(coords: np.ndarray, dims: tuple[int, int, int]) -> np.ndarray:
@@ -25,12 +39,215 @@ def in_domain_mask(coords: np.ndarray, dims: tuple[int, int, int]) -> np.ndarray
     return np.all((coords >= 0.0) & (coords <= hi), axis=-1)
 
 
+class TrilinearScratch:
+    """Preallocated scratch buffers for repeated trilinear sampling.
+
+    One scratch serves one thread.  Buffers grow to the largest point
+    count ever requested and are reused thereafter; the eight corner
+    gathers and the blend tree run entirely ``out=``-threaded through
+    them.  Results are bit-identical to the plain
+    :func:`trilinear_interpolate` path — the expression tree is the same,
+    only the storage is reused.
+
+    The fast path requires a C-contiguous float64 field of shape
+    ``(ni, nj, nk, C)``; :meth:`bind_field` returns ``None`` for anything
+    else and callers fall back to the allocating path.
+    """
+
+    #: Flattened-field cache entries kept before the cache is cleared
+    #: (the unsteady Heun stencil alternates between a t / t+1 pair).
+    FIELD_CACHE = 4
+
+    def __init__(self) -> None:
+        self._cap = 0
+        self._nc = 0
+        # Capacity-sized backing buffers (allocated by _grow).
+        self._clamped = None
+        self._cell = None
+        self._frac = None
+        self._base = None
+        self._idx = None
+        self._g = None  # corner-gather temp
+        self._c00 = None
+        self._c01 = None
+        self._c10 = None
+        self._c11 = None
+        # Bound [:n] views (rebuilt only when n changes).
+        self._bound_n = -1
+        self._views: tuple | None = None
+        # Flattened-field cache: id(field) -> (field, meta).
+        self._fields: dict[int, tuple] = {}
+
+    # -- buffers ------------------------------------------------------------
+
+    def _grow(self, n: int, nc: int) -> None:
+        cap = max(n, self._cap)
+        self._clamped = np.empty((cap, 3), dtype=np.float64)
+        self._cell = np.empty((cap, 3), dtype=np.intp)
+        self._frac = np.empty((cap, 3), dtype=np.float64)
+        self._base = np.empty(cap, dtype=np.intp)
+        self._idx = np.empty(cap, dtype=np.intp)
+        self._g = np.empty((cap, nc), dtype=np.float64)
+        self._c00 = np.empty((cap, nc), dtype=np.float64)
+        self._c01 = np.empty((cap, nc), dtype=np.float64)
+        self._c10 = np.empty((cap, nc), dtype=np.float64)
+        self._c11 = np.empty((cap, nc), dtype=np.float64)
+        self._cap = cap
+        self._nc = nc
+        self._bound_n = -1
+
+    def bind(self, n: int, nc: int) -> tuple:
+        """``[:n]`` views over the scratch buffers (cached per ``n``)."""
+        if n > self._cap or nc != self._nc:
+            self._grow(n, nc)
+        if n != self._bound_n:
+            frac = self._frac[:n]
+            self._views = (
+                self._clamped[:n],
+                self._cell[:n],
+                frac,
+                self._base[:n],
+                self._idx[:n],
+                self._g[:n],
+                self._c00[:n],
+                self._c01[:n],
+                self._c10[:n],
+                self._c11[:n],
+                # fx/fy/fz column views, created once per bind.
+                frac[:, 0:1],
+                frac[:, 1:2],
+                frac[:, 2:3],
+                # cell column views for the base-index arithmetic.
+                self._cell[:n, 0],
+                self._cell[:n, 1],
+                self._cell[:n, 2],
+            )
+            self._bound_n = n
+        return self._views
+
+    # -- field cache --------------------------------------------------------
+
+    def bind_field(self, field: np.ndarray) -> tuple | None:
+        """Cache-and-return the flattened view + constants for ``field``.
+
+        Returns ``(flat, hi, maxcell, sj, si, nc)`` or ``None`` when the
+        field is not eligible for the fast path (wrong dtype/layout/shape).
+        The cache is keyed by object identity: sampling the same field
+        array across thousands of RK2 steps binds it exactly once.
+        """
+        key = id(field)
+        entry = self._fields.get(key)
+        if entry is not None and entry[0] is field:
+            return entry[1]
+        if (
+            not isinstance(field, np.ndarray)
+            or field.ndim != 4
+            or field.dtype != np.float64
+            or not field.flags.c_contiguous
+        ):
+            return None
+        ni, nj, nk, nc = field.shape
+        if min(ni, nj, nk) < 2:
+            return None
+        flat = field.reshape(-1, nc)
+        hi = np.array([ni - 1.0, nj - 1.0, nk - 1.0])
+        maxcell = np.array([ni - 2, nj - 2, nk - 2], dtype=np.intp)
+        meta = (flat, hi, maxcell, nk, nj * nk, nc)
+        if len(self._fields) >= self.FIELD_CACHE:
+            self._fields.clear()
+        self._fields[key] = (field, meta)
+        return meta
+
+    # -- the sampler --------------------------------------------------------
+
+    def sample(
+        self, field_meta: tuple, coords: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Zero-allocation trilinear sample of ``coords`` into ``out``.
+
+        ``field_meta`` comes from :meth:`bind_field`; ``coords`` is
+        ``(n, 3)`` float64 and ``out`` is ``(n, nc)`` float64.  Coordinates
+        are clamped to the domain (the integrator's contract).  All
+        temporaries live in the scratch; once the ``n``-binding is warm,
+        nothing is allocated.
+        """
+        flat, hi, maxcell, sj, si, nc = field_meta
+        n = coords.shape[0]
+        (
+            clamped, cell, frac, base, idx, g,
+            c00, c01, c10, c11, fx, fy, fz, cell0, cell1, cell2,
+        ) = self.bind(n, nc)
+
+        np.clip(coords, 0.0, hi, out=clamped)
+        # Int-cast assignment truncates toward zero — same values the
+        # plain path's astype(intp) produces for these non-negative coords.
+        cell[...] = clamped
+        np.minimum(cell, maxcell, out=cell)
+        np.maximum(cell, 0, out=cell)
+        np.subtract(clamped, cell, out=frac)
+
+        # base = cell_i * si + cell_j * sj + cell_k  (row index into flat)
+        np.multiply(cell0, si, out=base)
+        np.multiply(cell1, sj, out=idx)
+        np.add(base, idx, out=base)
+        np.add(base, cell2, out=base)
+
+        # The eight corner loads, gathered with out= into scratch, blended
+        # in place along z in the plain path's exact expression order:
+        #   cXY = cXY0 + (cXY1 - cXY0) * fz
+        flat.take(base, axis=0, out=c00, mode="clip")           # c000
+        np.add(base, 1, out=idx)
+        flat.take(idx, axis=0, out=g, mode="clip")              # c001
+        np.subtract(g, c00, out=g)
+        np.multiply(g, fz, out=g)
+        np.add(c00, g, out=c00)                    # -> c00
+
+        np.add(base, sj, out=idx)
+        flat.take(idx, axis=0, out=c01, mode="clip")            # c010
+        np.add(idx, 1, out=idx)
+        flat.take(idx, axis=0, out=g, mode="clip")              # c011
+        np.subtract(g, c01, out=g)
+        np.multiply(g, fz, out=g)
+        np.add(c01, g, out=c01)                    # -> c01
+
+        np.add(base, si, out=idx)
+        flat.take(idx, axis=0, out=c10, mode="clip")            # c100
+        np.add(idx, 1, out=idx)
+        flat.take(idx, axis=0, out=g, mode="clip")              # c101
+        np.subtract(g, c10, out=g)
+        np.multiply(g, fz, out=g)
+        np.add(c10, g, out=c10)                    # -> c10
+
+        np.add(base, si + sj, out=idx)
+        flat.take(idx, axis=0, out=c11, mode="clip")            # c110
+        np.add(idx, 1, out=idx)
+        flat.take(idx, axis=0, out=g, mode="clip")              # c111
+        np.subtract(g, c11, out=g)
+        np.multiply(g, fz, out=g)
+        np.add(c11, g, out=c11)                    # -> c11
+
+        # Blend along y:  c0 = c00 + (c01 - c00) * fy ; likewise c1.
+        np.subtract(c01, c00, out=c01)
+        np.multiply(c01, fy, out=c01)
+        np.add(c00, c01, out=c00)                  # -> c0
+        np.subtract(c11, c10, out=c11)
+        np.multiply(c11, fy, out=c11)
+        np.add(c10, c11, out=c10)                  # -> c1
+
+        # Blend along x into the caller's output buffer.
+        np.subtract(c10, c00, out=c10)
+        np.multiply(c10, fx, out=c10)
+        np.add(c00, c10, out=out)
+        return out
+
+
 def trilinear_interpolate(
     field: np.ndarray,
     coords: np.ndarray,
     *,
     clamp: bool = True,
     out: np.ndarray | None = None,
+    scratch: TrilinearScratch | None = None,
 ) -> np.ndarray:
     """Sample ``field`` at fractional grid coordinates.
 
@@ -49,11 +266,33 @@ def trilinear_interpolate(
     out
         Optional preallocated output of shape ``(N, C)`` (or ``(N,)`` for a
         scalar field) to avoid per-frame allocation.
+    scratch
+        Optional :class:`TrilinearScratch` holding preallocated
+        clamp/cell/corner/blend buffers.  With ``scratch`` (and ``out``),
+        an eligible call — C-contiguous float64 4-d field, ``(N, 3)``
+        float64 coords, ``clamp=True`` — allocates nothing; ineligible
+        calls silently use the plain path.
 
     Returns
     -------
     Sampled values, shape ``(N,)`` for scalar fields or ``(N, C)``.
     """
+    # Zero-allocation fast path: scratch + out + eligible inputs.
+    if (
+        scratch is not None
+        and out is not None
+        and clamp
+        and isinstance(coords, np.ndarray)
+        and coords.ndim == 2
+        and coords.shape[1] == 3
+        and coords.dtype == np.float64
+        and isinstance(field, np.ndarray)
+        and field.ndim == 4
+    ):
+        meta = scratch.bind_field(field)
+        if meta is not None and out.shape == (coords.shape[0], field.shape[3]):
+            return scratch.sample(meta, coords, out)
+
     field = np.asarray(field)
     coords = np.asarray(coords, dtype=np.float64)
     single = coords.ndim == 1

@@ -16,7 +16,12 @@ from repro.perf.scenario import (
     run_benchmark,
     table3_rows,
 )
-from repro.perf.pipeline import PipelineResult, compare_to_model, simulate_pipeline
+from repro.perf.pipeline import (
+    ComputeModel,
+    PipelineResult,
+    compare_to_model,
+    simulate_pipeline,
+)
 from repro.perf.profiling import ProfileReport, ProfileRow, profile_call
 
 __all__ = [
@@ -30,6 +35,7 @@ __all__ = [
     "run_benchmark",
     "max_particles_at_fps",
     "table3_rows",
+    "ComputeModel",
     "PipelineResult",
     "simulate_pipeline",
     "compare_to_model",

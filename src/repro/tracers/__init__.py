@@ -30,9 +30,12 @@ optimization).
 
 from repro.tracers.integrate import (
     BACKENDS,
+    IntegratorWorkspace,
     advance_rk2,
+    configure_pools,
     integrate_paths,
     integrate_steady,
+    transport_stats,
 )
 from repro.tracers.rake import GrabPoint, Rake
 from repro.tracers.streamline import compute_streamlines
@@ -49,9 +52,12 @@ from repro.tracers.ftle import FTLEResult, compute_ftle
 
 __all__ = [
     "BACKENDS",
+    "IntegratorWorkspace",
     "advance_rk2",
+    "configure_pools",
     "integrate_steady",
     "integrate_paths",
+    "transport_stats",
     "Rake",
     "GrabPoint",
     "compute_streamlines",

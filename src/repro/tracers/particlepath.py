@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.flow.dataset import UnsteadyDataset
-from repro.tracers.integrate import integrate_paths
+from repro.tracers.integrate import IntegratorWorkspace, integrate_paths
 from repro.tracers.result import TracerResult
 
 __all__ = ["compute_particle_paths"]
@@ -27,6 +27,7 @@ def compute_particle_paths(
     *,
     time_scale: float = 1.0,
     max_window: int | None = None,
+    workspace: IntegratorWorkspace | None = None,
 ) -> TracerResult:
     """Compute particle paths seeded at ``timestep``.
 
@@ -45,6 +46,12 @@ def compute_particle_paths(
         in-memory timestep window of section 5.2 ("the number of timesteps
         that can fit in physical memory places a limit on the length of
         the particle paths").  ``None`` means limited only by the dataset.
+    workspace
+        Optional :class:`~repro.tracers.integrate.IntegratorWorkspace`:
+        the integration runs on preallocated scratch (zero per-step
+        allocations) and the result's ``grid_paths`` come from the
+        workspace's rotating buffer pool — see that class for the reuse
+        contract.
     """
     if max_window is not None:
         if max_window < 1:
@@ -57,5 +64,6 @@ def compute_particle_paths(
         n_steps,
         dataset.n_timesteps,
         dataset.dt * time_scale,
+        workspace=workspace,
     )
     return TracerResult(paths, lengths, dataset.grid)

@@ -1,0 +1,405 @@
+"""Fused megabatch compute: equivalence, zero-allocation, field transport.
+
+The golden-trajectory contract of the fused frame path: gathering every
+rake's seeds into one integration call and slicing the result back by
+offset must be *bit-identical* to per-rake calls on the ``vector``
+backend and within round-off on ``scalar``/``parallel`` — across mixed
+rake kinds and mid-frame particle death.  Alongside it, the two
+optimizations underneath: the :class:`IntegratorWorkspace` zero-allocation
+kernels and the shared-memory field residency of the process backends.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeEngine, ToolSettings
+from repro.flow import MemoryDataset, RigidRotation, UniformFlow, sample_on_grid
+from repro.grid import cartesian_grid
+from repro.perf import ComputeModel
+from repro.tracers import Rake
+from repro.tracers import integrate as integ
+from repro.tracers.integrate import (
+    IntegratorWorkspace,
+    advance_rk2,
+    configure_pools,
+    integrate_paths,
+    integrate_steady,
+    pool_start_method,
+    transport_stats,
+)
+from repro.tracers.particlepath import compute_particle_paths
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    grid = cartesian_grid((12, 12, 6), lo=(0, 0, 0), hi=(11, 11, 5))
+    field = RigidRotation(omega=[0, 0, 1.0], center=[5.5, 5.5, 0]) + UniformFlow(
+        [0.05, 0.02, 0.0]
+    )
+    vel = sample_on_grid(field, grid, np.arange(6) * 0.2, dtype=np.float64)
+    return MemoryDataset(grid, vel, dt=0.2)
+
+
+def _mixed_rakes():
+    """Streamline + particle-path + streakline rakes, some near the wall.
+
+    Rake 4 hugs the domain edge so a swirl of its particles exits the
+    domain mid-frame — the rake-death case the slicing must survive.
+    """
+    return {
+        1: Rake([2, 5, 2], [9, 5, 2], n_seeds=5, kind="streamline", rake_id=1),
+        2: Rake([5, 2, 3], [5, 9, 3], n_seeds=4, kind="streamline", rake_id=2),
+        3: Rake([3, 3, 1], [8, 8, 4], n_seeds=6, kind="particle_path", rake_id=3),
+        4: Rake(
+            [0.3, 0.3, 2], [10.7, 0.3, 2], n_seeds=5, kind="streamline", rake_id=4
+        ),
+        5: Rake([4, 7, 2], [7, 4, 2], n_seeds=3, kind="particle_path", rake_id=5),
+        6: Rake([5, 5, 1], [6, 6, 4], n_seeds=3, kind="streakline", rake_id=6),
+    }
+
+
+def _engines(dataset, backend, workers=2):
+    settings = ToolSettings(
+        streamline_steps=40, streamline_dt=0.08, particle_path_steps=4,
+        streakline_length=8,
+    )
+    fused = ComputeEngine(
+        dataset, settings, backend=backend, workers=workers, fused=True
+    )
+    per_rake = ComputeEngine(
+        dataset, settings, backend=backend, workers=workers, fused=False
+    )
+    return fused, per_rake
+
+
+class TestFusedEquivalence:
+    def test_vector_bit_identical_mixed_kinds(self, dataset):
+        fused, per_rake = _engines(dataset, "vector")
+        a = fused.compute_rakes(_mixed_rakes(), 0)
+        b = per_rake.compute_rakes(_mixed_rakes(), 0)
+        assert set(a) == set(b)
+        for rid in a:
+            assert np.array_equal(a[rid].grid_paths, b[rid].grid_paths), rid
+            assert np.array_equal(a[rid].lengths, b[rid].lengths), rid
+
+    def test_vector_mid_frame_rake_death(self, dataset):
+        # The wall-hugging rake: some of its particles must actually die
+        # mid-integration for this test to mean anything.
+        fused, per_rake = _engines(dataset, "vector")
+        rakes = _mixed_rakes()
+        a = fused.compute_rakes(rakes, 0)
+        b = per_rake.compute_rakes(rakes, 0)
+        steps = fused.settings.streamline_steps
+        died = a[4].lengths < steps + 1
+        assert died.any(), "edge rake should lose particles mid-frame"
+        assert not died.all(), "edge rake should also keep particles"
+        for rid in a:
+            assert np.array_equal(a[rid].lengths, b[rid].lengths), rid
+            assert np.array_equal(a[rid].grid_paths, b[rid].grid_paths), rid
+
+    @pytest.mark.parametrize("backend", ["scalar", "parallel"])
+    def test_scalar_and_parallel_within_roundoff(self, dataset, backend):
+        fused, per_rake = _engines(dataset, backend)
+        a = fused.compute_rakes(_mixed_rakes(), 0)
+        b = per_rake.compute_rakes(_mixed_rakes(), 0)
+        for rid in a:
+            np.testing.assert_allclose(
+                a[rid].grid_paths, b[rid].grid_paths, atol=1e-10
+            )
+            assert np.array_equal(a[rid].lengths, b[rid].lengths), rid
+
+    def test_fused_metrics_recorded(self, dataset):
+        fused, _ = _engines(dataset, "vector")
+        rakes = _mixed_rakes()
+        fused.compute_rakes(rakes, 0)
+        # Streaklines stay per-rake; the batch is the 19 stream/path seeds.
+        assert fused.fused_batch_size == 23
+        assert fused.points_per_second > 0
+
+    def test_fused_is_default(self, dataset):
+        assert ComputeEngine(dataset).fused is True
+
+    def test_empty_rake_set(self, dataset):
+        fused, _ = _engines(dataset, "vector")
+        assert fused.compute_rakes({}, 0) == {}
+
+    def test_single_rake_all_seeds_out_of_domain(self, dataset):
+        fused, per_rake = _engines(dataset, "vector")
+        rakes = {
+            9: Rake([-9, -9, -9], [-5, -5, -5], n_seeds=3, rake_id=9),
+            1: Rake([2, 5, 2], [9, 5, 2], n_seeds=5, rake_id=1),
+        }
+        a = fused.compute_rakes(rakes, 0)
+        b = per_rake.compute_rakes(rakes, 0)
+        assert a[9].n_paths == 0 == b[9].n_paths
+        assert np.array_equal(a[1].grid_paths, b[1].grid_paths)
+
+
+class TestWorkspaceKernels:
+    @pytest.fixture(scope="class")
+    def field(self):
+        rng = np.random.default_rng(42)
+        return np.ascontiguousarray(rng.normal(0, 0.8, size=(24, 20, 16, 3)))
+
+    def test_steady_bit_identical(self, field):
+        rng = np.random.default_rng(1)
+        seeds = rng.uniform(0, 15, size=(200, 3))
+        p0, l0 = integrate_steady(field, seeds, 120, 0.05)
+        ws = IntegratorWorkspace()
+        p1, l1 = integrate_steady(field, seeds, 120, 0.05, workspace=ws)
+        assert np.array_equal(p0, p1)
+        assert np.array_equal(l0, l1)
+
+    def test_paths_bit_identical(self, field):
+        rng = np.random.default_rng(2)
+        fields = [
+            np.ascontiguousarray(rng.normal(0, 0.5, size=(16, 16, 12, 3)))
+            for _ in range(8)
+        ]
+        seeds = rng.uniform(0, 11, size=(64, 3))
+        ws = IntegratorWorkspace()
+        p0, l0 = integrate_paths(lambda t: fields[t], seeds, 0, 6, 8, 0.1)
+        p1, l1 = integrate_paths(
+            lambda t: fields[t], seeds, 0, 6, 8, 0.1, workspace=ws
+        )
+        assert np.array_equal(p0, p1)
+        assert np.array_equal(l0, l1)
+
+    def test_advance_rk2_out_bit_identical(self, field):
+        rng = np.random.default_rng(3)
+        coords = rng.uniform(0, 14, size=(50, 3))
+        plain = advance_rk2(field, coords, 0.05)
+        ws = IntegratorWorkspace()
+        out = np.empty_like(coords)
+        got = advance_rk2(field, coords, 0.05, out=out, workspace=ws)
+        assert got is out
+        assert np.array_equal(plain, out)
+
+    def test_ineligible_field_falls_back(self):
+        # float32 fields bypass the fast path but must stay correct.
+        rng = np.random.default_rng(4)
+        field32 = rng.normal(0, 0.5, size=(10, 10, 8, 3)).astype(np.float32)
+        seeds = rng.uniform(0, 7, size=(20, 3))
+        p0, l0 = integrate_steady(field32, seeds, 15, 0.05)
+        p1, l1 = integrate_steady(
+            field32, seeds, 15, 0.05, workspace=IntegratorWorkspace()
+        )
+        assert np.array_equal(p0, p1)
+        assert np.array_equal(l0, l1)
+
+    def test_zero_steps(self, field):
+        seeds = np.array([[1.0, 1.0, 1.0], [50.0, 1.0, 1.0]])
+        p, l = integrate_steady(field, seeds, 0, 0.05, workspace=IntegratorWorkspace())
+        assert p.shape == (2, 1, 3)
+        assert l.tolist() == [1, 1]
+
+    def test_paths_buffer_pool_rotates(self):
+        ws = IntegratorWorkspace(paths_pool=2)
+        a = ws.paths_buffer(8, 5)
+        b = ws.paths_buffer(8, 5)
+        assert a is not b
+        assert ws.paths_buffer(8, 5) is a  # pool of 2 wraps around
+        assert ws.paths_buffer(8, 6) is not a  # different shape, new pool
+
+    def test_paths_pool_validation(self):
+        with pytest.raises(ValueError):
+            IntegratorWorkspace(paths_pool=0)
+
+    def test_zero_allocation_steady_state(self, field):
+        """The acceptance criterion: no per-step allocations in the loop.
+
+        A warmed workspace run must allocate orders of magnitude less than
+        the naive kernel — only per-call setup (lengths, the seed-domain
+        mask), nothing proportional to the step count.
+        """
+        rng = np.random.default_rng(5)
+        # Interior seeds, small dt: nobody dies, the loop stays on the
+        # steady-state (allocation-free) path.
+        seeds = rng.uniform(4, 12, size=(512, 3))
+        n_steps = 200
+        ws = IntegratorWorkspace()
+        for _ in range(ws.paths_pool + 1):  # warm every pooled buffer
+            integrate_steady(field, seeds, n_steps, 0.01, workspace=ws)
+        tracemalloc.start()
+        base, _ = tracemalloc.get_traced_memory()
+        integrate_steady(field, seeds, n_steps, 0.01, workspace=ws)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        workspace_overhead = peak - base
+        tracemalloc.start()
+        base, _ = tracemalloc.get_traced_memory()
+        integrate_steady(field, seeds, n_steps, 0.01)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        naive_overhead = peak - base
+        # Per-call setup is ~tens of KB; per-step churn would be MBs
+        # (512 seeds x 200 steps x several temporaries).
+        assert workspace_overhead < 128 * 1024, workspace_overhead
+        assert naive_overhead > 10 * workspace_overhead, (
+            workspace_overhead,
+            naive_overhead,
+        )
+
+
+class TestFieldTransport:
+    def setup_method(self):
+        integ.reset_transport_stats()
+
+    def test_token_memoized_by_identity(self):
+        rng = np.random.default_rng(6)
+        gv = np.ascontiguousarray(rng.normal(size=(8, 8, 6, 3)))
+        integ.reset_transport_stats()
+        t1 = integ._field_token(gv)
+        t2 = integ._field_token(gv)
+        assert t1 == t2
+        assert transport_stats()["field_checksums"] == 1
+        # A distinct array with identical content: new checksum, equal token.
+        t3 = integ._field_token(gv.copy())
+        assert t3 == t1
+        assert transport_stats()["field_checksums"] == 2
+
+    def test_field_ships_once_per_timestep(self):
+        """Acceptance: shm residency ships the field once, not per chunk."""
+        rng = np.random.default_rng(7)
+        gv = np.ascontiguousarray(rng.normal(0, 0.5, size=(10, 10, 8, 3)))
+        seeds = rng.uniform(0, 7, size=(8, 3))
+        integ.reset_transport_stats()
+        for _ in range(3):  # three frames over the same timestep
+            integrate_steady(gv, seeds, 8, 0.05, backend="parallel", workers=2)
+        stats = transport_stats()
+        assert stats["parallel_calls"] == 3
+        if stats["field_transport"] == "shm":
+            assert stats["fields_exported"] == 1
+            assert stats["field_bytes_shipped"] == gv.nbytes
+        else:  # pragma: no cover - platform without shared memory
+            assert stats["field_bytes_shipped"] >= gv.nbytes
+
+    def test_shm_and_pickle_agree(self):
+        rng = np.random.default_rng(8)
+        gv = np.ascontiguousarray(rng.normal(0, 0.5, size=(10, 10, 8, 3)))
+        seeds = rng.uniform(0, 7, size=(6, 3))
+        p_shm, l_shm = integrate_steady(
+            gv, seeds, 10, 0.05, backend="parallel", workers=2
+        )
+        configure_pools(field_transport="pickle")
+        try:
+            integ.reset_transport_stats()
+            p_pkl, l_pkl = integrate_steady(
+                gv, seeds, 10, 0.05, backend="parallel", workers=2
+            )
+            # Pickle transport re-ships the field with every chunk.
+            assert transport_stats()["field_bytes_shipped"] == gv.nbytes * 2
+        finally:
+            configure_pools(field_transport="shm")
+        assert np.array_equal(p_shm, p_pkl)
+        assert np.array_equal(l_shm, l_pkl)
+
+    def test_start_method_configurable_with_spawn(self):
+        if "spawn" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("spawn unavailable")  # pragma: no cover
+        rng = np.random.default_rng(9)
+        gv = np.ascontiguousarray(rng.normal(0, 0.5, size=(8, 8, 6, 3)))
+        seeds = rng.uniform(0, 5, size=(4, 3))
+        baseline, lb = integrate_steady(gv, seeds, 6, 0.05, backend="scalar")
+        cfg = configure_pools(start_method="spawn")
+        assert cfg["start_method"] == "spawn"
+        try:
+            integ.reset_transport_stats()
+            p, l = integrate_steady(
+                gv, seeds, 6, 0.05, backend="parallel", workers=2
+            )
+            stats = transport_stats()
+            if stats["field_transport"] == "shm":
+                # Residency must hold under spawn too.
+                assert stats["fields_exported"] == 1
+                assert stats["field_bytes_shipped"] == gv.nbytes
+        finally:
+            configure_pools(start_method=None)
+        assert np.array_equal(p, baseline)
+        assert np.array_equal(l, lb)
+
+    def test_configure_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            configure_pools(start_method="no-such-method")
+        with pytest.raises(ValueError):
+            configure_pools(field_transport="carrier-pigeon")
+
+    def test_env_var_selects_start_method(self, monkeypatch):
+        configure_pools(start_method=None)
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "spawn")
+        assert pool_start_method() == "spawn"
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "bogus")
+        assert pool_start_method() in ("fork", "spawn")  # ignored if unknown
+
+
+class TestParticlePathWorkspace:
+    def test_workspace_matches_plain(self, dataset):
+        seeds = np.array([[3.0, 3.0, 2.0], [7.0, 6.0, 3.0], [5.0, 5.0, 1.0]])
+        plain = compute_particle_paths(dataset, 0, seeds, n_steps=4)
+        ws = compute_particle_paths(
+            dataset, 0, seeds, n_steps=4, workspace=IntegratorWorkspace()
+        )
+        assert np.array_equal(plain.grid_paths, ws.grid_paths)
+        assert np.array_equal(plain.lengths, ws.lengths)
+
+
+class TestComputeModel:
+    def test_fit_recovers_parameters(self):
+        model = ComputeModel(launch_overhead=2e-3, per_point_seconds=5e-7)
+        launches = np.array([1, 2, 4, 8, 16])
+        points = np.array([1000, 1000, 2000, 4000, 8000])
+        times = np.array(
+            [model.seconds(int(n), int(p)) for n, p in zip(launches, points)]
+        )
+        fitted = ComputeModel.fit(launches, points, times)
+        assert fitted.launch_overhead == pytest.approx(2e-3, rel=1e-6)
+        assert fitted.per_point_seconds == pytest.approx(5e-7, rel=1e-6)
+
+    def test_predicted_speedup(self):
+        model = ComputeModel(launch_overhead=1e-2, per_point_seconds=1e-6)
+        # 8 rakes, launch-dominated: fusing approaches 8x.
+        assert model.predicted_speedup(8, 1000) > 7.0
+        # Point-dominated: fusing buys little.
+        assert model.predicted_speedup(8, 10_000_000) < 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeModel(launch_overhead=-1.0, per_point_seconds=0.0)
+        with pytest.raises(ValueError):
+            ComputeModel(launch_overhead=0.0, per_point_seconds=float("nan"))
+        model = ComputeModel(launch_overhead=1e-3, per_point_seconds=1e-7)
+        with pytest.raises(ValueError):
+            model.seconds(-1, 10)
+        with pytest.raises(ValueError):
+            ComputeModel.fit([1], [10], [0.1])
+        with pytest.raises(ValueError):
+            ComputeModel.fit([1, 2], [10], [0.1, 0.2])
+
+
+class TestPipelineIntegration:
+    def test_published_frame_carries_batch_provenance(self, dataset):
+        from repro.core import Environment
+        from repro.core.framestore import FrameStore
+        from repro.core.pipeline import FramePipeline
+
+        engine = ComputeEngine(dataset, ToolSettings(streamline_steps=10))
+        env = Environment(dataset.n_timesteps)
+        env.add_rake(Rake([2, 5, 2], [9, 5, 2], n_seeds=4))
+        env.add_rake(Rake([5, 2, 2], [5, 9, 2], n_seeds=3))
+        store = FrameStore()
+        pipe = FramePipeline(engine, env, store, threaded=False)
+        frame = pipe.produce_inline()
+        assert frame.batch["fused"] is True
+        assert frame.batch["fused_batch_size"] == 7
+        assert frame.batch["points_per_second"] > 0
+        stats = pipe.stats()
+        assert stats["compute"]["fused_batch_size"] == 7
+        assert stats["compute"]["backend"] == "vector"
+        assert "field_bytes_shipped" in stats["compute"]["transport"]
+        # The pipeline wired its registry into the engine.
+        assert engine.registry is pipe.registry
+        gauges = pipe.registry.snapshot()["gauges"]
+        assert gauges["engine.fused_batch_size"] == 7.0
+        assert gauges["engine.points_per_second"] > 0
