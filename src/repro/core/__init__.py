@@ -30,7 +30,7 @@ from repro.core.framestore import FrameStore, PublishedFrame
 from repro.core.pipeline import FramePipeline
 from repro.core.server import WindtunnelServer
 from repro.core.client import WindtunnelClient
-from repro.core.governor import FrameBudgetGovernor
+from repro.core.governor import DegradationPolicy, FrameBudgetGovernor
 from repro.core.recording import SessionPlayer, SessionRecorder, attach_recorder
 
 __all__ = [
@@ -50,5 +50,6 @@ __all__ = [
     "ToolSettings",
     "WindtunnelServer",
     "WindtunnelClient",
+    "DegradationPolicy",
     "FrameBudgetGovernor",
 ]

@@ -24,7 +24,7 @@ import time
 import numpy as np
 
 from repro.dlib.client import DlibClient, DlibRemoteError, RetryPolicy
-from repro.dlib.protocol import DlibError, DlibTimeoutError
+from repro.dlib.protocol import DlibError, DlibTimeoutError, decode_path_entry
 from repro.dlib.transport import Stream
 from repro.render.camera import Camera
 from repro.render.framebuffer import Framebuffer
@@ -50,6 +50,7 @@ _IDEMPOTENT_PROCEDURES = frozenset(
     {
         "wt.update",
         "wt.frame",
+        "wt.subscribe",
         "wt.snapshot",
         "wt.stats",
         "wt.pipeline_stats",
@@ -146,6 +147,14 @@ class WindtunnelClient:
         self._net_stop = threading.Event()
         self._state_lock = threading.Lock()
         self._closed = False
+        # v2 frame delivery (docs/network.md): active subscription info,
+        # the reassembled per-rake state deltas are merged into, and the
+        # last publication seq acknowledged back to the server.
+        self.subscription: dict | None = None
+        self._held_paths: dict = {}
+        self._acked_seq = 0
+        self._prev_bytes_received = 0
+        self._goodput = 0.0
 
     # -- resilience ----------------------------------------------------------
 
@@ -256,11 +265,115 @@ class WindtunnelClient:
         """
         return self._call("wt.isosurface", self.client_id, level_fraction)
 
+    # -- v2 frame delivery (docs/network.md) ---------------------------------
+
+    def subscribe(
+        self,
+        *,
+        encoding: str = "v1",
+        deltas: bool = True,
+        decimate: int = 1,
+        adaptive: bool = False,
+        rakes=None,
+        kinds=None,
+    ) -> dict:
+        """Negotiate bandwidth-adaptive (v2) frame delivery.
+
+        Returns the server's echo of the effective settings.  Against a
+        pre-v2 server the ``LookupError`` is swallowed and ``{"enabled":
+        False, "supported": False}`` comes back — the client simply keeps
+        using the v1 path, so new clients run against old servers
+        unchanged.
+        """
+        options: dict = {
+            "encoding": encoding,
+            "deltas": deltas,
+            "decimate": decimate,
+            "adaptive": adaptive,
+        }
+        if rakes is not None:
+            options["rakes"] = [str(r) for r in rakes]
+        if kinds is not None:
+            options["kinds"] = [str(k) for k in kinds]
+        try:
+            info = self._call("wt.subscribe", self.client_id, options)
+        except DlibRemoteError as exc:
+            if exc.remote_type == "LookupError":
+                with self._state_lock:
+                    self.subscription = None
+                return {"enabled": False, "supported": False}
+            raise
+        with self._state_lock:
+            self.subscription = info
+            self._held_paths = {}
+            self._acked_seq = 0  # next frame is a keyframe under the new terms
+        return info
+
+    def unsubscribe(self) -> None:
+        """Return to plain v1 frame delivery."""
+        try:
+            self._call("wt.subscribe", self.client_id, {"enabled": False})
+        except DlibRemoteError as exc:
+            if exc.remote_type != "LookupError":
+                raise
+        with self._state_lock:
+            self.subscription = None
+            self._held_paths = {}
+            self._acked_seq = 0
+
+    def _note_goodput(self) -> None:
+        """Update the receive-side throughput estimate from the last call."""
+        received = getattr(self._rpc.stream, "bytes_received", 0)
+        delta = received - self._prev_bytes_received
+        self._prev_bytes_received = received
+        latency = self._rpc.last_latency
+        if delta > 0 and latency > 0:
+            sample = delta / latency
+            self._goodput = (
+                sample if self._goodput == 0 else 0.7 * self._goodput + 0.3 * sample
+            )
+
+    def _integrate_v2(self, state: dict) -> dict:
+        """Merge a v2 response into held per-rake state; ack the seq.
+
+        A delta overlays the changed rakes onto what we hold and drops the
+        removed ones; a keyframe replaces everything.  If a delta arrives
+        against a base we do not hold (lost state), the ack resets to 0 so
+        the next request resyncs with a keyframe.
+        """
+        v2 = state["v2"]
+        decoded = {
+            rid: decode_path_entry(entry)
+            for rid, entry in state.get("paths", {}).items()
+        }
+        with self._state_lock:
+            if v2["mode"] == "delta":
+                if int(v2["base"]) != self._acked_seq:
+                    self._acked_seq = 0  # resync on the next fetch
+                    return dict(state, paths=dict(self._held_paths))
+                held = dict(self._held_paths)
+                for rid in v2.get("removed", []):
+                    held.pop(rid, None)
+                held.update(decoded)
+            else:
+                held = decoded
+            self._held_paths = held
+            self._acked_seq = int(v2["seq"])
+        return dict(state, paths=held)
+
     # -- the network half (figure 9, left process) ------------------------------
 
     def fetch_frame(self) -> dict:
         """Pull the current shared visualization from the server."""
-        state = self._call("wt.frame", self.client_id)
+        if self.subscription is None:
+            state = self._call("wt.frame", self.client_id)
+        else:
+            with self._state_lock:
+                ack = self._acked_seq
+            state = self._call("wt.frame", self.client_id, ack, self._goodput)
+            self._note_goodput()
+            if "v2" in state:
+                state = self._integrate_v2(state)
         with self._state_lock:
             self.latest_state = state
             self.state_stale = False

@@ -8,49 +8,213 @@ under it) guarded by a condition variable.  Publishing is the only write;
 reads are lock-brief snapshots; a reader that needs a *fresher* frame
 than the current one waits on the condition with a deadline.
 
-Published frames are immutable by construction: the path arrays are
-read-only NumPy views and the wire encoding is a frozen byte fragment
-(:class:`~repro.dlib.protocol.PreEncoded`), so N clients can share one
-frame with zero copies and zero risk of cross-client corruption — the
-shared-visualization guarantee of section 5.1, enforced by the buffer
-flags instead of by convention.
+Invariants (docs/architecture.md, docs/network.md):
+
+* **Immutability.**  Published frames never change after publication:
+  the path arrays are read-only NumPy views and every wire encoding is a
+  frozen byte fragment (:class:`~repro.dlib.protocol.PreEncoded`), so N
+  clients share one frame with zero copies and zero risk of cross-client
+  corruption — the shared-visualization guarantee of section 5.1,
+  enforced by the buffer flags instead of by convention.
+* **Encode-once, per variant.**  The v1 full encoding is produced
+  exactly once, at publish time, as the concatenation of per-rake
+  fragments (the value encoding is compositional).  Every other wire
+  variant a subscribed client can request — float16 or fixed-point
+  quantization, decimation — is produced at most once per
+  ``(rake, encoding, decimate)`` by the frame's :class:`EncodingCache`
+  and shared by all subscribers; ``net.encode_cache_hits`` counts the
+  reuse.
+* **Delta identity.**  Each rake entry carries a content digest of its
+  vertex/length bytes.  Two frames whose digests match for a rake hold
+  bit-identical geometry for it, which is what licenses the v2 delta
+  path to omit the rake entirely (docs/network.md, "Delta frames").
+  The store keeps a bounded history of per-frame digest maps so the
+  server can delta against any frame a client recently acknowledged.
 """
 
 from __future__ import annotations
 
+import hashlib
+import struct
 import threading
 import time
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.dlib.protocol import PreEncoded, encode_value
+from repro.dlib.protocol import PreEncoded, encode_value, quantize_points
 
-__all__ = ["PublishedFrame", "FrameStore", "encode_paths"]
+__all__ = [
+    "ENCODINGS",
+    "EncodedPaths",
+    "EncodingCache",
+    "FrameStore",
+    "PublishedFrame",
+    "encode_paths",
+    "encode_published",
+]
+
+#: Wire encodings a client can subscribe to (docs/network.md).
+#: ``v1`` = float32 (12 bytes/point), ``f16`` = IEEE half precision,
+#: ``q16`` = per-axis fixed-point int16 (both 6 bytes/point).
+ENCODINGS = ("v1", "f16", "q16")
+
+#: How many published frames' digest maps the store remembers — the
+#: window inside which a client's acked frame can still anchor a delta.
+DIGEST_HISTORY = 64
+
+_U32 = struct.Struct("<I")
+
+
+def _digest(kind: str, vertices: np.ndarray, lengths: np.ndarray) -> bytes:
+    """Content digest of one rake's geometry (bit-exact identity)."""
+    h = hashlib.blake2b(digest_size=12)
+    h.update(kind.encode())
+    h.update(str(vertices.shape).encode())
+    h.update(vertices.tobytes())
+    h.update(lengths.tobytes())
+    return h.digest()
+
+
+@dataclass(frozen=True)
+class EncodedPaths:
+    """One frame's tracer results, encoded once at publish time.
+
+    ``fragments[rid]`` is the wire encoding of the rake's v1 entry dict
+    (``{kind, vertices, lengths}``); ``wire`` is the full v1 paths dict
+    composed from exactly those fragments, so splicing a subset of rakes
+    produces bytes identical to encoding that subset directly.
+    """
+
+    paths: dict
+    wire: PreEncoded
+    n_points: int
+    digests: dict
+    fragments: dict
+
+
+def _compose(entries: dict[str, bytes]) -> PreEncoded:
+    """Compose a dict-of-rakes wire value from per-rake entry fragments."""
+    parts = [b"M", _U32.pack(len(entries))]
+    for rid, fragment in entries.items():
+        parts.append(encode_value(rid))
+        parts.append(fragment)
+    return PreEncoded(b"".join(parts))
+
+
+def encode_published(kinds: dict[int, str], results: dict) -> EncodedPaths:
+    """One-shot wire encoding of a frame's tracer results.
+
+    This is the *only* place path arrays are serialized at full
+    precision; every ``wt.frame`` response afterwards splices the cached
+    fragments verbatim (whole for v1 clients, per changed rake for v2
+    delta subscribers).
+    """
+    paths: dict[str, dict] = {}
+    fragments: dict[str, bytes] = {}
+    digests: dict[str, bytes] = {}
+    n_points = 0
+    for rid, res in results.items():
+        vertices, lengths = res.wire_arrays()
+        key = str(rid)
+        entry = {
+            "kind": kinds[rid],
+            "vertices": vertices,  # float32: 12 bytes/point
+            "lengths": lengths,
+        }
+        paths[key] = entry
+        fragments[key] = encode_value(entry)
+        digests[key] = _digest(kinds[rid], vertices, lengths)
+        n_points += int(lengths.sum())
+    return EncodedPaths(
+        paths=paths,
+        wire=_compose(fragments),
+        n_points=n_points,
+        digests=digests,
+        fragments=fragments,
+    )
 
 
 def encode_paths(
     kinds: dict[int, str], results: dict
 ) -> tuple[dict, PreEncoded, int]:
-    """One-shot wire encoding of a frame's tracer results.
+    """Compatibility wrapper over :func:`encode_published`.
 
-    Returns ``(paths, wire, n_points)`` where ``paths`` is the in-process
-    view (read-only float32 vertex and int64 length arrays per rake) and
-    ``wire`` is the same structure pre-encoded as a dlib value fragment.
-    This is the *only* place path arrays are serialized; every
-    ``wt.frame`` response afterwards splices ``wire`` verbatim.
+    Returns ``(paths, wire, n_points)`` exactly as before the v2 layer;
+    the wire bytes are unchanged (composition equals direct encoding).
     """
-    paths: dict[str, dict] = {}
-    n_points = 0
-    for rid, res in results.items():
-        vertices, lengths = res.wire_arrays()
-        paths[str(rid)] = {
-            "kind": kinds[rid],
-            "vertices": vertices,  # float32: 12 bytes/point
-            "lengths": lengths,
-        }
-        n_points += int(lengths.sum())
-    return paths, PreEncoded(encode_value(paths)), n_points
+    enc = encode_published(kinds, results)
+    return enc.paths, enc.wire, enc.n_points
+
+
+def _decimate_entry(entry: dict, decimate: int) -> dict:
+    """Keep every ``decimate``-th path point (degradation ladder)."""
+    vertices = np.ascontiguousarray(entry["vertices"][:, ::decimate, :])
+    lengths = (np.asarray(entry["lengths"]) + decimate - 1) // decimate
+    return {
+        "kind": entry["kind"],
+        "vertices": vertices,
+        "lengths": np.ascontiguousarray(lengths.astype(np.int64)),
+    }
+
+
+class EncodingCache:
+    """Per-frame cache of wire-variant fragments, built at most once each.
+
+    Keyed by ``(rid, encoding, decimate)``.  The v1/undecimated variant
+    is prebuilt by :func:`encode_published`; everything else is encoded
+    lazily on first request and then shared by every subscriber — the
+    encode-once guarantee, extended to the whole variant space.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._fragments: dict[tuple, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def entry(self, frame: "PublishedFrame", rid: str, encoding: str, decimate: int) -> bytes:
+        if encoding == "v1" and decimate == 1:
+            return frame.rake_fragments[rid]
+        key = (rid, encoding, decimate)
+        with self._lock:
+            cached = self._fragments.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        fragment = encode_value(self._build(frame.paths[rid], encoding, decimate))
+        with self._lock:
+            self._fragments.setdefault(key, fragment)
+            self.misses += 1
+        return fragment
+
+    @staticmethod
+    def _build(entry: dict, encoding: str, decimate: int) -> dict:
+        if encoding not in ENCODINGS:
+            raise ValueError(f"unknown wire encoding {encoding!r}")
+        if decimate < 1:
+            raise ValueError("decimate must be >= 1")
+        if decimate > 1:
+            entry = _decimate_entry(entry, decimate)
+        if encoding == "f16":
+            return {
+                "kind": entry["kind"],
+                "vertices": np.ascontiguousarray(
+                    entry["vertices"], dtype=np.float16
+                ),
+                "lengths": entry["lengths"],
+            }
+        if encoding == "q16":
+            q = quantize_points(entry["vertices"])
+            return {
+                "kind": entry["kind"],
+                "q": q["q"],
+                "scale": q["scale"],
+                "offset": q["offset"],
+                "lengths": entry["lengths"],
+            }
+        return entry  # "v1", decimated
 
 
 @dataclass(frozen=True)
@@ -63,7 +227,9 @@ class PublishedFrame:
         The environment epoch this frame was computed for — the old
         cache key, now explicit provenance.
     seq
-        Monotonic publication number (assigned by the store).
+        Monotonic publication number (assigned by the store).  Also the
+        v2 delivery ack token: a subscribed client acknowledges the last
+        seq it integrated, and deltas are expressed against it.
     paths
         ``{rake_id: {kind, vertices, lengths}}`` with read-only arrays.
     paths_wire
@@ -84,6 +250,12 @@ class PublishedFrame:
         Fused-compute provenance: ``{"fused", "fused_batch_size",
         "points_per_second"}`` as recorded by the engine for this frame
         (empty for engines that predate the megabatch path).
+    digests
+        ``{rake_id: content digest}`` — bit-exact geometry identity per
+        rake, the basis of delta frames (docs/network.md).
+    rake_fragments
+        ``{rake_id: wire bytes}`` — the per-rake v1 entry fragments
+        whose concatenation is ``paths_wire``.
     """
 
     version: int
@@ -96,6 +268,11 @@ class PublishedFrame:
     quality: float = 1.0
     n_points: int = 0
     batch: dict = field(default_factory=dict)
+    digests: dict = field(default_factory=dict)
+    rake_fragments: dict = field(default_factory=dict)
+    enc_cache: EncodingCache = field(
+        default_factory=EncodingCache, compare=False, repr=False
+    )
 
     @property
     def key(self) -> tuple[int, int]:
@@ -104,6 +281,20 @@ class PublishedFrame:
     @property
     def wire_bytes(self) -> int:
         return self.paths_wire.nbytes
+
+    def compose(
+        self, rids: list[str], encoding: str = "v1", decimate: int = 1
+    ) -> PreEncoded:
+        """Wire fragment of the paths dict restricted to ``rids``.
+
+        For ``encoding="v1", decimate=1`` and the full rake set this is
+        byte-identical to :attr:`paths_wire`.  Variant entries come from
+        the frame's :class:`EncodingCache`, so each is encoded at most
+        once regardless of how many subscribers ask for it.
+        """
+        return _compose(
+            {rid: self.enc_cache.entry(self, rid, encoding, decimate) for rid in rids}
+        )
 
 
 class FrameStore:
@@ -116,7 +307,7 @@ class FrameStore:
     a known sequence number lands (or the deadline passes).
     """
 
-    def __init__(self, *, registry=None) -> None:
+    def __init__(self, *, registry=None, digest_history: int = DIGEST_HISTORY) -> None:
         self._cond = threading.Condition()
         self._front: PublishedFrame | None = None
         self._back: PublishedFrame | None = None  # previous frame, kept alive
@@ -126,6 +317,8 @@ class FrameStore:
         self._last_publish_mono: float | None = None
         self._period_sum = 0.0
         self._period_count = 0
+        self._digest_history_cap = int(digest_history)
+        self._digest_history: OrderedDict[int, dict] = OrderedDict()
         # Optional MetricsRegistry: publish cadence feeds the shared
         # observability registry (framestore.* metrics) when wired in.
         self._published_counter = (
@@ -152,6 +345,15 @@ class FrameStore:
         with self._cond:
             return self._back
 
+    def digests_at(self, seq: int) -> dict | None:
+        """Per-rake digest map of publication ``seq``, if still remembered.
+
+        ``None`` means the seq left the bounded history (or never existed)
+        — the caller must fall back to a keyframe (delta resync).
+        """
+        with self._cond:
+            return self._digest_history.get(int(seq))
+
     @property
     def publish_period_mean(self) -> float:
         """Mean seconds between consecutive publishes (0 if < 2 frames)."""
@@ -168,21 +370,13 @@ class FrameStore:
         """
         with self._cond:
             self._seq += 1
-            stamped = PublishedFrame(
-                version=frame.version,
-                timestep=frame.timestep,
-                seq=self._seq,
-                paths=frame.paths,
-                paths_wire=frame.paths_wire,
-                compute_seconds=frame.compute_seconds,
-                stage_seconds=frame.stage_seconds,
-                quality=frame.quality,
-                n_points=frame.n_points,
-                batch=frame.batch,
-            )
+            stamped = replace(frame, seq=self._seq)
             self._back = self._front
             self._front = stamped
             self.published_total += 1
+            self._digest_history[self._seq] = stamped.digests
+            while len(self._digest_history) > self._digest_history_cap:
+                self._digest_history.popitem(last=False)
             now = time.monotonic()
             if self._last_publish_mono is not None:
                 gap = now - self._last_publish_mono

@@ -44,7 +44,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
 from repro.core.environment import Environment
-from repro.core.framestore import FrameStore, PublishedFrame, encode_paths
+from repro.core.framestore import FrameStore, PublishedFrame, encode_published
 from repro.core.governor import FrameBudgetGovernor
 from repro.obs import MetricsRegistry
 from repro.tracers.integrate import transport_stats
@@ -472,7 +472,7 @@ class FramePipeline:
 
     def _encode_and_publish(self, job: _Job) -> PublishedFrame:
         with Stopwatch() as sw:
-            paths, wire, n_points = encode_paths(job.kinds, job.results)
+            enc = encode_published(job.kinds, job.results)
             self._charge("encode")
         stage_seconds = dict(job.stage_seconds)
         stage_seconds["encode"] = sw.elapsed
@@ -483,13 +483,15 @@ class FramePipeline:
             version=job.version,
             timestep=job.timestep,
             seq=0,  # stamped by the store
-            paths=paths,
-            paths_wire=wire,
+            paths=enc.paths,
+            paths_wire=enc.wire,
             compute_seconds=job.compute_seconds,
             stage_seconds=stage_seconds,
             quality=job.quality,
-            n_points=n_points,
+            n_points=enc.n_points,
             batch=job.batch,
+            digests=enc.digests,
+            rake_fragments=enc.fragments,
         )
         return self.store.publish(frame)
 

@@ -24,8 +24,8 @@ import numpy as np
 
 from repro.core.engine import ComputeEngine, ToolSettings
 from repro.core.environment import Environment
-from repro.core.framestore import FrameStore, PublishedFrame
-from repro.core.governor import FrameBudgetGovernor
+from repro.core.framestore import ENCODINGS, FrameStore, PublishedFrame
+from repro.core.governor import DegradationPolicy, FrameBudgetGovernor
 from repro.core.pipeline import STAGES, FramePipeline
 from repro.core.session import SessionTable
 from repro.diskio.loader import TimestepLoader
@@ -128,11 +128,23 @@ class WindtunnelServer:
         self.compute_stats = self.pipeline.compute_stats
         self._frames_served = self.registry.counter("wt.frames_served")
         self._frame_cache_hits = self.registry.counter("wt.frame_cache_hits")
+        # v2 delivery (docs/network.md): per-client subscription table,
+        # owned by the dlib service thread — its serial dispatch is the
+        # synchronization.
+        self._subs: dict[int, dict] = {}
+        self._net_bytes_hist = self.registry.histogram("net.bytes_per_frame")
+        self._net_delta_ratio = self.registry.gauge("net.delta_ratio")
+        self._net_keyframes = self.registry.counter("net.keyframes")
+        self._net_delta_frames = self.registry.counter("net.delta_frames")
+        self._net_enc_hits = self.registry.counter("net.encode_cache_hits")
+        self._net_enc_misses = self.registry.counter("net.encode_cache_misses")
+        self._net_send_gauge = self.registry.gauge("net.send_throughput")
         self._iso_cache_key: tuple | None = None
         self._iso_cache: dict | None = None
         self.sessions = SessionTable(lease_seconds, time_fn=time_fn)
         self.reaped_rake_locks = 0
         self.dlib = DlibServer(host, port, registry=self.registry)
+        self.dlib.on_sent = self._on_sent
         self.dlib.add_tick(self._reap_tick, interval=reap_interval)
         self._register_procedures()
 
@@ -185,6 +197,7 @@ class WindtunnelServer:
         reg("wt.remove_rake", self._rpc_remove_rake)
         reg("wt.time", self._rpc_time)
         reg("wt.frame", self._rpc_frame)
+        reg("wt.subscribe", self._rpc_subscribe)
         reg("wt.snapshot", self._rpc_snapshot)
         reg("wt.stats", self._rpc_stats)
         reg("wt.pipeline_stats", self._rpc_pipeline_stats)
@@ -243,6 +256,7 @@ class WindtunnelServer:
         # leave) and a parting client must not be punished for that.
         cid = int(client_id)
         self.sessions.close(cid)
+        self._subs.pop(cid, None)
         if cid in self.env.users:
             self.env.remove_user(cid)
 
@@ -250,6 +264,7 @@ class WindtunnelServer:
         """Reaper sweep (runs serialized on the dlib service thread)."""
         for lease in self.sessions.sweep():
             cid = lease.client_id
+            self._subs.pop(cid, None)
             if cid in self.env.users:
                 self.reaped_rake_locks += sum(
                     1 for owner in self.env.locks.values() if owner == cid
@@ -360,8 +375,17 @@ class WindtunnelServer:
                 if time.monotonic() > deadline:
                     raise RuntimeError("timed out waiting for a frame")
 
-    def _rpc_frame(self, ctx, client_id: int = 0) -> dict:
+    def _rpc_frame(
+        self, ctx, client_id: int = 0, ack: int = 0, throughput: float = 0.0
+    ) -> dict:
         """Serve the shared visualization from the frame store.
+
+        ``ack`` and ``throughput`` are v2 extensions (defaulted, so v1
+        clients call with one argument and get the pre-subscription
+        response unchanged): the last publication seq this client
+        integrated, and its receive-side goodput estimate in
+        bytes/second (0 = no estimate) feeding the adaptive degradation
+        policy.
 
         Calling this doubles as the session heartbeat (wt.heartbeat
         piggybacks on the frame cycle every client runs anyway).  The
@@ -390,13 +414,169 @@ class WindtunnelServer:
         self._frames_served.inc()
         if cached:
             self._frame_cache_hits.inc()
+        sub = self._subs.get(int(client_id))
+        if sub is None:
+            # v1 path: byte-identical to the pre-subscription protocol.
+            self._net_bytes_hist.observe(float(frame.wire_bytes))
+            return {
+                "timestep": frame.timestep,
+                "paths": frame.paths_wire,
+                "compute_seconds": frame.compute_seconds,
+                "env": env,
+                "cached": cached,
+            }
+        return self._frame_v2(
+            frame, cached, env, sub, int(ack), float(throughput)
+        )
+
+    def _interested(self, sub: dict, rid: str, kind: str) -> bool:
+        if sub["rakes"] is not None and rid not in sub["rakes"]:
+            return False
+        if sub["kinds"] is not None and kind not in sub["kinds"]:
+            return False
+        return True
+
+    def _frame_v2(
+        self,
+        frame: PublishedFrame,
+        cached: bool,
+        env: dict,
+        sub: dict,
+        ack: int,
+        throughput: float,
+    ) -> dict:
+        """Assemble a v2 (subscribed) ``wt.frame`` response.
+
+        See docs/network.md.  ``ack`` is the last publication seq the
+        client integrated; a delta ships only the interesting rakes whose
+        digests changed since then.  An ack outside the store's digest
+        history — the client fell behind, or a response was lost — falls
+        back to a keyframe, which is the resync.
+        """
+        policy = sub["policy"]
+        if policy is not None and throughput > 0:
+            policy.note_reported(throughput)
+        encoding, decimate = sub["encoding"], sub["decimate"]
+        if policy is not None:
+            encoding, decimate = policy.plan(encoding, decimate)
+        rids = [
+            rid
+            for rid, entry in frame.paths.items()
+            if self._interested(sub, rid, entry["kind"])
+        ]
+        mode, base, removed = "keyframe", 0, []
+        send = rids
+        if sub["deltas"] and ack > 0:
+            base_digests = self.store.digests_at(ack)
+            if base_digests is not None:
+                mode, base = "delta", ack
+                send = [
+                    rid
+                    for rid in rids
+                    if base_digests.get(rid) != frame.digests.get(rid)
+                ]
+                removed = [
+                    rid for rid in base_digests if rid not in frame.paths
+                ]
+        cache = frame.enc_cache
+        hits0, misses0 = cache.hits, cache.misses
+        fragment = frame.compose(send, encoding=encoding, decimate=decimate)
+        self._net_enc_hits.inc(cache.hits - hits0)
+        self._net_enc_misses.inc(cache.misses - misses0)
+        (self._net_delta_frames if mode == "delta" else self._net_keyframes).inc()
+        total = self._net_delta_frames.value + self._net_keyframes.value
+        self._net_delta_ratio.set(self._net_delta_frames.value / total)
+        self._net_bytes_hist.observe(float(fragment.nbytes))
+        if policy is not None:
+            policy.note_send(fragment.nbytes, 0.0)
         return {
             "timestep": frame.timestep,
-            "paths": frame.paths_wire,
+            "paths": fragment,
             "compute_seconds": frame.compute_seconds,
             "env": env,
             "cached": cached,
+            "v2": {
+                "seq": frame.seq,
+                "mode": mode,
+                "base": base,
+                "encoding": encoding,
+                "decimate": decimate,
+                "removed": removed,
+            },
         }
+
+    def _rpc_subscribe(self, ctx, client_id: int, options: dict | None = None) -> dict:
+        """Negotiate v2 frame delivery for one client (docs/network.md).
+
+        Idempotent, last-write-wins.  ``options``:
+
+        * ``enabled`` (default true) — false tears the subscription down,
+          restoring the byte-identical v1 path;
+        * ``encoding`` — ``"v1"`` (float32), ``"f16"``, or ``"q16"``;
+        * ``deltas`` (default true) — per-rake delta frames against the
+          client's acked seq;
+        * ``decimate`` (default 1) — keep every n-th path point;
+        * ``adaptive`` (default false) — server-side degradation ladder
+          driven by measured throughput;
+        * ``rakes`` / ``kinds`` — interest filters (lists; absent = all).
+        """
+        cid = int(client_id)
+        self.sessions.touch(cid)
+        options = dict(options or {})
+        if not options.get("enabled", True):
+            self._subs.pop(cid, None)
+            return {"enabled": False, "seq": self.store.seq}
+        encoding = str(options.get("encoding", "v1"))
+        if encoding not in ENCODINGS:
+            raise ValueError(
+                f"unknown encoding {encoding!r}; expected one of {ENCODINGS}"
+            )
+        decimate = int(options.get("decimate", 1))
+        if decimate < 1:
+            raise ValueError("decimate must be >= 1")
+        deltas = bool(options.get("deltas", True))
+        adaptive = bool(options.get("adaptive", False))
+        rakes = options.get("rakes")
+        kinds = options.get("kinds")
+        sub = {
+            "encoding": encoding,
+            "decimate": decimate,
+            "deltas": deltas,
+            "adaptive": adaptive,
+            "rakes": None if rakes is None else {str(r) for r in rakes},
+            "kinds": None if kinds is None else {str(k) for k in kinds},
+            "policy": (
+                DegradationPolicy().bind_registry(
+                    self.registry, f"net.degradation.{cid}"
+                )
+                if adaptive
+                else None
+            ),
+        }
+        self._subs[cid] = sub
+        return {
+            "enabled": True,
+            "seq": self.store.seq,
+            "encoding": encoding,
+            "deltas": deltas,
+            "decimate": decimate,
+            "adaptive": adaptive,
+            "rakes": None if rakes is None else sorted(sub["rakes"]),
+            "kinds": None if kinds is None else sorted(sub["kinds"]),
+        }
+
+    def _on_sent(self, name: str, nbytes: int, seconds: float) -> None:
+        """Post-send hook from the dlib server (service thread).
+
+        Loopback sends rarely block, so this gauge is an upper bound on
+        the wire; the authoritative degradation signal is the client's
+        own reported goodput (``wt.frame``'s ``throughput`` argument).
+        """
+        if name != "wt.frame" or seconds <= 0:
+            return
+        bps = nbytes / seconds
+        prev = self._net_send_gauge.value
+        self._net_send_gauge.set(bps if prev == 0 else 0.7 * prev + 0.3 * bps)
 
     def _rpc_pipeline_stats(self, ctx, client_id: int = 0) -> dict:
         """Stage-resolved pipeline statistics (see docs/protocol.md)."""
@@ -504,4 +684,5 @@ class WindtunnelServer:
             "released_rake_locks": self.reaped_rake_locks,
             "disconnects": ctx.disconnects,
             "protocol_errors": ctx.protocol_errors,
+            "v2_subscriptions": len(self._subs),
         }

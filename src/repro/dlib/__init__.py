@@ -28,9 +28,13 @@ from repro.dlib.protocol import (
     MessageKind,
     PreEncoded,
     decode_message,
+    decode_path_entry,
     decode_value,
+    dequantize_points,
     encode_message,
     encode_value,
+    quantization_error_bound,
+    quantize_points,
 )
 from repro.dlib.transport import Stream, connect_tcp, pipe_pair
 from repro.dlib.server import DlibServer, ServerContext
@@ -47,6 +51,10 @@ __all__ = [
     "decode_value",
     "encode_message",
     "decode_message",
+    "decode_path_entry",
+    "quantize_points",
+    "dequantize_points",
+    "quantization_error_bound",
     "Stream",
     "connect_tcp",
     "pipe_pair",

@@ -10,12 +10,38 @@ on.  No pickle: the decoder can only ever produce plain data.
 A *message* is ``(kind, request_id, payload_value)``; framing (length
 prefix) lives in :mod:`repro.dlib.transport`.
 
+Invariants this module guarantees (docs/protocol.md, docs/network.md):
+
+* **Compositionality.**  A container's encoding is the byte-for-byte
+  concatenation of its elements' encodings, so any fragment encoded once
+  (:class:`PreEncoded`) can be spliced verbatim into a later message.
+  The frame store's encode-once design and the v2 per-rake delta
+  composition both rest on this property.
+* **Header compat.**  Extensions ride on flag bits of the kind byte
+  (:data:`TRACE_FLAG`); a message that does not use an extension is
+  byte-identical to the pre-extension format, so old decoders read new
+  default-mode traffic unchanged and new decoders read old traffic with
+  the extension fields zeroed.  New *value* capabilities (the ``<f2``
+  dtype, the fixed-point point codec below) are only ever sent to peers
+  that negotiated them (``wt.subscribe``) — a v1 peer never receives
+  bytes its decoder cannot parse.
+* **Bounded decode.**  Dtypes are whitelisted, byte counts are checked
+  against shapes before allocation, nesting depth is capped: hostile
+  wire data raises :class:`DlibProtocolError`, never executes.
+
 Tracing extension (backward compatible): a message may carry a 32-bit
 *trace ID* after ``request_id``.  Its presence is flagged by the high
 bit of the kind byte (:data:`TRACE_FLAG`), so a message with
 ``trace_id=0`` is byte-identical to the pre-extension format — old
 decoders read new untraced traffic unchanged, and the new decoder reads
 old traffic as ``trace_id=0``.  See docs/protocol.md, "Traced messages".
+
+Quantized points (v2 frame encoding, docs/network.md): the paper ships
+12 bytes per path point (three float32s, section 5.1 / Table 1).
+:func:`quantize_points` / :func:`dequantize_points` implement the
+6-byte/point alternatives — IEEE float16 components, or per-axis
+fixed-point int16 with an explicit error bound — used by the
+bandwidth-adaptive frame delivery layer.
 """
 
 from __future__ import annotations
@@ -37,14 +63,20 @@ __all__ = [
     "encode_message",
     "decode_message",
     "decode_message_ex",
+    "quantize_points",
+    "dequantize_points",
+    "quantization_error_bound",
+    "decode_path_entry",
 ]
 
 _MAX_DEPTH = 32
 
 # Supported array dtypes, whitelisted so a hostile peer cannot request
-# object arrays or other dtypes with side effects.
+# object arrays or other dtypes with side effects.  ``<f2`` (IEEE
+# float16) is a v2 extension: the server only ships it to clients that
+# negotiated a half-precision encoding via ``wt.subscribe``.
 _ALLOWED_DTYPES = {
-    "<f4", "<f8", "<i2", "<i4", "<i8", "<u2", "<u4", "<u8",
+    "<f2", "<f4", "<f8", "<i2", "<i4", "<i8", "<u2", "<u4", "<u8",
     "|i1", "|u1", "|b1",  # single-byte dtypes carry no byte order
 }
 
@@ -357,3 +389,103 @@ def decode_message(data: bytes) -> tuple[MessageKind, int, object]:
     """
     kind, request_id, _trace_id, payload = decode_message_ex(data)
     return kind, request_id, payload
+
+
+# -- quantized point coordinates (v2 frame encoding) --------------------------
+
+#: Quantization levels of the int16 fixed-point codec.  The span of each
+#: axis maps onto [-32767, 32767] (65535 levels), so the worst-case
+#: reconstruction error is ``span / (2 * 65534)`` per axis.
+_Q_LEVELS = 65534.0
+_Q_HALF = 32767.0
+
+
+def quantize_points(vertices: np.ndarray) -> dict:
+    """Quantize float32 point coordinates to 6 bytes/point fixed point.
+
+    ``vertices`` is any ``(..., 3)`` float array of path points.  Each of
+    the three axes is affinely mapped onto int16 over the array's own
+    bounding box, so the payload is ``{"q": int16 (..., 3), "scale":
+    float32 (3,), "offset": float32 (3,)}`` — every value a plain wire
+    type, decodable by :func:`decode_value` with no new tags.
+
+    The reconstruction error of :func:`dequantize_points` is bounded
+    per axis by ``scale / 2`` (see :func:`quantization_error_bound`);
+    for the paper's grids (tens of grid units of extent) that is a few
+    1e-4 grid units, against the 12-byte float32 baseline's exactness.
+    """
+    v = np.asarray(vertices, dtype=np.float32)
+    if v.ndim < 2 or v.shape[-1] != 3:
+        raise DlibProtocolError("quantize_points expects a (..., 3) array")
+    flat = v.reshape(-1, 3)
+    if flat.shape[0] == 0:
+        lo = np.zeros(3, dtype=np.float32)
+        scale = np.ones(3, dtype=np.float32)
+    else:
+        lo = flat.min(axis=0)
+        hi = flat.max(axis=0)
+        # float64 for the span arithmetic: a float32 span of a huge
+        # coordinate range must not round to zero scale.
+        scale = np.maximum(
+            (hi.astype(np.float64) - lo.astype(np.float64)) / _Q_LEVELS,
+            np.finfo(np.float32).tiny,
+        ).astype(np.float32)
+    q = np.rint((flat.astype(np.float64) - lo) / scale - _Q_HALF)
+    q = np.clip(q, -_Q_HALF, _Q_HALF).astype(np.int16)
+    return {
+        "q": q.reshape(v.shape),
+        "scale": scale,
+        "offset": lo.astype(np.float32),
+    }
+
+
+def dequantize_points(payload: dict) -> np.ndarray:
+    """Invert :func:`quantize_points`; returns float32 ``(..., 3)``."""
+    try:
+        q = np.asarray(payload["q"], dtype=np.float64)
+        scale = np.asarray(payload["scale"], dtype=np.float64)
+        offset = np.asarray(payload["offset"], dtype=np.float64)
+    except (KeyError, TypeError) as exc:
+        raise DlibProtocolError("malformed quantized-point payload") from exc
+    if scale.shape != (3,) or offset.shape != (3,):
+        raise DlibProtocolError("quantized-point scale/offset must be (3,)")
+    return ((q + _Q_HALF) * scale + offset).astype(np.float32)
+
+
+def quantization_error_bound(payload: dict) -> float:
+    """Worst-case per-axis reconstruction error of a quantized payload.
+
+    ``max(scale) / 2`` plus the float32 rounding of the reconstruction
+    itself (one ulp of the coordinate magnitude, folded in as a 1e-3
+    relative margin on the bound — negligible against the fixed-point
+    step for any physical grid).
+    """
+    scale = np.asarray(payload["scale"], dtype=np.float64)
+    offset = np.asarray(payload["offset"], dtype=np.float64)
+    step = float(scale.max()) / 2.0
+    magnitude = float(np.abs(offset).max()) + float(scale.max()) * _Q_LEVELS
+    return step * 1.001 + magnitude * np.finfo(np.float32).eps
+
+
+def decode_path_entry(entry: dict) -> dict:
+    """Normalize one wire path entry to the v1 in-memory shape.
+
+    A v2 frame may carry a rake entry in any negotiated encoding:
+    float32 (``vertices``), float16 (``vertices`` with dtype ``<f2``), or
+    fixed point (``q``/``scale``/``offset``).  This returns the common
+    ``{"kind", "vertices" (float32), "lengths"}`` form the render path
+    consumes, so everything above the decoder is encoding-agnostic.
+    """
+    if not isinstance(entry, dict) or "kind" not in entry:
+        raise DlibProtocolError("malformed path entry")
+    if "q" in entry:
+        vertices = dequantize_points(entry)
+    elif "vertices" in entry:
+        vertices = np.asarray(entry["vertices"], dtype=np.float32)
+    else:
+        raise DlibProtocolError("path entry has neither vertices nor q")
+    return {
+        "kind": entry["kind"],
+        "vertices": vertices,
+        "lengths": np.asarray(entry["lengths"]),
+    }

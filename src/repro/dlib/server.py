@@ -223,6 +223,12 @@ class DlibServer:
         self._ticks_run = self.registry.counter("dlib.ticks_run")
         self._tick_errors = self.registry.counter("dlib.tick_errors")
         self._procedures: dict[str, Callable] = {}
+        #: Optional post-send hook ``fn(procedure, nbytes, seconds)`` fired
+        #: after every response write — the windtunnel server feeds its
+        #: bandwidth observability (``net.*``) from here.  Runs on the
+        #: service thread; exceptions are swallowed (telemetry must never
+        #: drop a connection).
+        self.on_sent: Callable | None = None
         self._ticks: list[list] = []  # [fn, interval, next_due]
         self._listener: socket.socket | None = None
         self._thread: threading.Thread | None = None
@@ -495,6 +501,11 @@ class DlibServer:
         conn.send_frame(response)
         send_seconds = time.perf_counter() - t0
         self._send_hist.observe(send_seconds)
+        if self.on_sent is not None:
+            try:
+                self.on_sent(name, len(response), send_seconds)
+            except Exception:  # noqa: BLE001 - telemetry must not kill the link
+                pass
         if trace is not None:
             trace.mark("send", send_seconds)
             trace.root.duration = trace.now()

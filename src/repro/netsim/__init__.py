@@ -12,6 +12,8 @@ loopback reproduce the paper's network-constrained regimes, and
 """
 
 from repro.netsim.model import (
+    BYTES_PER_POINT,
+    BYTES_PER_POINT_QUANTIZED,
     ETHERNET_10,
     HIPPI,
     ULTRANET_ACTUAL,
@@ -23,10 +25,13 @@ from repro.netsim.model import (
     required_bandwidth_mbps,
     table1_rows,
 )
-from repro.netsim.channel import ThrottledChannel, VirtualClock
+from repro.netsim.channel import BandwidthSchedule, ThrottledChannel, VirtualClock
 from repro.netsim.faults import FaultPlan, FaultStats, FaultyChannel
 
 __all__ = [
+    "BYTES_PER_POINT",
+    "BYTES_PER_POINT_QUANTIZED",
+    "BandwidthSchedule",
     "FaultPlan",
     "FaultStats",
     "FaultyChannel",

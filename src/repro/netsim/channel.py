@@ -18,7 +18,39 @@ import time
 from repro.dlib.transport import Stream
 from repro.netsim.model import NetworkModel
 
-__all__ = ["VirtualClock", "ThrottledChannel"]
+__all__ = ["BandwidthSchedule", "VirtualClock", "ThrottledChannel"]
+
+
+class BandwidthSchedule:
+    """Piecewise-constant bandwidth over elapsed channel time.
+
+    ``steps`` is a sequence of ``(start_second, bytes_per_second)`` pairs;
+    the bandwidth in force at time ``t`` is the last step whose start is
+    ``<= t``.  Wrapped around a :class:`ThrottledChannel` this *shapes*
+    the link — e.g. a healthy 13 MB/s UltraNet degrading to its measured
+    1 MB/s mid-session — which is what drives the server's adaptive
+    degradation ladder in tests and benchmarks (docs/network.md).
+    """
+
+    def __init__(self, steps) -> None:
+        steps = [(float(t), float(bps)) for t, bps in steps]
+        if not steps:
+            raise ValueError("schedule needs at least one step")
+        if any(bps <= 0 for _, bps in steps):
+            raise ValueError("bandwidth must be positive")
+        steps.sort(key=lambda s: s[0])
+        if steps[0][0] != 0.0:
+            raise ValueError("the first step must start at t=0")
+        self.steps = steps
+
+    def bandwidth_at(self, t: float) -> float:
+        """Bytes/second in force at elapsed time ``t``."""
+        current = self.steps[0][1]
+        for start, bps in self.steps:
+            if start > t:
+                break
+            current = bps
+        return current
 
 
 class VirtualClock:
@@ -54,11 +86,17 @@ class ThrottledChannel:
         model: NetworkModel,
         *,
         clock: VirtualClock | None = None,
+        schedule: BandwidthSchedule | None = None,
         registry=None,
     ) -> None:
         self._stream = stream
         self.model = model
         self._clock = clock
+        #: Optional bandwidth shaping: when set, the schedule's bandwidth
+        #: (at elapsed channel time) replaces the model's constant rate;
+        #: the model still contributes its per-message latency.
+        self.schedule = schedule
+        self._t0 = time.monotonic()
         self.modeled_delay_total = 0.0
         # Optional MetricsRegistry: modeled delays become observable next
         # to the real timings (netsim.* metrics).
@@ -95,8 +133,18 @@ class ThrottledChannel:
         self._delay(len(data))
         self._stream.send_raw(data)
 
+    def elapsed(self) -> float:
+        """Elapsed channel time: virtual when a clock is injected."""
+        if self._clock is not None:
+            return self._clock.now
+        return time.monotonic() - self._t0
+
     def _delay(self, nbytes: int) -> None:
-        d = self.model.transfer_time(nbytes)
+        if self.schedule is not None:
+            bandwidth = self.schedule.bandwidth_at(self.elapsed())
+            d = self.model.latency + nbytes / bandwidth
+        else:
+            d = self.model.transfer_time(nbytes)
         self.modeled_delay_total += d
         if self._delay_hist is not None:
             self._delay_hist.observe(d)

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 __all__ = [
     "NetworkModel",
+    "BYTES_PER_POINT",
+    "BYTES_PER_POINT_QUANTIZED",
     "ULTRANET_RATED",
     "ULTRANET_VME",
     "ULTRANET_ACTUAL",
@@ -34,6 +36,12 @@ BYTES_PER_POINT = 12
 #: (two projections x two 4-byte coords) — the alternative section 5.1
 #: rejects.
 BYTES_PER_POINT_STEREO_PROJECTED = 16
+
+#: Bytes per point under the v2 quantized encodings (three int16 fixed-
+#: point components, or three IEEE float16) — half the paper's 12
+#: (docs/network.md).  The q16 per-rake scale/offset header (24 bytes) is
+#: amortized across the rake's points and ignored here.
+BYTES_PER_POINT_QUANTIZED = 6
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,9 @@
 * :mod:`~repro.perf.pipeline` — the figure 8/9 pipeline-overlap model:
   what overlapping disk load, computation, and network send buys over
   running them serially.
+* :mod:`~repro.perf.wire` — the v2 wire-efficiency model: what deltas,
+  quantization, and decimation buy against Table 1's 12 bytes/point
+  (docs/network.md).
 """
 
 from repro.perf.scenario import (
@@ -23,8 +26,11 @@ from repro.perf.pipeline import (
     simulate_pipeline,
 )
 from repro.perf.profiling import ProfileReport, ProfileRow, profile_call
+from repro.perf.wire import SessionWireModel, frame_payload_bytes
 
 __all__ = [
+    "SessionWireModel",
+    "frame_payload_bytes",
     "ProfileReport",
     "ProfileRow",
     "profile_call",

@@ -1,0 +1,89 @@
+"""Analytic wire model for v2 frame delivery (docs/network.md).
+
+Table 1 priced the paper's delivery at 12 bytes per point per frame,
+every frame, to every client.  The v2 layer cuts that three ways —
+quantization (6 bytes/point), decimation (1/n of the points), and deltas
+(only rakes whose geometry changed ship at all) — and this module prices
+the combination, so benchmarks can check the measured reduction against
+what the encoding arithmetic predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.model import BYTES_PER_POINT, BYTES_PER_POINT_QUANTIZED
+
+__all__ = ["SessionWireModel", "frame_payload_bytes"]
+
+#: Approximate per-rake envelope overhead of a paths-dict entry beyond
+#: the point payload: the rake key, the entry dict header, the ``kind``
+#: string, array headers, and the int64 lengths array.  Small against
+#: thousands of points; counted so tiny-frame predictions stay honest.
+RAKE_OVERHEAD_BYTES = 120
+
+
+def frame_payload_bytes(
+    n_points: int,
+    *,
+    encoding: str = "v1",
+    decimate: int = 1,
+    n_rakes: int = 1,
+) -> int:
+    """Predicted ``paths`` payload bytes for one full (keyframe) frame."""
+    if n_points < 0:
+        raise ValueError("n_points must be non-negative")
+    if decimate < 1:
+        raise ValueError("decimate must be >= 1")
+    per_point = BYTES_PER_POINT if encoding == "v1" else BYTES_PER_POINT_QUANTIZED
+    shipped = -(-n_points // decimate)  # ceil division
+    return shipped * per_point + n_rakes * RAKE_OVERHEAD_BYTES
+
+
+@dataclass(frozen=True)
+class SessionWireModel:
+    """Wire cost of an interactive session, v1 versus v2.
+
+    Parameters describe the session shape: ``n_frames`` fetches of a
+    scene with ``n_points`` path points across ``n_rakes`` rakes, where
+    on average ``changed_fraction`` of the rakes (by point count) differ
+    from the client's previous frame — e.g. dragging one of eight rakes
+    under a paused clock gives 1/8.
+    """
+
+    n_frames: int
+    n_points: int
+    n_rakes: int = 8
+    changed_fraction: float = 0.125
+
+    def v1_bytes(self) -> int:
+        """Total ``paths`` bytes the pre-PR protocol ships."""
+        per_frame = frame_payload_bytes(self.n_points, n_rakes=self.n_rakes)
+        return self.n_frames * per_frame
+
+    def v2_bytes(self, *, encoding: str = "q16", decimate: int = 1) -> int:
+        """Total ``paths`` bytes with deltas plus the given encoding.
+
+        Frame one is a keyframe; every later frame ships only the
+        changed fraction of the scene.
+        """
+        key = frame_payload_bytes(
+            self.n_points,
+            encoding=encoding,
+            decimate=decimate,
+            n_rakes=self.n_rakes,
+        )
+        changed_points = int(self.n_points * self.changed_fraction)
+        changed_rakes = max(1, int(round(self.n_rakes * self.changed_fraction)))
+        delta = frame_payload_bytes(
+            changed_points,
+            encoding=encoding,
+            decimate=decimate,
+            n_rakes=changed_rakes,
+        )
+        return key + (self.n_frames - 1) * delta
+
+    def reduction(self, *, encoding: str = "q16", decimate: int = 1) -> float:
+        """v1 bytes over v2 bytes — the headline ratio of BENCH_5."""
+        v2 = self.v2_bytes(encoding=encoding, decimate=decimate)
+        return self.v1_bytes() / v2 if v2 else float("inf")

@@ -1,0 +1,58 @@
+"""The documentation is part of tier 1: links resolve, examples run.
+
+Thin wrapper over ``tools/check_docs.py`` (which the ``docs`` CI job
+also runs directly) so a dead relative link or a stale runnable example
+fails the ordinary test suite, not just a separate lint step.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO / "tools"))
+import check_docs  # noqa: E402
+
+
+class TestCheckDocs:
+    def test_repo_docs_pass(self, capsys):
+        assert check_docs.main([]) == 0, capsys.readouterr().err
+
+    def test_dead_link_detected(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](no/such/file.md)\n")
+        assert check_docs.main([str(bad)]) == 1
+
+    def test_anchor_and_url_links_skipped(self, tmp_path):
+        ok = tmp_path / "ok.md"
+        ok.write_text(
+            "[a](#section) [b](https://example.com/x) [c](mailto:x@y.z)\n"
+        )
+        assert check_docs.main([str(ok)]) == 0
+
+    def test_failing_doctest_detected(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("```python doctest\n>>> 1 + 1\n3\n```\n")
+        assert check_docs.main([str(bad)]) == 1
+
+    def test_plain_python_blocks_not_executed(self, tmp_path):
+        ok = tmp_path / "ok.md"
+        ok.write_text("```python\nraise RuntimeError('prose only')\n```\n")
+        assert check_docs.main([str(ok)]) == 0
+
+    def test_links_inside_code_blocks_ignored(self, tmp_path):
+        ok = tmp_path / "ok.md"
+        ok.write_text("```\n[fake](not/a/real/path.md)\n```\n")
+        assert check_docs.main([str(ok)]) == 0
+
+    def test_cli_entrypoint(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "failures" in proc.stdout

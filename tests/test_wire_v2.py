@@ -1,0 +1,446 @@
+"""The v2 frame-delivery layer: quantization, deltas, subscriptions.
+
+Property tests (hypothesis) for the codecs, unit tests for the frame
+store's encode-variant cache and digest history and for the degradation
+ladder, and socket-level interop tests pinning the compat contract of
+docs/network.md:
+
+* decode(encode(frame)) is bit-exact for v1/delta entries and inside the
+  advertised error bound for quantized ones;
+* a delta against a lost/forgotten ack resyncs via keyframe;
+* an old-format (v1) client sees byte-identical frames against the v2
+  server, and a new client degrades gracefully against an old server.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import ToolSettings, WindtunnelClient, WindtunnelServer
+from repro.core.framestore import (
+    EncodingCache,
+    FrameStore,
+    PublishedFrame,
+    encode_paths,
+    encode_published,
+)
+from repro.core.governor import DEGRADATION_LADDER, DegradationPolicy
+from repro.dlib.protocol import (
+    DlibProtocolError,
+    decode_path_entry,
+    decode_value,
+    dequantize_points,
+    encode_value,
+    quantization_error_bound,
+    quantize_points,
+)
+from repro.flow import MemoryDataset, RigidRotation, UniformFlow, sample_on_grid
+from repro.grid import cartesian_grid
+from repro.netsim import BandwidthSchedule
+from tests import wait_until
+
+# -- codec properties ---------------------------------------------------------
+
+point_arrays = arrays(
+    dtype=np.float32,
+    shape=st.tuples(
+        st.integers(0, 4), st.integers(0, 20), st.just(3)
+    ),
+    elements=st.floats(-1e4, 1e4, width=32),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(point_arrays)
+def test_quantize_roundtrip_within_bound(vertices):
+    payload = quantize_points(vertices)
+    back = dequantize_points(payload)
+    assert back.shape == vertices.shape
+    assert back.dtype == np.float32
+    bound = quantization_error_bound(payload)
+    err = np.abs(back.astype(np.float64) - vertices.astype(np.float64))
+    assert err.size == 0 or float(err.max()) <= bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(point_arrays)
+def test_quantized_payload_survives_the_wire(vertices):
+    payload = quantize_points(vertices)
+    decoded = decode_value(encode_value(payload))
+    np.testing.assert_array_equal(decoded["q"], payload["q"])
+    np.testing.assert_array_equal(decoded["scale"], payload["scale"])
+    np.testing.assert_array_equal(decoded["offset"], payload["offset"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_arrays)
+def test_f16_entry_decodes_to_float32(vertices):
+    entry = {
+        "kind": "streamline",
+        "vertices": np.ascontiguousarray(vertices, dtype=np.float16),
+        "lengths": np.full(vertices.shape[0], vertices.shape[1], dtype=np.int64),
+    }
+    decoded = decode_path_entry(decode_value(encode_value(entry)))
+    assert decoded["vertices"].dtype == np.float32
+    err = np.abs(
+        decoded["vertices"].astype(np.float64) - vertices.astype(np.float64)
+    )
+    # float16 relative error: ~2^-11 of the magnitude.
+    if err.size:
+        tol = 1e-3 * max(1.0, float(np.abs(vertices).max()))
+        assert float(err.max()) <= tol
+
+
+def test_quantize_rejects_bad_shape():
+    with pytest.raises(DlibProtocolError):
+        quantize_points(np.zeros((4, 2), dtype=np.float32))
+    with pytest.raises(DlibProtocolError):
+        dequantize_points({"q": np.zeros((1, 3))})
+
+
+def test_decode_path_entry_rejects_malformed():
+    with pytest.raises(DlibProtocolError):
+        decode_path_entry({"kind": "streamline", "lengths": [1]})
+    with pytest.raises(DlibProtocolError):
+        decode_path_entry("not a dict")
+
+
+# -- encode-once frame store --------------------------------------------------
+
+
+class _Result:
+    """Stand-in tracer result with the wire_arrays() contract."""
+
+    def __init__(self, seed: int, n_seeds: int = 3, length: int = 5) -> None:
+        rng = np.random.default_rng(seed)
+        self._v = np.ascontiguousarray(
+            rng.uniform(-5, 5, (n_seeds, length, 3)).astype(np.float32)
+        )
+        self._l = np.full(n_seeds, length, dtype=np.int64)
+        self._v.setflags(write=False)
+        self._l.setflags(write=False)
+
+    def wire_arrays(self):
+        return self._v, self._l
+
+
+def _frame(results: dict, seq: int = 0) -> PublishedFrame:
+    kinds = {rid: "streamline" for rid in results}
+    enc = encode_published(kinds, results)
+    return PublishedFrame(
+        version=1,
+        timestep=0,
+        seq=seq,
+        paths=enc.paths,
+        paths_wire=enc.wire,
+        compute_seconds=0.0,
+        n_points=enc.n_points,
+        digests=enc.digests,
+        rake_fragments=enc.fragments,
+    )
+
+
+def test_composed_wire_is_byte_identical_to_direct_encode():
+    """Fragment concatenation == single-shot encode: the v1 compat pin."""
+    results = {1: _Result(1), 2: _Result(2), 7: _Result(7)}
+    kinds = {rid: "streamline" for rid in results}
+    paths, wire, n_points = encode_paths(kinds, results)
+    assert wire.data == encode_value(paths)
+    frame = _frame(results)
+    full = frame.compose(list(frame.paths))
+    assert full.data == wire.data
+
+
+def test_compose_subset_matches_direct_subset_encode():
+    results = {1: _Result(1), 2: _Result(2), 3: _Result(3)}
+    frame = _frame(results)
+    subset = frame.compose(["2"])
+    assert subset.data == encode_value({"2": frame.paths["2"]})
+
+
+def test_digests_identify_identical_geometry():
+    a = encode_published({1: "streamline"}, {1: _Result(5)})
+    b = encode_published({1: "streamline"}, {1: _Result(5)})
+    c = encode_published({1: "streamline"}, {1: _Result(6)})
+    assert a.digests["1"] == b.digests["1"]
+    assert a.digests["1"] != c.digests["1"]
+
+
+def test_encoding_cache_builds_each_variant_once():
+    frame = _frame({1: _Result(1)})
+    cache = frame.enc_cache
+    first = cache.entry(frame, "1", "q16", 1)
+    again = cache.entry(frame, "1", "q16", 1)
+    assert first == again
+    assert cache.misses == 1 and cache.hits == 1
+    # The prebuilt v1 variant is not a cache transaction at all.
+    cache.entry(frame, "1", "v1", 1)
+    assert cache.misses == 1 and cache.hits == 1
+
+
+def test_decimated_entry_keeps_every_nth_point():
+    frame = _frame({1: _Result(1, n_seeds=2, length=9)})
+    fragment = frame.compose(["1"], encoding="v1", decimate=3)
+    decoded = decode_value(fragment.data)["1"]
+    np.testing.assert_array_equal(
+        decoded["vertices"], frame.paths["1"]["vertices"][:, ::3, :]
+    )
+    assert list(decoded["lengths"]) == [3, 3]
+
+
+def test_cache_rejects_unknown_variant():
+    frame = _frame({1: _Result(1)})
+    with pytest.raises(ValueError):
+        frame.enc_cache.entry(frame, "1", "zstd", 1)
+    with pytest.raises(ValueError):
+        frame.enc_cache.entry(frame, "1", "v1", 0)
+
+
+def test_framestore_digest_history_is_bounded():
+    store = FrameStore(digest_history=3)
+    frames = [_frame({1: _Result(i)}) for i in range(5)]
+    stamped = [store.publish(f) for f in frames]
+    assert [f.seq for f in stamped] == [1, 2, 3, 4, 5]
+    assert store.digests_at(1) is None  # evicted
+    assert store.digests_at(2) is None
+    for f in stamped[2:]:
+        assert store.digests_at(f.seq) == f.digests
+    assert store.digests_at(99) is None
+
+
+# -- degradation ladder -------------------------------------------------------
+
+
+def test_degradation_escalates_and_recovers_with_hysteresis():
+    p = DegradationPolicy(target_fps=8.0, alpha=1.0, hold_frames=0)
+    p.note_send(100_000, 0.0)  # 100 kB frames -> needs 800 kB/s
+    p.note_reported(200_000.0)  # quarter of what is needed
+    assert p.level == 1
+    for _ in range(10):
+        p.note_reported(200_000.0)
+    assert p.level == len(DEGRADATION_LADDER) - 1  # clamped at the bottom
+    for _ in range(10):
+        p.note_reported(50e6)  # link recovers
+    assert p.level == 0
+    assert p.escalations >= 1 and p.recoveries >= 1
+
+
+def test_degradation_hold_frames_prevent_flapping():
+    p = DegradationPolicy(target_fps=8.0, alpha=1.0, hold_frames=3)
+    p.note_send(100_000, 0.0)
+    p.note_reported(100_000.0)
+    assert p.level == 1
+    # Within the hold-down window nothing moves, however bad the signal.
+    p.note_reported(1_000.0)
+    p.note_reported(1_000.0)
+    p.note_reported(1_000.0)
+    assert p.level == 1
+    p.note_reported(1_000.0)
+    assert p.level == 2
+
+
+def test_degradation_plan_never_upgrades_client_choice():
+    p = DegradationPolicy()
+    assert p.plan("q16", 2) == ("q16", 2)  # rung 0 keeps negotiated settings
+    p.level = 2  # q16 + decimate 2
+    assert p.plan("v1", 1) == ("q16", 2)
+    assert p.plan("f16", 4) == ("f16", 4)  # client encoding and coarser
+    assert p.plan("q16", 1) == ("q16", 2)  # decimation stack
+
+
+def test_bandwidth_schedule_steps():
+    sched = BandwidthSchedule([(0.0, 13e6), (2.0, 1e6)])
+    assert sched.bandwidth_at(0.0) == 13e6
+    assert sched.bandwidth_at(1.999) == 13e6
+    assert sched.bandwidth_at(2.0) == 1e6
+    assert sched.bandwidth_at(100.0) == 1e6
+    with pytest.raises(ValueError):
+        BandwidthSchedule([])
+    with pytest.raises(ValueError):
+        BandwidthSchedule([(1.0, 1e6)])  # must start at t=0
+    with pytest.raises(ValueError):
+        BandwidthSchedule([(0.0, 0.0)])
+
+
+# -- end-to-end interop over real sockets ------------------------------------
+
+
+def _make_dataset(n_times=6):
+    grid = cartesian_grid((9, 9, 5), lo=(0, 0, 0), hi=(8, 8, 4))
+    field = RigidRotation(omega=[0, 0, 0.5], center=[4, 4, 0]) + UniformFlow(
+        [0.1, 0, 0]
+    )
+    vel = sample_on_grid(field, grid, np.arange(n_times) * 0.2, dtype=np.float64)
+    return MemoryDataset(grid, vel, dt=0.2)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return _make_dataset()
+
+
+@pytest.fixture()
+def server(dataset):
+    clock = {"now": 0.0}
+    srv = WindtunnelServer(
+        dataset,
+        settings=ToolSettings(streamline_steps=16, streakline_length=6),
+        time_speed=1.0,
+        time_fn=lambda: clock["now"],
+    )
+    srv._test_clock = clock
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestInterop:
+    def test_v1_client_sees_pre_subscription_bytes(self, server):
+        """An unsubscribed client's frame is the pre-PR encoding verbatim."""
+        with WindtunnelClient(*server.address, name="v1") as c:
+            c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+            state = c.fetch_frame()
+            assert "v2" not in state
+            frame = server.store.latest()
+            # The served fragment is exactly the old single-shot encode.
+            assert frame.paths_wire.data == encode_value(frame.paths)
+            for rid, entry in state["paths"].items():
+                np.testing.assert_array_equal(
+                    entry["vertices"], frame.paths[rid]["vertices"]
+                )
+                assert entry["vertices"].dtype == np.float32
+
+    def test_subscribe_then_delta_cycle(self, server):
+        with WindtunnelClient(*server.address, name="v2") as c:
+            for i in range(3):
+                c.add_rake([1 + i, 1, 1], [1 + i, 7, 3], n_seeds=5)
+            baseline = c.fetch_frame()
+            info = c.subscribe(encoding="q16", deltas=True)
+            assert info["enabled"] and info["encoding"] == "q16"
+            key = c.fetch_frame()  # keyframe under the new terms
+            assert key["v2"]["mode"] == "keyframe"
+            assert set(key["paths"]) == set(baseline["paths"])
+            again = c.fetch_frame()  # same publication -> empty delta
+            assert again["v2"]["mode"] == "delta"
+            assert set(again["paths"]) == set(baseline["paths"])
+            bound = 1e-3  # the acceptance bound, docs/network.md
+            for rid, entry in again["paths"].items():
+                ref = baseline["paths"][rid]["vertices"].astype(np.float64)
+                err = np.abs(entry["vertices"].astype(np.float64) - ref)
+                assert float(err.max()) <= bound
+
+    def test_unchanged_rakes_are_bit_exact_across_delta(self, server):
+        """A delta omits unchanged rakes; the client's held copy is the
+        keyframe's bytes — bit-exact, not re-quantized."""
+        with WindtunnelClient(*server.address, name="delta") as c:
+            c.time_control("pause")
+            stable = c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+            c.add_rake([4, 1, 1], [4, 7, 3], n_seeds=5)
+            c.subscribe(encoding="v1", deltas=True)
+            key = c.fetch_frame()
+            held_before = key["paths"][str(stable)]["vertices"]
+            c.add_rake([6, 1, 1], [6, 7, 3], n_seeds=5)  # scene change
+            nxt = c.fetch_frame()
+            assert nxt["v2"]["mode"] == "delta"
+            assert held_before is nxt["paths"][str(stable)]["vertices"]
+
+    def test_delta_resync_after_lost_ack(self, server):
+        """An ack outside the digest history falls back to a keyframe."""
+        with WindtunnelClient(*server.address, name="resync") as c:
+            c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+            c.subscribe(deltas=True)
+            c.fetch_frame()
+            # Simulate a client whose ack refers to a frame the server no
+            # longer remembers (dropped response / long partition).
+            with c._state_lock:
+                c._acked_seq = 10_000
+            state = c.fetch_frame()
+            assert state["v2"]["mode"] == "keyframe"
+            assert c._acked_seq == state["v2"]["seq"]
+
+    def test_client_base_mismatch_resets_ack(self, server):
+        with WindtunnelClient(*server.address, name="mismatch") as c:
+            c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+            c.subscribe(deltas=True)
+            c.fetch_frame()
+            held = dict(c._held_paths)
+            # A delta against a base we do not hold must not be merged.
+            bogus = {
+                "timestep": 0,
+                "paths": {},
+                "env": {},
+                "cached": True,
+                "v2": {
+                    "seq": 99,
+                    "mode": "delta",
+                    "base": 12345,
+                    "encoding": "v1",
+                    "decimate": 1,
+                    "removed": [],
+                },
+            }
+            out = c._integrate_v2(bogus)
+            assert c._acked_seq == 0  # next fetch resyncs
+            assert set(out["paths"]) == set(held)
+            state = c.fetch_frame()
+            assert state["v2"]["mode"] == "keyframe"
+
+    def test_interest_subscription_filters_rakes(self, server):
+        with WindtunnelClient(*server.address, name="subset") as c:
+            want = c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+            c.add_rake([4, 1, 1], [4, 7, 3], n_seeds=5)
+            c.subscribe(rakes=[want])
+            state = c.fetch_frame()
+            assert set(state["paths"]) == {str(want)}
+            # A second, unsubscribed client still sees everything.
+            with WindtunnelClient(*server.address, name="all") as c2:
+                full = c2.fetch_frame()
+                assert len(full["paths"]) == 2
+
+    def test_unsubscribe_restores_v1_path(self, server):
+        with WindtunnelClient(*server.address, name="undo") as c:
+            c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+            c.subscribe(encoding="q16")
+            assert "v2" in c.fetch_frame()
+            c.unsubscribe()
+            state = c.fetch_frame()
+            assert "v2" not in state
+            assert state["paths"]["1"]["vertices"].dtype == np.float32
+
+    def test_new_client_against_old_server_falls_back(self, server):
+        """A server without wt.subscribe (pre-v2) degrades gracefully."""
+        with WindtunnelClient(*server.address, name="fallback") as c:
+            c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+            del server.dlib._procedures["wt.subscribe"]
+            try:
+                info = c.subscribe(encoding="q16")
+                assert info == {"enabled": False, "supported": False}
+                assert c.subscription is None
+                state = c.fetch_frame()  # plain v1 cycle keeps working
+                assert "v2" not in state and len(state["paths"]) == 1
+            finally:
+                server.dlib.register("wt.subscribe", server._rpc_subscribe)
+
+    def test_leave_clears_subscription(self, server):
+        c = WindtunnelClient(*server.address, name="leaver")
+        c.subscribe()
+        cid = c.client_id
+        assert cid in server._subs
+        c.close()
+        wait_until(lambda: cid not in server._subs)
+
+    def test_net_metrics_surface_through_obs(self, server):
+        with WindtunnelClient(*server.address, name="metrics") as c:
+            c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+            c.subscribe(encoding="q16", adaptive=True)
+            c.fetch_frame()
+            c.fetch_frame()
+            snap = c.metrics()["registry"]
+            assert snap["counters"]["net.keyframes"] >= 1
+            assert snap["counters"]["net.delta_frames"] >= 1
+            assert 0.0 < snap["gauges"]["net.delta_ratio"] < 1.0
+            assert snap["histograms"]["net.bytes_per_frame"]["count"] >= 2
+            assert "net.encode_cache_hits" in snap["counters"]
+            assert f"net.degradation.{c.client_id}.level" in snap["gauges"]
