@@ -124,18 +124,72 @@ def bench_table3(dataset, backends: list[str], workers: int) -> dict:
     return out
 
 
+def record_gateway(output: Path) -> int:
+    """Run the BENCH_6 gateway capacity scenario, emit BENCH_6.json.
+
+    The live measurement lives in :mod:`benchmarks.gateway_scenario`
+    (shared with ``benchmarks/test_gateway_capacity.py``); this entry
+    adds host provenance and the smoke gates for CI.
+    """
+    from gateway_scenario import RECOVERY_DEADLINE, run_capacity_scenario
+
+    result = run_capacity_scenario()
+    result["host"] = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    rec = result["recovery"]
+    peak = result["throughput"][-1]
+    print(f"frame service {result['frame_seconds'] * 1e3:8.2f} ms")
+    print(f"route hop     {result['route_overhead_seconds'] * 1e3:8.2f} ms")
+    print(
+        f"aggregate     {peak['aggregate_fps']:8.1f} fps"
+        f"  ({peak['sessions']} sessions, {result['n_workers']} workers)"
+    )
+    print(
+        f"kill recovery {rec['rto_seconds']:8.2f} s"
+        f"   ({rec['sessions_on_victim']} sessions resumed)"
+    )
+    print(f"wrote {output}")
+    if rec["rto_seconds"] >= RECOVERY_DEADLINE:
+        print("FAIL: worker recovery blew the deadline", file=sys.stderr)
+        return 1
+    if rec["sessions_recovered"] != rec["sessions_on_victim"]:
+        print("FAIL: recovered sessions do not reconcile", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
         type=Path,
-        default=Path(__file__).parent / "output" / "BENCH_4.json",
+        default=None,
+        help="result path (default: output/BENCH_4.json, or BENCH_6.json "
+        "with --gateway)",
     )
     parser.add_argument(
         "--skip-table3", action="store_true",
         help="record only the fused-frame scenario",
     )
+    parser.add_argument(
+        "--gateway", action="store_true",
+        help="record the BENCH_6 gateway capacity/recovery scenario instead",
+    )
     args = parser.parse_args(argv)
+    if args.gateway:
+        return record_gateway(
+            args.output
+            if args.output is not None
+            else Path(__file__).parent / "output" / "BENCH_6.json"
+        )
+    if args.output is None:
+        args.output = Path(__file__).parent / "output" / "BENCH_4.json"
 
     shape = (16, 16, 8) if FAST else (32, 32, 16)
     dataset = tapered_cylinder_dataset(shape=shape, n_timesteps=2, dt=0.25)

@@ -31,6 +31,7 @@ from repro.core import (
     WindtunnelClient,
     WindtunnelServer,
 )
+from repro.gateway import SessionGateway
 from repro.flow import (
     DiskDataset,
     MemoryDataset,
@@ -55,6 +56,7 @@ __version__ = "1.0.0"
 __all__ = [
     "WindtunnelServer",
     "WindtunnelClient",
+    "SessionGateway",
     "Environment",
     "ComputeEngine",
     "ToolSettings",

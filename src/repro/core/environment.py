@@ -154,10 +154,22 @@ class Environment:
 
     # -- rakes -----------------------------------------------------------------
 
-    def add_rake(self, rake: Rake) -> int:
+    def add_rake(self, rake: Rake, *, rake_id: int | None = None) -> int:
+        """Add a rake; returns its id.
+
+        ``rake_id`` forces a specific id — crash recovery re-seats
+        journaled rakes under the ids the clients already hold, so their
+        references cannot dangle across a worker respawn.  The id counter
+        is advanced past any forced id; forcing an occupied id raises.
+        """
         with self.lock:
-            rake_id = self._next_rake_id
-            self._next_rake_id += 1
+            if rake_id is None:
+                rake_id = self._next_rake_id
+            else:
+                rake_id = int(rake_id)
+                if rake_id in self.rakes:
+                    raise ValueError(f"rake id {rake_id} is already in use")
+            self._next_rake_id = max(self._next_rake_id, rake_id) + 1
             rake.rake_id = rake_id
             self.rakes[rake_id] = rake
             self._bump()

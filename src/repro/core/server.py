@@ -73,8 +73,16 @@ class WindtunnelServer:
         Session lease term: a client silent this long (measured on
         ``time_fn``) is reaped — its seat vacated, its rake locks
         released — but can resume via ``wt.rejoin`` with its token.
+    lease_retain_seconds
+        How long a reaped lease stays resumable before it is evicted
+        outright (default: 10x the lease term) — the bound on what a
+        churn of ghost clients can cost in memory.
     reap_interval
         How often the reaper sweep runs on the dlib service thread.
+    allow_chaos
+        Register the ``wt.chaos_hang`` fault-injection procedure (test
+        harnesses only — it deliberately stalls the service loop so
+        supervisors can be shown to detect hung workers).
     registry
         The :class:`~repro.obs.registry.MetricsRegistry` every subsystem
         (dlib server, pipeline, frame store, governor) records into; a
@@ -99,7 +107,9 @@ class WindtunnelServer:
         stage_cost: dict | None = None,
         frame_wait: float = 10.0,
         lease_seconds: float = 30.0,
+        lease_retain_seconds: float | None = None,
         reap_interval: float = 1.0,
+        allow_chaos: bool = False,
         registry: MetricsRegistry | None = None,
     ) -> None:
         self.dataset = dataset
@@ -141,8 +151,12 @@ class WindtunnelServer:
         self._net_send_gauge = self.registry.gauge("net.send_throughput")
         self._iso_cache_key: tuple | None = None
         self._iso_cache: dict | None = None
-        self.sessions = SessionTable(lease_seconds, time_fn=time_fn)
+        self.sessions = SessionTable(
+            lease_seconds, retain_seconds=lease_retain_seconds, time_fn=time_fn
+        )
         self.reaped_rake_locks = 0
+        self.allow_chaos = bool(allow_chaos)
+        self._frame_budget = 0.125  # section 1.2's 1/8 s interaction budget
         self.dlib = DlibServer(host, port, registry=self.registry)
         self.dlib.on_sent = self._on_sent
         self.dlib.add_tick(self._reap_tick, interval=reap_interval)
@@ -204,6 +218,14 @@ class WindtunnelServer:
         reg("wt.metrics", self._rpc_metrics)
         reg("wt.set_tool_settings", self._rpc_set_tool_settings)
         reg("wt.isosurface", self._rpc_isosurface)
+        # Gateway support (docs/operations.md): seat a session under a
+        # caller-chosen identity, rebuild a journaled environment after a
+        # respawn, and answer cheap supervisor health probes.
+        reg("wt.adopt", self._rpc_adopt)
+        reg("wt.restore", self._rpc_restore)
+        reg("wt.health", self._rpc_health)
+        if self.allow_chaos:
+            reg("wt.chaos_hang", self._rpc_chaos_hang)
 
     # -- procedures (ctx is the dlib ServerContext; unused by design: all ----
     # -- windtunnel state lives in the Environment) ---------------------------
@@ -244,6 +266,104 @@ class WindtunnelServer:
         info["restored"] = restored
         return info
 
+    def _rpc_adopt(self, ctx, client_id: int, name: str = "", token: str = "") -> dict:
+        """Seat a session under a caller-chosen identity (gateway path).
+
+        The gateway mints globally unique client ids and resume tokens so
+        a session's identity survives the worker that happens to host it;
+        the worker simply honors them.  Adopting an occupied seat raises
+        (the gateway never reuses ids).
+        """
+        cid = int(client_id)
+        if self.sessions.get(cid) is not None or cid in self.env.users:
+            raise ValueError(f"client {cid} is already seated")
+        lease = self.sessions.open(cid, name, token=token or None)
+        self.env.restore_user(cid, name)
+        info = self._join_info(cid)
+        info["token"] = lease.token
+        return info
+
+    def _rpc_restore(self, ctx, state: dict) -> dict:
+        """Rebuild a journaled environment on a freshly spawned worker.
+
+        Crash recovery (docs/operations.md): the gateway's supervisor
+        replays the session journal — seats, resume tokens, rake layout
+        under the *original* rake ids, shared clock state, tool settings,
+        and v2 subscriptions — so clients resuming through ``wt.rejoin``
+        find the environment they left.  Grab locks are deliberately not
+        restored: a grab in flight at the crash is released, exactly as
+        if the holder had let go, and the user re-grabs.
+
+        Idempotent per entity: already-present sessions and rakes are
+        skipped, so a retried restore cannot duplicate state.
+        """
+        restored_sessions = restored_rakes = 0
+        for entry in state.get("sessions", []):
+            cid = int(entry["client_id"])
+            if self.sessions.get(cid) is None:
+                self.sessions.open(
+                    cid, entry.get("name", ""), token=entry.get("token") or None
+                )
+            if cid not in self.env.users:
+                self.env.restore_user(cid, entry.get("name", ""))
+                restored_sessions += 1
+            options = entry.get("subscription")
+            if options:
+                self._drop_subscriber(cid)
+                self._subs[cid] = self._make_sub(cid, dict(options))
+        for rid, rake_dict in (state.get("rakes") or {}).items():
+            rid = int(rid)
+            if rid not in self.env.rakes:
+                self.env.add_rake(Rake.from_dict(rake_dict), rake_id=rid)
+                restored_rakes += 1
+        settings = state.get("tool_settings")
+        if settings:
+            self._apply_tool_settings(dict(settings))
+        clock = state.get("clock")
+        if clock:
+            self.env.clock.restore(dict(clock), self._time_fn())
+        self.env.bump()
+        return {"sessions": restored_sessions, "rakes": restored_rakes}
+
+    def _rpc_health(self, ctx) -> dict:
+        """One cheap liveness + saturation probe (the supervisor's pulse).
+
+        Must stay light and lock-free: it runs on the service loop at the
+        supervisor's heartbeat interval, and a health check that can
+        block behind frame production would turn saturation into a false
+        crash verdict.  ``saturation`` is mean frame-compute cost over
+        the 1/8 s interaction budget, clipped to [0, 1]; the governor's
+        quality (< 1 when the budget loop is already degrading) is the
+        second signal the gateway's admission ladder feeds on.
+        """
+        return {
+            "sessions": self.sessions.active,
+            "users": len(self.env.users),
+            "rakes": len(self.env.rakes),
+            "clients_connected": ctx.clients_connected,
+            "frames_served": self.frames_served,
+            "publish_seq": self.store.seq,
+            "pipeline_alive": self.pipeline.alive,
+            "quality": self.governor.quality if self.governor else 1.0,
+            "compute_mean_seconds": self.compute_stats.mean,
+            "send_throughput": self._net_send_gauge.value,
+            "saturation": max(
+                0.0, min(1.0, self.compute_stats.mean / self._frame_budget)
+            ),
+        }
+
+    def _rpc_chaos_hang(self, ctx, seconds: float) -> dict:
+        """Fault injector: stall the service loop (``allow_chaos`` only).
+
+        Models a worker that is alive but wedged — the exact failure a
+        liveness deadline (as opposed to a process-exit check) exists to
+        catch.  The stall is capped so a typo cannot park a worker
+        forever.
+        """
+        seconds = min(max(float(seconds), 0.0), 60.0)
+        time.sleep(seconds)
+        return {"hung_seconds": seconds}
+
     def _rpc_heartbeat(self, ctx, client_id: int) -> dict:
         """Explicit liveness signal (normally piggybacked on any call)."""
         self.sessions.touch(int(client_id))
@@ -256,20 +376,40 @@ class WindtunnelServer:
         # leave) and a parting client must not be punished for that.
         cid = int(client_id)
         self.sessions.close(cid)
-        self._subs.pop(cid, None)
+        self._drop_subscriber(cid)
         if cid in self.env.users:
             self.env.remove_user(cid)
 
+    def _drop_subscriber(self, cid: int) -> None:
+        """Free every per-client delivery resource for ``cid``.
+
+        The v2 subscription entry, its adaptive degradation ladder, and
+        the ladder's per-client registry instruments all die with the
+        client — on clean leave and on lease expiry alike — so a churn
+        of short-lived clients costs nothing once they are gone.
+        """
+        sub = self._subs.pop(cid, None)
+        if sub is not None and sub.get("policy") is not None:
+            self.registry.remove_prefix(f"net.degradation.{cid}.")
+
     def _reap_tick(self, ctx) -> None:
-        """Reaper sweep (runs serialized on the dlib service thread)."""
+        """Reaper sweep (runs on the dlib service thread).
+
+        Holds the environment's context lock across the lock-table scan
+        and the removal: the tick is serialized against *procedures* but
+        not against the pipeline's producer thread or tests driving the
+        environment directly, so touching ``env.locks`` unlocked races
+        them (a concurrent grab/release mutates the dict mid-iteration).
+        """
         for lease in self.sessions.sweep():
             cid = lease.client_id
-            self._subs.pop(cid, None)
-            if cid in self.env.users:
-                self.reaped_rake_locks += sum(
-                    1 for owner in self.env.locks.values() if owner == cid
-                )
-                self.env.remove_user(cid)
+            self._drop_subscriber(cid)
+            with self.env.lock:
+                if cid in self.env.users:
+                    self.reaped_rake_locks += sum(
+                        1 for owner in self.env.locks.values() if owner == cid
+                    )
+                    self.env.remove_user(cid)
 
     def _rpc_update(self, ctx, client_id: int, head, hand, gesture: str) -> dict:
         self.sessions.touch(int(client_id))
@@ -524,8 +664,30 @@ class WindtunnelServer:
         self.sessions.touch(cid)
         options = dict(options or {})
         if not options.get("enabled", True):
-            self._subs.pop(cid, None)
+            self._drop_subscriber(cid)
             return {"enabled": False, "seq": self.store.seq}
+        self._drop_subscriber(cid)  # last-write-wins replaces prior state
+        sub = self._make_sub(cid, options)
+        self._subs[cid] = sub
+        return {
+            "enabled": True,
+            "seq": self.store.seq,
+            "encoding": sub["encoding"],
+            "deltas": sub["deltas"],
+            "decimate": sub["decimate"],
+            "adaptive": sub["adaptive"],
+            "rakes": None if sub["rakes"] is None else sorted(sub["rakes"]),
+            "kinds": None if sub["kinds"] is None else sorted(sub["kinds"]),
+        }
+
+    def _make_sub(self, cid: int, options: dict) -> dict:
+        """Validate subscription ``options`` into a live sub entry.
+
+        Shared by ``wt.subscribe`` and crash-recovery replay
+        (``wt.restore``), which rebuilds journaled subscriptions on a
+        respawned worker.  The normalized ``options`` are kept on the
+        entry so the subscription itself is journalable.
+        """
         encoding = str(options.get("encoding", "v1"))
         if encoding not in ENCODINGS:
             raise ValueError(
@@ -538,7 +700,7 @@ class WindtunnelServer:
         adaptive = bool(options.get("adaptive", False))
         rakes = options.get("rakes")
         kinds = options.get("kinds")
-        sub = {
+        return {
             "encoding": encoding,
             "decimate": decimate,
             "deltas": deltas,
@@ -552,17 +714,14 @@ class WindtunnelServer:
                 if adaptive
                 else None
             ),
-        }
-        self._subs[cid] = sub
-        return {
-            "enabled": True,
-            "seq": self.store.seq,
-            "encoding": encoding,
-            "deltas": deltas,
-            "decimate": decimate,
-            "adaptive": adaptive,
-            "rakes": None if rakes is None else sorted(sub["rakes"]),
-            "kinds": None if kinds is None else sorted(sub["kinds"]),
+            "options": {
+                "encoding": encoding,
+                "decimate": decimate,
+                "deltas": deltas,
+                "adaptive": adaptive,
+                "rakes": None if rakes is None else sorted(str(r) for r in rakes),
+                "kinds": None if kinds is None else sorted(str(k) for k in kinds),
+            },
         }
 
     def _on_sent(self, name: str, nbytes: int, seconds: float) -> None:
@@ -608,6 +767,11 @@ class WindtunnelServer:
         self.sessions.touch(int(client_id))
         if int(client_id) not in self.env.users:
             raise KeyError(f"no such client {client_id}")
+        return self._apply_tool_settings(settings)
+
+    def _apply_tool_settings(self, settings: dict) -> dict:
+        """Validate and apply shared tracer settings; returns the full
+        effective set (also the shape journaled for crash recovery)."""
         allowed = {
             "streamline_steps": int,
             "streamline_dt": float,
@@ -681,6 +845,7 @@ class WindtunnelServer:
             "active_sessions": self.sessions.active,
             "reaped_sessions": self.sessions.reaped_total,
             "resumed_sessions": self.sessions.resumed_total,
+            "evicted_sessions": self.sessions.evicted_total,
             "released_rake_locks": self.reaped_rake_locks,
             "disconnects": ctx.disconnects,
             "protocol_errors": ctx.protocol_errors,

@@ -59,17 +59,30 @@ class SessionTable:
         self,
         lease_seconds: float = 30.0,
         *,
+        retain_seconds: float | None = None,
         time_fn: Callable[[], float] = time.monotonic,
         token_fn: Callable[[], str] | None = None,
     ) -> None:
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
         self.lease_seconds = float(lease_seconds)
+        #: How long a *reaped* lease stays resumable before it is evicted
+        #: outright.  Without eviction every ghost client that never says
+        #: ``wt.leave`` would grow the table forever; with it the resume
+        #: window is bounded and churned clients cost nothing after
+        #: ``lease_seconds + retain_seconds``.
+        self.retain_seconds = (
+            10.0 * self.lease_seconds if retain_seconds is None
+            else float(retain_seconds)
+        )
+        if self.retain_seconds < 0:
+            raise ValueError("retain_seconds must be non-negative")
         self._time_fn = time_fn
         self._token_fn = token_fn or (lambda: secrets.token_hex(8))
         self._leases: dict[int, SessionLease] = {}
         self.reaped_total = 0
         self.resumed_total = 0
+        self.evicted_total = 0
 
     def __len__(self) -> int:
         return len(self._leases)
@@ -83,12 +96,21 @@ class SessionTable:
         """The lease for ``client_id``, or ``None``."""
         return self._leases.get(client_id)
 
-    def open(self, client_id: int, name: str = "") -> SessionLease:
-        """Start a lease for a freshly joined client."""
+    def open(
+        self, client_id: int, name: str = "", *, token: str | None = None
+    ) -> SessionLease:
+        """Start a lease for a freshly joined client.
+
+        ``token`` lets a caller that already owns the session identity —
+        the gateway adopting a session onto a worker, or a recovery
+        replay re-seating journaled sessions — install its own resume
+        token instead of minting a fresh one, so the token the *client*
+        holds keeps working across worker generations.
+        """
         now = self._time_fn()
         lease = SessionLease(
             client_id=int(client_id),
-            token=self._token_fn(),
+            token=token if token else self._token_fn(),
             name=name,
             opened=now,
             last_seen=now,
@@ -140,8 +162,11 @@ class SessionTable:
     def sweep(self) -> list[SessionLease]:
         """Mark every newly expired lease reaped and return them.
 
-        The reaped lease stays in the table so the client can still
-        resume it; only ``wt.leave`` (or :meth:`close`) forgets it.
+        A reaped lease stays in the table so the client can still resume
+        it — but only for :attr:`retain_seconds` past its last sign of
+        life.  Beyond that the lease is evicted outright (the resume
+        token stops working) so a churn of ghost clients cannot grow the
+        table without bound.
         """
         now = self._time_fn()
         expired = [
@@ -152,4 +177,13 @@ class SessionTable:
         for lease in expired:
             lease.reaped = True
             self.reaped_total += 1
+        evict = [
+            cid
+            for cid, lease in self._leases.items()
+            if lease.reaped
+            and now - lease.last_seen > lease.lease_seconds + self.retain_seconds
+        ]
+        for cid in evict:
+            del self._leases[cid]
+            self.evicted_total += 1
         return expired

@@ -116,6 +116,20 @@ class TimeControl:
         self._reanchor(wall)
         self._anchor_pos += delta
 
+    def restore(self, snapshot: dict, wall: float) -> None:
+        """Re-anchor this clock to a :meth:`snapshot` taken elsewhere.
+
+        Crash recovery: a respawned worker restores the journaled clock
+        state so every client's shared flow time resumes where the dead
+        worker left it (modulo the outage itself — the clock does not
+        replay time that passed while nobody was serving).
+        """
+        self._speed = float(snapshot.get("speed", self._speed))
+        self._playing = bool(snapshot.get("playing", self._playing))
+        self.wrap = bool(snapshot.get("wrap", self.wrap))
+        self._anchor_pos = float(snapshot.get("position", 0.0))
+        self._anchor_wall = wall
+
     # -- wire ------------------------------------------------------------------
 
     def snapshot(self, wall: float) -> dict:

@@ -55,13 +55,30 @@ _MAX_STALE_RESPONSES = 32
 class DlibRemoteError(DlibError):
     """An exception raised inside a remote procedure.
 
-    Carries the remote type name and traceback text for diagnosis.
+    Carries the remote type name and traceback text for diagnosis, plus
+    any structured ``data`` the remote error shipped (typed errors like
+    ``RetryAfterError`` put machine-readable detail there — see
+    :attr:`retry_after`).
     """
 
-    def __init__(self, remote_type: str, message: str, remote_traceback: str = "") -> None:
+    def __init__(
+        self,
+        remote_type: str,
+        message: str,
+        remote_traceback: str = "",
+        data: dict | None = None,
+    ) -> None:
         super().__init__(f"{remote_type}: {message}")
         self.remote_type = remote_type
         self.remote_traceback = remote_traceback
+        self.data = data or {}
+
+    @property
+    def retry_after(self) -> float | None:
+        """Server-suggested backoff in seconds (typed ``RETRY_AFTER``
+        rejections), or ``None`` for ordinary remote errors."""
+        value = self.data.get("retry_after")
+        return None if value is None else float(value)
 
 
 @dataclass(frozen=True)
@@ -82,6 +99,17 @@ class RetryPolicy:
     max_delay: float = 2.0
     jitter: float = 0.25
     seed: int | None = None
+    #: Lifetime retry budget for the whole client: total re-issues it may
+    #: ever spend, across all calls.  ``None`` = unbounded (the pre-budget
+    #: behavior).  A dead server then costs at most ``budget`` retries
+    #: before every further call fails fast — the client stops feeding a
+    #: retry storm and surfaces the outage to its failover logic instead.
+    budget: int | None = None
+    #: Consecutive *failed calls* (every attempt exhausted) that trip the
+    #: circuit breaker.  ``None`` disables the breaker.
+    breaker_threshold: int | None = None
+    #: How long an open circuit rejects calls before allowing one probe.
+    breaker_cooldown: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -90,6 +118,12 @@ class RetryPolicy:
             raise ValueError("delays must be non-negative")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError("jitter must be a fraction in [0, 1]")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be non-negative")
 
     def delays(self) -> Iterable[float]:
         """Yield the sleep before each retry (``max_attempts - 1`` values)."""
@@ -148,6 +182,12 @@ class DlibClient:
     on_reconnect
         Callback ``fn(client)`` invoked after each successful reconnect —
         the hook for session resume handshakes.
+    failover
+        Additional stream factories forming an endpoint chain.  When the
+        retry policy's circuit breaker trips on the current endpoint the
+        client rotates to the next factory instead of opening the
+        circuit — a worker client fails over to the gateway rather than
+        retrying against a dead process forever.
     trace
         ``True`` stamps a fresh trace ID (strictly increasing per
         client) into every call's message header; the server replies
@@ -172,6 +212,7 @@ class DlibClient:
         retry: RetryPolicy | None = None,
         idempotent: Iterable[str] = (),
         on_reconnect: Callable[["DlibClient"], None] | None = None,
+        failover: Iterable[Callable[[], Stream]] = (),
         trace: bool = False,
         registry: MetricsRegistry | None = None,
     ) -> None:
@@ -179,7 +220,13 @@ class DlibClient:
             raise ValueError("provide host and port, a stream, or a stream_factory")
         if stream_factory is None and host is not None and port is not None:
             stream_factory = lambda: connect_tcp(host, port, timeout=timeout)  # noqa: E731
-        self._stream_factory = stream_factory
+        # Endpoint chain: the primary factory plus any failover factories.
+        # When the circuit breaker trips on the current endpoint the
+        # client rotates to the next one (a client of a windtunnel worker
+        # fails over to the gateway instead of hammering a corpse).
+        self._factories: list[Callable[[], Stream] | None] = [stream_factory]
+        self._factories += [f for f in failover if f is not None]
+        self._factory_index = 0
         if stream is not None:
             self._stream = stream
         else:
@@ -190,6 +237,10 @@ class DlibClient:
         self.on_reconnect = on_reconnect
         self.reconnects = 0
         self.retries = 0
+        self.retries_exhausted = 0
+        self.failovers = 0
+        self._breaker_failures = 0
+        self._breaker_open_until = 0.0
         self.last_error: BaseException | None = None
         self._request_ids = itertools.count(1)
         self._sleep = time.sleep
@@ -202,6 +253,16 @@ class DlibClient:
     @property
     def stream(self) -> Stream:
         return self._stream
+
+    @property
+    def _stream_factory(self) -> Callable[[], Stream] | None:
+        """The factory for the *current* endpoint in the failover chain."""
+        return self._factories[self._factory_index]
+
+    @property
+    def breaker_open(self) -> bool:
+        """Is the circuit breaker currently rejecting calls?"""
+        return time.monotonic() < self._breaker_open_until
 
     @property
     def stub(self) -> _Stub:
@@ -236,17 +297,37 @@ class DlibClient:
         :class:`RetryPolicy` configured, transport failures on procedures
         in :attr:`idempotent` reconnect (with backoff) and re-issue the
         call; everything else propagates on first failure.
+
+        The policy's ``budget`` caps total retries over the client's
+        lifetime and its circuit breaker fails calls fast (or rotates to
+        a ``failover`` endpoint) once ``breaker_threshold`` consecutive
+        calls have exhausted their attempts — a dead server costs a
+        bounded number of probes, not an unbounded retry storm.
         """
+        if self.retry is not None and self.retry.breaker_threshold is not None:
+            self._check_breaker()
         retryable = (
             self.retry is not None
             and self._stream_factory is not None
             and procedure in self.idempotent
         )
         if not retryable:
-            return self.call_once(procedure, *args, **kwargs)
+            try:
+                result = self.call_once(procedure, *args, **kwargs)
+            except RETRYABLE_ERRORS as exc:
+                self.last_error = exc
+                self._note_call_failure()
+                raise
+            self._breaker_failures = 0
+            return result
         delays = iter(self.retry.delays())
+        attempts = self.retry.max_attempts
+        if self.retry.budget is not None:
+            # Spend what is left of the lifetime budget, never less than
+            # the first (free) attempt.
+            attempts = 1 + max(0, min(attempts - 1, self.retry.budget - self.retries))
         last_exc: BaseException | None = None
-        for attempt in range(self.retry.max_attempts):
+        for attempt in range(attempts):
             if attempt:
                 self.retries += 1
                 self._sleep(next(delays, self.retry.max_delay))
@@ -256,10 +337,51 @@ class DlibClient:
                     last_exc = self.last_error = exc
                     continue
             try:
-                return self.call_once(procedure, *args, **kwargs)
+                result = self.call_once(procedure, *args, **kwargs)
             except RETRYABLE_ERRORS as exc:
                 last_exc = self.last_error = exc
+            else:
+                self._breaker_failures = 0
+                return result
+        self.retries_exhausted += 1
+        if self.registry is not None:
+            self.registry.counter("client.retries_exhausted").inc()
+        self._note_call_failure()
         raise last_exc
+
+    # -- circuit breaker + failover ------------------------------------------
+
+    def _check_breaker(self) -> None:
+        """Fail fast while the circuit is open (cooldown not yet lapsed).
+
+        After the cooldown the circuit half-opens: the next call runs as
+        a probe; success closes the circuit, failure re-opens it.
+        """
+        if time.monotonic() < self._breaker_open_until:
+            raise ConnectionError(
+                "circuit breaker open: endpoint declared dead for another "
+                f"{self._breaker_open_until - time.monotonic():.2f}s"
+            )
+
+    def _note_call_failure(self) -> None:
+        """One whole call failed (every attempt spent); maybe trip the breaker."""
+        if self.retry is None or self.retry.breaker_threshold is None:
+            return
+        self._breaker_failures += 1
+        if self._breaker_failures < self.retry.breaker_threshold:
+            return
+        self._breaker_failures = 0
+        if len(self._factories) > 1:
+            # Failover: rotate to the next endpoint instead of opening —
+            # the next call (or retry) reconnects through the new factory.
+            self._factory_index = (self._factory_index + 1) % len(self._factories)
+            self.failovers += 1
+            if self.registry is not None:
+                self.registry.counter("client.failovers").inc()
+            return
+        self._breaker_open_until = time.monotonic() + self.retry.breaker_cooldown
+        if self.registry is not None:
+            self.registry.counter("client.breaker_opened").inc()
 
     def call_once(self, procedure: str, *args, **kwargs):
         """One wire round-trip, no retries (see :meth:`call`)."""
@@ -320,6 +442,7 @@ class DlibClient:
                 result.get("type", "Exception"),
                 result.get("message", ""),
                 result.get("traceback", ""),
+                data=result.get("data"),
             )
         raise DlibProtocolError(f"unexpected message kind {kind}")
 

@@ -55,6 +55,7 @@ __all__ = [
     "DlibError",
     "DlibProtocolError",
     "DlibTimeoutError",
+    "RetryAfterError",
     "MessageKind",
     "PreEncoded",
     "TRACE_FLAG",
@@ -98,6 +99,29 @@ class DlibTimeoutError(DlibError, TimeoutError):
     the client when a call's deadline lapses; the call may or may not have
     executed remotely, so only idempotent calls are safe to retry.
     """
+
+
+class RetryAfterError(DlibError):
+    """A typed admission rejection: the server is shedding load.
+
+    Raised by a procedure (the gateway's admission controller) to refuse
+    work *fast* instead of queueing it into a collapse.  The server
+    dispatch ships :attr:`wire_data` in the ERROR payload, so across the
+    wire this arrives as remote type ``"RetryAfterError"`` with a machine
+    readable ``retry_after`` — the client should back off that many
+    seconds before asking again.  Distinct from a transport failure: the
+    service is up and answering; it is declining more load on purpose.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0, reason: str = "") -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+        self.reason = str(reason)
+
+    @property
+    def wire_data(self) -> dict:
+        """Structured detail spliced into the ERROR payload's ``data``."""
+        return {"retry_after": self.retry_after, "reason": self.reason}
 
 
 class MessageKind(IntEnum):

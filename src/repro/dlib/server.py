@@ -263,9 +263,13 @@ class DlibServer:
         service thread*, between client calls.
 
         Because ticks share the thread with call execution they are
-        serialized against every procedure — the windtunnel's session
-        reaper mutates the environment from a tick without any locking.
-        A tick that raises is dropped for that round, never the loop.
+        serialized against every *procedure* — but not against other
+        threads that touch the same state (the frame pipeline's producer,
+        or a test driving the environment directly), so a tick that
+        mutates shared state must still take that state's own lock (the
+        windtunnel's session reaper holds the environment lock for
+        exactly this reason).  A tick that raises is dropped for that
+        round, never the loop.
         """
         if interval <= 0:
             raise ValueError("tick interval must be positive")
@@ -487,14 +491,25 @@ class DlibServer:
                 response = encode_message(MessageKind.RESULT, request_id, result)
         except Exception as exc:  # noqa: BLE001 - faults must cross the wire
             self.context._errors.inc()
+            # An exception may claim a different wire-visible type via
+            # ``wire_type`` — how a proxy (the session gateway) re-raises
+            # a worker's error so the client sees the *original* type
+            # (``SessionExpiredError``), not the proxy's wrapper.
+            error = {
+                "type": getattr(exc, "wire_type", None) or type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }
+            # Typed errors (RetryAfterError and friends) carry structured
+            # detail in ``wire_data``; ship it so clients can act on the
+            # rejection (back off N seconds) instead of parsing prose.
+            data = getattr(exc, "wire_data", None)
+            if isinstance(data, dict):
+                error["data"] = data
             response = encode_message(
                 MessageKind.ERROR,
                 request_id,
-                {
-                    "type": type(exc).__name__,
-                    "message": str(exc),
-                    "traceback": traceback.format_exc(),
-                },
+                error,
                 trace_id=trace_id,
             )
         t0 = time.perf_counter()

@@ -1,0 +1,39 @@
+"""The fault-tolerant session gateway (docs/operations.md).
+
+One windtunnel process is one fault domain: a crash takes every session
+with it.  The gateway splits the deployment into a thin, stable routing
+front-end and a supervised pool of :class:`~repro.core.server.
+WindtunnelServer` worker processes:
+
+* :class:`SessionGateway` (:mod:`repro.gateway.router`) — accepts the
+  ordinary ``wt.*`` protocol and routes each session to its worker;
+  clients cannot tell they are not talking to a worker directly.
+* :class:`WorkerSupervisor` (:mod:`repro.gateway.supervisor`) — owns
+  worker lifecycle: spawn, heartbeat health checks with a liveness
+  deadline, crash/hang detection, respawn, and state restoration.
+* :class:`SessionJournal` (:mod:`repro.gateway.journal`) — the
+  checkpointed record of every session's recoverable state, replayed
+  into a fresh worker over ``wt.restore`` after a crash.
+* :class:`AdmissionController` (:mod:`repro.gateway.admission`) — per
+  worker session budgets, a global cap, and the saturation-driven
+  load-shedding ladder (serve -> reject new sessions -> throttle
+  frames), all rejections typed ``RETRY_AFTER``.
+"""
+
+from repro.gateway.admission import AdmissionController, ShedLevel
+from repro.gateway.journal import SessionJournal
+from repro.gateway.router import ForwardedError, SessionGateway
+from repro.gateway.supervisor import WorkerSupervisor
+from repro.gateway.worker import WorkerHandle, default_worker_spec, run_worker
+
+__all__ = [
+    "AdmissionController",
+    "ForwardedError",
+    "SessionGateway",
+    "SessionJournal",
+    "ShedLevel",
+    "WorkerHandle",
+    "WorkerSupervisor",
+    "default_worker_spec",
+    "run_worker",
+]

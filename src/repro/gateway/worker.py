@@ -1,0 +1,184 @@
+"""Worker processes: one windtunnel server per OS process.
+
+Process isolation is the fault boundary — a worker that segfaults, gets
+OOM-killed, or wedges takes only its own sessions down, and those come
+back via the journal.  The child entrypoint (:func:`run_worker`) builds
+its dataset from a plain picklable *spec* dict, starts an ordinary
+:class:`~repro.core.server.WindtunnelServer` on an ephemeral port, and
+reports the bound address back over a pipe; :class:`WorkerHandle` is the
+parent-side wrapper (spawn, liveness, graceful stop, SIGKILL).
+
+The ``fork`` start method is preferred when the platform offers it:
+respawn latency is part of the recovery time objective (see
+``repro.perf.capacity``), and forking skips a full interpreter boot and
+re-import.  ``spawn`` works too — the spec is self-contained.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from multiprocessing.connection import Connection
+
+__all__ = ["DEFAULT_SPEC", "WorkerHandle", "default_worker_spec", "run_worker"]
+
+#: Baseline worker spec: a small tapered-cylinder dataset that computes
+#: frames well inside the interaction budget, serial (non-pipelined)
+#: production for determinism under test, and a short frame wait so a
+#: routed call cannot park the gateway's service loop for long.
+DEFAULT_SPEC = {
+    "shape": (12, 12, 6),
+    "n_timesteps": 4,
+    "dt": 0.25,
+    "time_speed": 2.0,
+    "backend": "vector",
+    "workers": 2,
+    "pipelined": False,
+    "frame_wait": 5.0,
+    "lease_seconds": 30.0,
+    "reap_interval": 1.0,
+    "allow_chaos": False,
+}
+
+
+def default_worker_spec(**overrides) -> dict:
+    """A fresh copy of :data:`DEFAULT_SPEC` with ``overrides`` applied."""
+    spec = dict(DEFAULT_SPEC)
+    spec.update(overrides)
+    return spec
+
+
+def run_worker(spec: dict, conn: Connection) -> None:
+    """Child-process entrypoint: serve a windtunnel until told to stop.
+
+    Sends ``("ready", (host, port))`` once the server is listening, then
+    blocks on the pipe; any message (or the parent vanishing, surfacing
+    as ``EOFError``) shuts the server down.  Imports happen here, not at
+    module top, so a ``spawn``-start child pays them exactly once.
+    """
+    from repro.core.server import WindtunnelServer
+    from repro.flow.taperedcylinder import tapered_cylinder_dataset
+
+    dataset = tapered_cylinder_dataset(
+        shape=tuple(spec.get("shape", DEFAULT_SPEC["shape"])),
+        n_timesteps=int(spec.get("n_timesteps", DEFAULT_SPEC["n_timesteps"])),
+        dt=float(spec.get("dt", DEFAULT_SPEC["dt"])),
+    )
+    server = WindtunnelServer(
+        dataset,
+        host="127.0.0.1",
+        port=0,
+        backend=str(spec.get("backend", DEFAULT_SPEC["backend"])),
+        workers=int(spec.get("workers", DEFAULT_SPEC["workers"])),
+        time_speed=float(spec.get("time_speed", DEFAULT_SPEC["time_speed"])),
+        pipelined=bool(spec.get("pipelined", DEFAULT_SPEC["pipelined"])),
+        frame_wait=float(spec.get("frame_wait", DEFAULT_SPEC["frame_wait"])),
+        lease_seconds=float(
+            spec.get("lease_seconds", DEFAULT_SPEC["lease_seconds"])
+        ),
+        reap_interval=float(
+            spec.get("reap_interval", DEFAULT_SPEC["reap_interval"])
+        ),
+        allow_chaos=bool(spec.get("allow_chaos", DEFAULT_SPEC["allow_chaos"])),
+    )
+    server.start()
+    try:
+        conn.send(("ready", server.address))
+        try:
+            conn.recv()  # blocks until "stop" or the parent dies
+        except (EOFError, OSError):
+            pass
+    finally:
+        server.stop()
+
+
+def _mp_context(prefer: str | None = None) -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    if prefer and prefer in methods:
+        return multiprocessing.get_context(prefer)
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class WorkerHandle:
+    """Parent-side handle on one worker process.
+
+    Attributes
+    ----------
+    name
+        Stable pool slot name (``w0`` .. ``wN``) — identity survives
+        respawns; the process does not.
+    address
+        The worker's listening ``(host, port)``, fresh per incarnation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: dict,
+        process: multiprocessing.Process,
+        conn: Connection,
+        address: tuple[str, int],
+    ) -> None:
+        self.name = name
+        self.spec = spec
+        self.process = process
+        self.conn = conn
+        self.address = address
+
+    @classmethod
+    def spawn(
+        cls,
+        name: str,
+        spec: dict,
+        *,
+        ready_timeout: float = 30.0,
+        start_method: str | None = None,
+    ) -> "WorkerHandle":
+        """Start a worker process and wait for its listening address."""
+        ctx = _mp_context(start_method)
+        parent, child = ctx.Pipe()
+        process = ctx.Process(
+            target=run_worker, args=(spec, child), daemon=True,
+            name=f"wt-worker-{name}",
+        )
+        process.start()
+        child.close()
+        deadline = time.monotonic() + ready_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not process.is_alive() and not parent.poll():
+                process.kill()
+                raise TimeoutError(f"worker {name} did not become ready")
+            if parent.poll(min(remaining, 0.2)):
+                break
+        tag, address = parent.recv()
+        if tag != "ready":
+            process.kill()
+            raise RuntimeError(f"worker {name} sent {tag!r} instead of ready")
+        return cls(name, spec, process, parent, tuple(address))
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def kill(self) -> None:
+        """SIGKILL — the crash injector's hammer and the hang remedy."""
+        self.process.kill()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown; escalates to SIGKILL at the deadline."""
+        try:
+            self.conn.send("stop")
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout)
+        self.conn.close()

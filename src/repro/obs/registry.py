@@ -189,6 +189,24 @@ class MetricsRegistry:
             lambda n: Histogram(n, window),
         )
 
+    def remove_prefix(self, prefix: str) -> int:
+        """Drop every instrument whose name starts with ``prefix``.
+
+        Per-client instruments (``net.degradation.<cid>.*``) must die
+        with their client, or a server seeing connection churn grows its
+        registry without bound.  Returns how many instruments were
+        removed.  Holders of a removed instrument keep a working (but
+        orphaned) object; it simply stops appearing in snapshots.
+        """
+        removed = 0
+        with self._lock:
+            for table in (self._counters, self._gauges, self._histograms):
+                stale = [name for name in table if name.startswith(prefix)]
+                for name in stale:
+                    del table[name]
+                removed += len(stale)
+        return removed
+
     def snapshot(self) -> dict:
         """``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""
         with self._lock:

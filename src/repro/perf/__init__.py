@@ -25,10 +25,12 @@ from repro.perf.pipeline import (
     compare_to_model,
     simulate_pipeline,
 )
+from repro.perf.capacity import GatewayCapacityModel
 from repro.perf.profiling import ProfileReport, ProfileRow, profile_call
 from repro.perf.wire import SessionWireModel, frame_payload_bytes
 
 __all__ = [
+    "GatewayCapacityModel",
     "SessionWireModel",
     "frame_payload_bytes",
     "ProfileReport",

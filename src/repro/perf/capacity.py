@@ -1,0 +1,144 @@
+"""Sessions-per-worker capacity model for the gateway deployment.
+
+Three measured constants describe the whole topology (the same move as
+:mod:`repro.perf.pipeline`'s stage model — measure small, predict big):
+
+* ``frame_seconds`` — a worker's mean per-``wt.frame`` service time.
+  Workers serve serially, so a worker is a rate-1/``frame_seconds``
+  server shared by however many sessions sit on it.
+* ``route_overhead_seconds`` — the gateway's per-call forwarding cost
+  (decode + journal + re-encode).  The gateway loop is serial too, so
+  this bounds the *pool-wide* call rate no matter how many workers back
+  it.
+* ``respawn_seconds`` / ``restore_per_session_seconds`` — recovery cost:
+  process spawn-to-ready plus journal replay per seated session.  This
+  is the recovery time objective (RTO) every client of a killed worker
+  experiences as staleness.
+
+The model answers the three operator questions in docs/operations.md:
+how much total frame throughput a pool delivers, how many workers a
+target per-session rate needs, and how long a crash hurts.  The
+``BENCH_6`` benchmark (``benchmarks/test_gateway_capacity.py``) measures
+the constants live and checks the aggregate prediction against reality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GatewayCapacityModel"]
+
+
+@dataclass(frozen=True)
+class GatewayCapacityModel:
+    frame_seconds: float
+    route_overhead_seconds: float = 0.0
+    respawn_seconds: float = 0.0
+    restore_per_session_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frame_seconds <= 0:
+            raise ValueError("frame_seconds must be positive")
+        for name in (
+            "route_overhead_seconds",
+            "respawn_seconds",
+            "restore_per_session_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # -- throughput ---------------------------------------------------------
+
+    def worker_fps(self) -> float:
+        """One worker's total frame rate (shared by its sessions)."""
+        return 1.0 / self.frame_seconds
+
+    def session_fps(self, sessions_on_worker: int) -> float:
+        """Per-session frame rate with ``sessions_on_worker`` co-tenants.
+
+        A serial worker divides its service rate evenly among sessions
+        polling at full tilt — k tenants each see 1/k of the worker.
+        """
+        if sessions_on_worker < 1:
+            raise ValueError("need at least one session")
+        return self.worker_fps() / sessions_on_worker
+
+    def aggregate_fps(self, n_sessions: int, n_workers: int) -> float:
+        """Pool-wide frame throughput, sessions spread evenly.
+
+        Workers scale the compute side linearly; the serial gateway hop
+        caps the total at ``1 / route_overhead_seconds`` — the gateway
+        becomes the bottleneck once the pool outruns it.
+        """
+        if n_sessions < 1 or n_workers < 1:
+            raise ValueError("need at least one session and one worker")
+        busy_workers = min(n_sessions, n_workers)
+        compute_bound = busy_workers * self.worker_fps()
+        if self.route_overhead_seconds <= 0:
+            return compute_bound
+        return min(compute_bound, 1.0 / self.route_overhead_seconds)
+
+    def frame_latency(self, sessions_on_worker: int) -> float:
+        """Worst-case per-frame latency for one session: the gateway hop
+        plus a full queue of co-tenant frames ahead of it."""
+        if sessions_on_worker < 1:
+            raise ValueError("need at least one session")
+        return (
+            self.route_overhead_seconds
+            + sessions_on_worker * self.frame_seconds
+        )
+
+    # -- sizing -------------------------------------------------------------
+
+    def max_sessions_per_worker(self, target_session_fps: float) -> int:
+        """Largest co-tenancy that still meets ``target_session_fps``."""
+        if target_session_fps <= 0:
+            raise ValueError("target_session_fps must be positive")
+        return max(
+            1, int(math.floor(1.0 / (self.frame_seconds * target_session_fps)))
+        )
+
+    def workers_for(self, n_sessions: int, target_session_fps: float) -> int:
+        """Pool size needed for ``n_sessions`` at ``target_session_fps``."""
+        if n_sessions < 1:
+            raise ValueError("need at least one session")
+        per_worker = self.max_sessions_per_worker(target_session_fps)
+        return int(math.ceil(n_sessions / per_worker))
+
+    # -- recovery -----------------------------------------------------------
+
+    def recovery_time_objective(self, sessions_on_worker: int) -> float:
+        """Seconds from SIGKILL to every session serveable again."""
+        if sessions_on_worker < 0:
+            raise ValueError("sessions_on_worker must be non-negative")
+        return (
+            self.respawn_seconds
+            + sessions_on_worker * self.restore_per_session_seconds
+        )
+
+    # -- calibration --------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        frame_samples,
+        route_samples=(),
+        respawn_samples=(),
+        restore_per_session_samples=(),
+    ) -> "GatewayCapacityModel":
+        """Build a model from measured samples (means; empty = 0)."""
+
+        def mean(xs) -> float:
+            xs = list(xs)
+            return sum(xs) / len(xs) if xs else 0.0
+
+        frame = mean(frame_samples)
+        if frame <= 0:
+            raise ValueError("frame_samples must contain positive timings")
+        return cls(
+            frame_seconds=frame,
+            route_overhead_seconds=mean(route_samples),
+            respawn_seconds=mean(respawn_samples),
+            restore_per_session_seconds=mean(restore_per_session_samples),
+        )

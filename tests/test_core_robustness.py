@@ -1,6 +1,7 @@
 """Robustness and integration edge cases for the core system."""
 
 import socket
+import threading
 import time
 
 import numpy as np
@@ -377,3 +378,140 @@ class TestTimerBudgetAccounting:
                 assert "fetch" in c.timer.stages
             finally:
                 c.remove_rake(rid)
+
+
+def _unstarted_server(fake, **kw):
+    """A windtunnel with an injectable clock, driven without sockets.
+
+    The dlib loop never runs: tests call ``_rpc_*`` and ``_reap_tick``
+    directly, so lease expiry is a pure function of the fake clock.
+    """
+    kw.setdefault("lease_seconds", 1.0)
+    return WindtunnelServer(
+        make_dataset(),
+        settings=ToolSettings(streamline_steps=8),
+        pipelined=False,
+        time_fn=lambda: fake["t"],
+        **kw,
+    )
+
+
+class TestReaperRace:
+    """The reaper's sweep vs. threads mutating the environment (issue 6).
+
+    The sweep runs on the dlib service thread, which serializes it
+    against *procedures* — but not against the pipeline's producer or
+    anything else driving the environment directly.  It must therefore
+    hold ``env.lock`` across the lock-table scan and the user removal.
+    """
+
+    def test_sweep_holds_env_lock_across_removal(self):
+        fake = {"t": 0.0}
+        srv = _unstarted_server(fake)
+        cid = srv._rpc_join(None, "ghost")["client_id"]
+        held = []
+        real_remove = srv.env.remove_user
+
+        def spying_remove(client_id):
+            held.append(srv.env.lock._is_owned())
+            return real_remove(client_id)
+
+        srv.env.remove_user = spying_remove
+        fake["t"] = 5.0  # the lease lapses
+        srv._reap_tick(None)
+        assert held == [True], "reaper removed a user without env.lock"
+        assert cid not in srv.env.users
+
+    def test_sweep_races_concurrent_grab_release(self):
+        """Ghost reaping while another thread churns the grab table.
+
+        Unfixed, the sweep iterates ``env.locks`` unlocked and a
+        concurrent grab/release blows it up with ``RuntimeError: dict
+        changed size during iteration``.
+        """
+        from repro.tracers import Rake
+
+        fake = {"t": 0.0}
+        srv = _unstarted_server(fake)
+        resident = srv._rpc_join(None, "resident")["client_id"]
+        srv._rpc_add_rake(
+            None, resident, Rake([2, 2, 2], [2, 6, 2], n_seeds=4).to_dict()
+        )
+        stop = threading.Event()
+        errors = []
+
+        def churn_grabs():
+            while not stop.is_set():
+                try:
+                    srv.env.try_grab(resident, [2.0, 4.0, 2.0])
+                    srv.env.release(resident)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+                    return
+
+        t = threading.Thread(target=churn_grabs, daemon=True)
+        t.start()
+        try:
+            for n in range(30):
+                srv._rpc_join(None, f"ghost{n}")
+                fake["t"] += 2.0  # every ghost's lease lapses
+                srv.sessions.touch(resident)  # ...but the resident's renews
+                srv._reap_tick(None)
+        finally:
+            stop.set()
+            t.join(timeout=10)
+        assert errors == []
+        assert resident in srv.env.users
+        assert srv.sessions.reaped_total == 30
+
+
+class TestSubscriberChurn:
+    """Per-client delivery state must die with the client (issue 6)."""
+
+    def test_hundred_client_churn_leaves_nothing_behind(self):
+        fake = {"t": 0.0}
+        srv = _unstarted_server(fake, lease_retain_seconds=2.0)
+        for round_no in range(3):
+            cids = [
+                srv._rpc_join(None, f"churn{round_no}-{i}")["client_id"]
+                for i in range(100)
+            ]
+            for cid in cids:
+                srv._rpc_subscribe(
+                    None, cid, {"adaptive": True, "encoding": "f16"}
+                )
+            assert len(srv._subs) == 100
+            gauges = srv.registry.snapshot()["gauges"]
+            assert any(k.startswith("net.degradation.") for k in gauges)
+            # Half leave politely; half just vanish mid-session.
+            for cid in cids[:50]:
+                srv._rpc_leave(None, cid)
+            fake["t"] += 1.5  # ghosts' leases lapse
+            srv._reap_tick(None)
+            fake["t"] += 4.0  # reaped leases age past retention
+            srv._reap_tick(None)
+            assert srv._subs == {}
+            assert srv.env.users == {}
+        assert srv.sessions.active == 0
+        assert srv.sessions.reaped_total == 150
+        assert srv.sessions.evicted_total == 150
+        snapshot = srv.registry.snapshot()
+        leaked = [
+            key
+            for section in snapshot.values()
+            if isinstance(section, dict)
+            for key in section
+            if str(key).startswith("net.degradation.")
+        ]
+        assert leaked == []
+
+    def test_resubscribe_replaces_instruments_not_accretes(self):
+        fake = {"t": 0.0}
+        srv = _unstarted_server(fake)
+        cid = srv._rpc_join(None, "flapper")["client_id"]
+        for _ in range(5):
+            srv._rpc_subscribe(None, cid, {"adaptive": True})
+            srv._rpc_subscribe(None, cid, {"enabled": False})
+        gauges = srv.registry.snapshot()["gauges"]
+        assert not any(k.startswith("net.degradation.") for k in gauges)
+        assert srv._subs == {}

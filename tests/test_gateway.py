@@ -1,0 +1,467 @@
+"""The session gateway: journal, admission, capacity model, routing.
+
+Chaos (kill/hang recovery) lives in test_gateway_chaos.py; this file
+covers the deterministic pieces — unit behavior of the journal and the
+admission ladder, the capacity model's arithmetic, client-side retry
+budget / circuit breaker / failover, and plain multi-worker routing
+through a live gateway.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.dlib import DlibRemoteError, RetryPolicy
+from repro.dlib.client import DlibClient
+from repro.dlib.protocol import RetryAfterError
+from repro.dlib.server import DlibServer
+from repro.dlib.transport import connect_tcp
+from repro.gateway import (
+    AdmissionController,
+    SessionGateway,
+    SessionJournal,
+    ShedLevel,
+    default_worker_spec,
+)
+from repro.netsim import ProcessFaults
+from repro.obs import MetricsRegistry
+from repro.perf import GatewayCapacityModel
+
+
+class TestSessionJournal:
+    def test_join_routes_and_leave_forgets(self):
+        j = SessionJournal()
+        j.record_join("w0", 1, "alice", "tok1")
+        j.record_join("w1", 2, "bob", "tok2")
+        assert j.worker_of(1) == "w0" and j.worker_of(2) == "w1"
+        assert j.load() == {"w0": 1, "w1": 1}
+        assert j.total_sessions == 2
+        j.record_leave(1)
+        assert j.worker_of(1) is None
+        assert j.load()["w0"] == 0
+
+    def test_recovery_state_carries_everything(self):
+        j = SessionJournal()
+        j.record_join("w0", 1, "alice", "tok1")
+        j.record_subscribe(1, {"encoding": "f16", "deltas": True})
+        j.record_add_rake(1, 7, {"end_a": [0, 0, 0]})
+        j.record_clock("w0", {"position": 3.5, "playing": False})
+        j.record_tool_settings("w0", {"streamline_steps": 9})
+        state = j.recovery_state("w0")
+        assert state["sessions"][0]["token"] == "tok1"
+        assert state["sessions"][0]["subscription"]["encoding"] == "f16"
+        assert state["rakes"]["7"]["end_a"] == [0, 0, 0]
+        assert state["clock"]["playing"] is False
+        assert state["tool_settings"]["streamline_steps"] == 9
+
+    def test_removed_rake_leaves_recovery_state(self):
+        j = SessionJournal()
+        j.record_join("w0", 1, "a", "t")
+        j.record_add_rake(1, 5, {"k": 1})
+        j.record_remove_rake(5)
+        assert j.recovery_state("w0")["rakes"] == {}
+
+    def test_unknown_worker_recovers_to_empty(self):
+        state = SessionJournal().recovery_state("w9")
+        assert state["sessions"] == [] and state["rakes"] == {}
+
+    def test_checkpoint_survives_restart(self, tmp_path):
+        path = str(tmp_path / "journal.json")
+        j = SessionJournal(path)
+        j.record_join("w0", 1, "alice", "tok1")
+        j.record_add_rake(1, 3, {"end_a": [1, 2, 3]})
+        j.record_clock("w0", {"position": 1.0})
+        reloaded = SessionJournal(path)
+        assert reloaded.worker_of(1) == "w0"
+        state = reloaded.recovery_state("w0")
+        assert state["sessions"][0]["token"] == "tok1"
+        assert state["rakes"]["3"]["end_a"] == [1, 2, 3]
+
+
+class TestAdmissionController:
+    def make(self, **kw):
+        kw.setdefault("registry", MetricsRegistry())
+        return AdmissionController(**kw)
+
+    def test_places_least_loaded_ready_worker(self):
+        adm = self.make(max_sessions_per_worker=4)
+        load = {"w0": 3, "w1": 1, "w2": 2}
+        assert adm.place(load, ["w0", "w1", "w2"]) == "w1"
+        assert adm.place(load, ["w0", "w2"]) == "w2"
+
+    def test_worker_budget_refusal_is_typed(self):
+        adm = self.make(max_sessions_per_worker=2, retry_after=3.0)
+        with pytest.raises(RetryAfterError) as exc:
+            adm.place({"w0": 2}, ["w0"])
+        assert exc.value.retry_after == 3.0
+        assert exc.value.wire_data["reason"] == "worker_capacity"
+        assert adm.registry.snapshot()["counters"][
+            "gateway.admission.rejected"
+        ] == 1
+
+    def test_global_cap(self):
+        adm = self.make(max_sessions_per_worker=8, max_sessions_total=3)
+        with pytest.raises(RetryAfterError) as exc:
+            adm.place({"w0": 2, "w1": 1}, ["w0", "w1"])
+        assert exc.value.wire_data["reason"] == "global_capacity"
+
+    def test_ladder_escalates_and_clears_with_hysteresis(self):
+        adm = self.make()
+        assert adm.update({"w0": 0.2}) == ShedLevel.SERVE
+        assert adm.update({"w0": 0.9, "w1": 0.1}) == ShedLevel.REJECT_NEW
+        # Inside the hysteresis band: the level holds.
+        assert adm.update({"w0": 0.8}) == ShedLevel.REJECT_NEW
+        assert adm.update({"w0": 0.99}) == ShedLevel.THROTTLE
+        assert adm.update({"w0": 0.9}) == ShedLevel.THROTTLE
+        assert adm.update({"w0": 0.8}) == ShedLevel.REJECT_NEW
+        assert adm.update({"w0": 0.5}) == ShedLevel.SERVE
+
+    def test_shedding_rejects_new_sessions(self):
+        adm = self.make()
+        adm.update({"w0": 0.9})
+        with pytest.raises(RetryAfterError) as exc:
+            adm.place({"w0": 0}, ["w0"])
+        assert exc.value.wire_data["reason"] == "shedding"
+
+    def test_throttle_gates_frames_with_residual_wait(self):
+        clock = {"t": 0.0}
+        adm = self.make(min_frame_interval=0.5, time_fn=lambda: clock["t"])
+        adm.update({"w0": 1.0})  # THROTTLE
+        adm.admit_frame(1)  # first frame passes
+        clock["t"] = 0.2
+        with pytest.raises(RetryAfterError) as exc:
+            adm.admit_frame(1)
+        assert exc.value.retry_after == pytest.approx(0.3)
+        clock["t"] = 0.6
+        adm.admit_frame(1)  # interval elapsed
+        # Below THROTTLE the gate is wide open again.
+        adm.update({"w0": 0.1})
+        clock["t"] = 0.61
+        adm.admit_frame(1)
+
+    def test_note_leave_frees_throttle_state(self):
+        adm = self.make()
+        adm.update({"w0": 1.0})
+        adm.admit_frame(42)
+        adm.note_leave(42)
+        assert 42 not in adm._last_frame
+
+
+class TestGatewayCapacityModel:
+    def test_aggregate_scales_until_gateway_bound(self):
+        m = GatewayCapacityModel(
+            frame_seconds=0.02, route_overhead_seconds=0.005
+        )
+        assert m.aggregate_fps(2, 2) == pytest.approx(100.0)
+        # Eight workers could do 400 fps, but the serial gateway caps at
+        # 1 / route_overhead = 200.
+        assert m.aggregate_fps(16, 8) == pytest.approx(200.0)
+        # One session cannot use more than one worker.
+        assert m.aggregate_fps(1, 8) == pytest.approx(50.0)
+
+    def test_session_fps_divides_the_worker(self):
+        m = GatewayCapacityModel(frame_seconds=0.025)
+        assert m.session_fps(1) == pytest.approx(40.0)
+        assert m.session_fps(4) == pytest.approx(10.0)
+
+    def test_sizing(self):
+        m = GatewayCapacityModel(frame_seconds=0.02)
+        assert m.max_sessions_per_worker(target_session_fps=10.0) == 5
+        assert m.workers_for(12, target_session_fps=10.0) == 3
+
+    def test_recovery_time_objective(self):
+        m = GatewayCapacityModel(
+            frame_seconds=0.02,
+            respawn_seconds=0.8,
+            restore_per_session_seconds=0.05,
+        )
+        assert m.recovery_time_objective(4) == pytest.approx(1.0)
+
+    def test_frame_latency_counts_cotenants(self):
+        m = GatewayCapacityModel(
+            frame_seconds=0.02, route_overhead_seconds=0.01
+        )
+        assert m.frame_latency(3) == pytest.approx(0.07)
+
+    def test_fit_and_validation(self):
+        m = GatewayCapacityModel.fit([0.01, 0.03], [0.002], [1.0])
+        assert m.frame_seconds == pytest.approx(0.02)
+        assert m.respawn_seconds == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            GatewayCapacityModel(frame_seconds=0.0)
+        with pytest.raises(ValueError):
+            GatewayCapacityModel.fit([])
+
+
+class TestProcessFaults:
+    def test_choose_is_seeded(self):
+        a = ProcessFaults(seed=3)
+        b = ProcessFaults(seed=3)
+        victims = ["w0", "w1", "w2", "w3"]
+        seq_a = [a.choose(victims) for _ in range(8)]
+        seq_b = [b.choose(victims) for _ in range(8)]
+        assert seq_a == seq_b
+        with pytest.raises(ValueError):
+            a.choose([])
+
+    def test_kill_is_sigkill(self):
+        import multiprocessing
+
+        proc = multiprocessing.get_context().Process(
+            target=time.sleep, args=(60,), daemon=True
+        )
+        proc.start()
+        registry = MetricsRegistry()
+        faults = ProcessFaults(registry=registry)
+        faults.kill(proc)
+        proc.join(timeout=10)
+        assert not proc.is_alive()
+        assert proc.exitcode == -9
+        assert faults.stats.kills == 1
+        assert registry.snapshot()["counters"]["faults.kills"] == 1
+
+
+class TestRetryAfterError:
+    def test_wire_data_shape(self):
+        err = RetryAfterError("busy", retry_after=2.5, reason="capacity")
+        assert err.wire_data == {"retry_after": 2.5, "reason": "capacity"}
+
+    def test_crosses_the_wire_typed(self):
+        server = DlibServer("127.0.0.1", 0)
+
+        def refuse(ctx):
+            raise RetryAfterError("later", retry_after=1.5, reason="test")
+
+        server.register("refuse", refuse)
+        server.start()
+        try:
+            with DlibClient(*server.address) as client:
+                with pytest.raises(DlibRemoteError) as exc:
+                    client.call("refuse")
+                assert exc.value.remote_type == "RetryAfterError"
+                assert exc.value.retry_after == 1.5
+                assert exc.value.data["reason"] == "test"
+        finally:
+            server.stop()
+
+
+class TestClientResilience:
+    """Retry budget, circuit breaker, and endpoint failover (issue 6)."""
+
+    def _dead_client(self, **retry_kw):
+        """A client whose server dies right after the handshake."""
+        server = DlibServer("127.0.0.1", 0)
+        server.register("echo", lambda ctx, x: x)
+        server.start()
+        client = DlibClient(
+            *server.address,
+            retry=RetryPolicy(base_delay=0.005, jitter=0.0, **retry_kw),
+            idempotent={"echo"},
+        )
+        server.stop()
+        return client
+
+    def test_retry_budget_bounds_lifetime_retries(self):
+        client = self._dead_client(max_attempts=10, budget=2)
+        with pytest.raises((ConnectionError, OSError)):
+            client.call("echo", 1)
+        assert client.retries == 2  # not the 9 max_attempts would allow
+        assert client.retries_exhausted == 1
+        # The budget is spent: the next call gets one attempt, no retries.
+        with pytest.raises((ConnectionError, OSError)):
+            client.call("echo", 2)
+        assert client.retries == 2
+        assert client.retries_exhausted == 2
+        client.close()
+
+    def test_exhaustion_lands_in_registry(self):
+        registry = MetricsRegistry()
+        client = self._dead_client(max_attempts=2, budget=1)
+        client.registry = registry
+        with pytest.raises((ConnectionError, OSError)):
+            client.call("echo", 1)
+        assert registry.snapshot()["counters"]["client.retries_exhausted"] == 1
+        client.close()
+
+    def test_breaker_opens_after_consecutive_failures(self):
+        client = self._dead_client(
+            max_attempts=2, breaker_threshold=2, breaker_cooldown=60.0
+        )
+        for _ in range(2):
+            with pytest.raises((ConnectionError, OSError)):
+                client.call("echo", 1)
+        assert client.breaker_open
+        t0 = time.monotonic()
+        with pytest.raises(ConnectionError, match="circuit breaker open"):
+            client.call("echo", 1)
+        # Fail-fast: no reconnect attempts, no backoff sleeps.
+        assert time.monotonic() - t0 < 0.5
+        client.close()
+
+    def test_failover_rotates_to_live_endpoint(self):
+        primary = DlibServer("127.0.0.1", 0)
+        primary.register("echo", lambda ctx, x: ["primary", x])
+        primary.start()
+        backup = DlibServer("127.0.0.1", 0)
+        backup.register("echo", lambda ctx, x: ["backup", x])
+        backup.start()
+        bhost, bport = backup.address
+        try:
+            client = DlibClient(
+                *primary.address,
+                retry=RetryPolicy(
+                    max_attempts=2, base_delay=0.005, jitter=0.0,
+                    breaker_threshold=1,
+                ),
+                idempotent={"echo"},
+                failover=[lambda: connect_tcp(bhost, bport)],
+            )
+            primary.stop()
+            with pytest.raises((ConnectionError, OSError)):
+                client.call("echo", 1)  # exhausts the primary, rotates
+            assert client.failovers == 1
+            assert not client.breaker_open  # rotated instead of opening
+            assert client.call("echo", 2) == ["backup", 2]
+            client.close()
+        finally:
+            primary.stop()
+            backup.stop()
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    gw = SessionGateway(
+        default_worker_spec(),
+        n_workers=2,
+        heartbeat_interval=0.25,
+        liveness_deadline=2.0,
+        max_sessions_per_worker=8,
+    )
+    with gw:
+        yield gw
+
+
+class TestGatewayRouting:
+    def test_joins_spread_across_workers(self, gateway):
+        from repro.core import WindtunnelClient
+
+        host, port = gateway.address
+        with WindtunnelClient(host, port, name="a") as a:
+            with WindtunnelClient(host, port, name="b") as b:
+                assert a.client_id != b.client_id
+                wa = gateway.journal.worker_of(a.client_id)
+                wb = gateway.journal.worker_of(b.client_id)
+                assert {wa, wb} == {"w0", "w1"}
+                # Both sessions get real frames through the proxy.
+                assert a.fetch_frame()["timestep"] >= 0
+                assert b.fetch_frame()["timestep"] >= 0
+        assert gateway.journal.total_sessions == 0  # clean leaves recorded
+
+    def test_rakes_route_and_journal(self, gateway):
+        from repro.core import WindtunnelClient
+
+        host, port = gateway.address
+        with WindtunnelClient(host, port, name="raker") as c:
+            rid = c.add_rake((0, 0, 0), (1, 1, 1), n_seeds=3)
+            worker = gateway.journal.worker_of(c.client_id)
+            assert str(rid) in {
+                str(k)
+                for k in gateway.journal.recovery_state(worker)["rakes"]
+            }
+            state = c.fetch_frame()
+            assert str(rid) in state["paths"]
+            c.remove_rake(rid)
+            assert gateway.journal.recovery_state(worker)["rakes"] == {}
+
+    def test_subscription_and_clock_journal(self, gateway):
+        from repro.core import WindtunnelClient
+
+        host, port = gateway.address
+        with WindtunnelClient(host, port, name="subber") as c:
+            info = c.subscribe(encoding="f16", deltas=True)
+            assert info["enabled"] and info["encoding"] == "f16"
+            c.time_control("pause")
+            worker = gateway.journal.worker_of(c.client_id)
+            state = gateway.journal.recovery_state(worker)
+            entry = next(
+                s for s in state["sessions"]
+                if s["client_id"] == c.client_id
+            )
+            assert entry["subscription"]["encoding"] == "f16"
+            assert state["clock"]["playing"] is False
+            c.time_control("resume")
+
+    def test_gateway_stats_shape(self, gateway):
+        from repro.core import WindtunnelClient
+
+        host, port = gateway.address
+        with WindtunnelClient(host, port, name="watcher") as c:
+            stats = c.server_stats()
+            assert stats["gateway"] is True
+            assert set(stats["load"]) == {"w0", "w1"}
+            assert stats["shed_level"] == 0
+            metrics = c.metrics()
+            assert "gateway.sessions_admitted" in metrics["registry"]["counters"]
+
+    def test_unknown_session_is_terminal(self, gateway):
+        with DlibClient(*gateway.address) as raw:
+            with pytest.raises(DlibRemoteError) as exc:
+                raw.call("wt.frame", 424242)
+            assert exc.value.remote_type == "KeyError"
+
+
+class TestGatewayAdmissionLive:
+    def test_capacity_refusal_is_fast_and_typed(self):
+        gw = SessionGateway(
+            default_worker_spec(),
+            n_workers=1,
+            max_sessions_per_worker=1,
+            retry_after=2.0,
+        )
+        from repro.core import WindtunnelClient
+
+        with gw:
+            host, port = gw.address
+            with WindtunnelClient(host, port, name="first"):
+                t0 = time.monotonic()
+                with pytest.raises(DlibRemoteError) as exc:
+                    WindtunnelClient(host, port, name="second")
+                elapsed = time.monotonic() - t0
+                assert exc.value.remote_type == "RetryAfterError"
+                assert exc.value.retry_after == 2.0
+                assert exc.value.data["reason"] == "worker_capacity"
+                assert elapsed < 2.0  # refusal, not a hang
+            # The seat freed on leave: admission recovers.
+            with WindtunnelClient(host, port, name="third") as c:
+                assert c.fetch_frame()["timestep"] >= 0
+
+
+class TestGatewaySerialSafety:
+    def test_concurrent_clients_interleave_cleanly(self, gateway):
+        """Several clients hammering through the proxy stay isolated."""
+        from repro.core import WindtunnelClient
+
+        host, port = gateway.address
+        errors = []
+
+        def session(tag):
+            try:
+                with WindtunnelClient(host, port, name=tag) as c:
+                    rid = c.add_rake((0, 0, 0), (1, 1, 1), n_seeds=2)
+                    for _ in range(3):
+                        state = c.fetch_frame()
+                        assert str(rid) in state["paths"]
+                    c.remove_rake(rid)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append((tag, exc))
+
+        threads = [
+            threading.Thread(target=session, args=(f"t{i}",))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []

@@ -1,0 +1,179 @@
+"""Chaos against a live gateway pool: SIGKILL and hang (issue 6).
+
+The acceptance scenario: a 4-worker pool serving 8 sessions, a seeded
+fault injector SIGKILLs a worker mid-frame, and every client of the dead
+worker resumes transparently through ``wt.rejoin`` within a bounded
+deadline — no torn frames, no duplicated rakes, and the gateway's
+recovery counters reconcile exactly against the injected fault count.
+A second scenario wedges a worker's service loop (``wt.chaos_hang``) and
+checks the supervisor's liveness deadline converts the hang into a crash
+it already knows how to recover.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import WindtunnelClient
+from repro.gateway import SessionGateway, default_worker_spec
+from repro.netsim import ProcessFaults
+
+JOIN_DEADLINE = 60.0
+RECOVER_DEADLINE = 30.0
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    spec = default_worker_spec(allow_chaos=True, frame_wait=2.0)
+    gw = SessionGateway(
+        spec,
+        n_workers=4,
+        max_sessions_per_worker=4,
+        heartbeat_interval=0.2,
+        liveness_deadline=0.75,
+        probe_failures_to_kill=2,
+        recovery_wait=20.0,
+        route_timeout=3.0,
+    )
+    with gw:
+        yield gw
+
+
+def counter(gw, name):
+    return gw.registry.counter(name).value
+
+
+def fetch_all_within(clients, deadline):
+    """Every client serves a frame inside ``deadline``; returns the frames."""
+    t0 = time.monotonic()
+    frames = {}
+    pending = list(clients)
+    last_error = None
+    while pending and time.monotonic() - t0 < deadline:
+        still = []
+        for c in pending:
+            try:
+                frames[c] = c.fetch_frame()
+            except Exception as exc:  # noqa: BLE001 - retried until deadline
+                last_error = exc
+                still.append(c)
+        pending = still
+        if pending:
+            time.sleep(0.25)
+    assert not pending, (
+        f"{len(pending)} clients still failing after {deadline}s: {last_error!r}"
+    )
+    return frames
+
+
+class TestSigkillRecovery:
+    def test_worker_sigkill_mid_frame_all_sessions_resume(self, gateway):
+        host, port = gateway.address
+        clients = [
+            WindtunnelClient(host, port, name=f"chaos{i}") for i in range(8)
+        ]
+        try:
+            rakes = {}
+            for i, c in enumerate(clients):
+                rakes[c] = c.add_rake(
+                    (0.5 * i - 2.0, -1.0, 0.5), (0.5 * i - 2.0, 1.0, 0.5),
+                    n_seeds=3,
+                )
+            fetch_all_within(clients, JOIN_DEADLINE)
+
+            seat = {c: gateway.journal.worker_of(c.client_id) for c in clients}
+            assert sorted(gateway.journal.load().values()) == [2, 2, 2, 2]
+
+            faults = ProcessFaults(seed=11, registry=gateway.registry)
+            victim = faults.choose(sorted(set(seat.values())))
+            victims = [c for c in clients if seat[c] == victim]
+            bystanders = [c for c in clients if seat[c] != victim]
+            assert len(victims) == 2
+
+            recovered0 = counter(gateway, "gateway.sessions_recovered")
+            respawned0 = counter(gateway, "gateway.workers_respawned")
+            rejoins0 = counter(gateway, "gateway.rejoins")
+
+            # Keep a request in flight against the victim while it dies.
+            stop = threading.Event()
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        victims[0].fetch_frame()
+                    except Exception:  # noqa: BLE001 - mid-kill turbulence
+                        time.sleep(0.05)
+
+            t = threading.Thread(target=hammer, daemon=True)
+            t.start()
+            time.sleep(0.2)  # let the hammer get airborne
+            faults.kill(gateway.supervisor.handle_of(victim))
+            time.sleep(0.5)
+            stop.set()
+            t.join(timeout=RECOVER_DEADLINE)
+            assert not t.is_alive()
+
+            frames = fetch_all_within(clients, RECOVER_DEADLINE)
+
+            # The client with a request in flight at kill time crossed a
+            # dead worker and resumed through wt.rejoin.  Idle victims
+            # may never notice at all — the supervisor restored their
+            # leases before their next call, which is the point — but
+            # nobody *outside* the blast radius rejoins.
+            assert victims[0].rejoins >= 1, "in-flight client never rejoined"
+            assert counter(gateway, "gateway.rejoins") - rejoins0 >= 1
+            for c in bystanders:
+                assert c.rejoins == 0, f"client {c.client_id} rejoined needlessly"
+
+            # No torn frames: each client's own rake survives, exactly
+            # once, in both its frame and the restored worker's world.
+            for c in clients:
+                paths = frames[c]["paths"]
+                assert str(rakes[c]) in paths, (
+                    f"client {c.client_id} lost rake {rakes[c]}"
+                )
+            snap = victims[0]._call("wt.snapshot", victims[0].client_id)
+            journal_rakes = set(gateway.journal.recovery_state(victim)["rakes"])
+            assert set(snap["rakes"]) == journal_rakes  # no dupes, no losses
+
+            # Reconcile injected faults against observed recoveries.
+            assert faults.stats.kills == 1
+            assert counter(gateway, "faults.kills") == 1
+            assert (
+                counter(gateway, "gateway.sessions_recovered") - recovered0
+                == len(victims)
+            )
+            assert counter(gateway, "gateway.workers_respawned") - respawned0 == 1
+        finally:
+            for c in clients:
+                try:
+                    c.close()
+                except Exception:  # noqa: BLE001 - teardown best effort
+                    pass
+
+    def test_journal_empties_after_clean_leaves(self, gateway):
+        # The previous test's clients all left in teardown; once the
+        # departures land the pool is entirely reclaimable.
+        assert gateway.journal.total_sessions == 0
+        assert all(n == 0 for n in gateway.journal.load().values())
+
+
+class TestHangRecovery:
+    def test_hung_worker_is_killed_and_sessions_resume(self, gateway):
+        host, port = gateway.address
+        faults = ProcessFaults(seed=5, registry=gateway.registry)
+        hung0 = counter(gateway, "gateway.workers_hung")
+        with WindtunnelClient(host, port, name="hangmark") as c:
+            fetch_all_within([c], JOIN_DEADLINE)
+            worker = gateway.journal.worker_of(c.client_id)
+            faults.hang(gateway.supervisor.address_of(worker), 30.0)
+            # The wedged worker still *accepts* connections — only the
+            # liveness deadline can tell it from a busy one.  The next
+            # frame times out at the gateway, the client rejoins, and the
+            # supervisor's probe misses convert the hang into a respawn.
+            frames = fetch_all_within([c], RECOVER_DEADLINE)
+            assert frames[c]["timestep"] >= 0
+            assert c.rejoins >= 1
+        assert faults.stats.hangs == 1
+        assert counter(gateway, "gateway.workers_hung") - hung0 == 1

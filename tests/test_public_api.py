@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.vr",
     "repro.render",
     "repro.core",
+    "repro.gateway",
     "repro.perf",
     "repro.cli",
 ]
