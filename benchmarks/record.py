@@ -164,14 +164,70 @@ def record_gateway(output: Path) -> int:
     return 0
 
 
+def record_soak(output: Path) -> int:
+    """Run the BENCH_7 push fan-out soak, emit BENCH_7.json.
+
+    The live measurement lives in :mod:`benchmarks.soak_scenario`
+    (shared with ``benchmarks/test_server_soak.py``); this entry adds
+    host provenance and the smoke gates for CI.
+    """
+    from soak_scenario import N_RAKES as SOAK_RAKES
+    from soak_scenario import TICK_HZ, run_soak_scenario
+
+    result = run_soak_scenario()
+    result["host"] = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    for row in result["levels"]:
+        print(
+            f"{row['clients']:5d} clients  {row['per_client_fps']:6.1f} fps/client"
+            f"  {row['encodes_per_publication']:5.1f} encodes/pub"
+            f"  p99 fan-out {row['p99_fanout_seconds'] * 1e3:7.1f} ms"
+            f"  {row['frames_shed']} shed"
+        )
+    model = result["model"]
+    print(
+        f"loop model    {model['per_client_seconds'] * 1e6:8.0f} us/client"
+        f"  (max {model['max_clients_at_tick_hz']} clients"
+        f" at {TICK_HZ:.0f} Hz)"
+    )
+    print(f"wrote {output}")
+
+    expected = SOAK_RAKES * result["distinct_encoded_variants"]
+    for row in result["levels"]:
+        if row["frames_delivered"] == 0:
+            print(
+                f"FAIL: {row['clients']} subscribers starved", file=sys.stderr
+            )
+            return 1
+        if row["encodes_per_publication"] > expected + 0.5:
+            print(
+                "FAIL: encodes per publication scale with client count",
+                file=sys.stderr,
+            )
+            return 1
+    if result["subscribers_dropped"]:
+        print(
+            f"FAIL: {result['subscribers_dropped']} subscribers dropped",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
         type=Path,
         default=None,
-        help="result path (default: output/BENCH_4.json, or BENCH_6.json "
-        "with --gateway)",
+        help="result path (default: output/BENCH_4.json, BENCH_6.json "
+        "with --gateway, or BENCH_7.json with --soak)",
     )
     parser.add_argument(
         "--skip-table3", action="store_true",
@@ -181,12 +237,22 @@ def main(argv: list[str] | None = None) -> int:
         "--gateway", action="store_true",
         help="record the BENCH_6 gateway capacity/recovery scenario instead",
     )
+    parser.add_argument(
+        "--soak", action="store_true",
+        help="record the BENCH_7 push fan-out soak scenario instead",
+    )
     args = parser.parse_args(argv)
     if args.gateway:
         return record_gateway(
             args.output
             if args.output is not None
             else Path(__file__).parent / "output" / "BENCH_6.json"
+        )
+    if args.soak:
+        return record_soak(
+            args.output
+            if args.output is not None
+            else Path(__file__).parent / "output" / "BENCH_7.json"
         )
     if args.output is None:
         args.output = Path(__file__).parent / "output" / "BENCH_4.json"

@@ -1,0 +1,314 @@
+"""BENCH_7 driver: push fan-out soak on one event-loop worker.
+
+One scenario, shared by ``benchmarks/test_server_soak.py`` (the gated
+pytest entry) and ``benchmarks/record.py --soak`` (the JSON trajectory
+recorder): stand up a single :class:`repro.core.WindtunnelServer`,
+connect a ladder of raw-socket push subscribers spread across the
+encoding variants, drive the simulation clock at a fixed tick rate, and
+measure — per subscriber level — delivered frame throughput, the
+server's fan-out latency and loop lag (from ``repro.obs``), and the
+encode-dedup ratio (variant encodes per publication, which must track
+the number of *distinct* variants, not the number of clients).  The
+sweep then fits a :class:`repro.perf.ServerLoopModel`.
+
+Subscribers are deliberately raw sockets, not ``WindtunnelClient``s: a
+thousand full clients cost more test-harness CPU than server CPU, which
+would measure the harness.  Each subscriber joins, negotiates
+``wt.subscribe(push=True)``, and then only *reads*, counting PUSH frames
+by header without decoding payloads.
+
+``WT_BENCH_FAST=1`` shrinks the ladder for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import struct
+import threading
+import time
+
+FAST = bool(os.environ.get("WT_BENCH_FAST"))
+
+#: Subscriber ladder: each level soaks WINDOW_SECONDS with that many
+#: concurrently subscribed push clients.
+CLIENT_COUNTS = (50, 100, 200) if FAST else (100, 250, 500, 1000)
+WINDOW_SECONDS = 2.0 if FAST else 10.0
+#: Simulation-clock tick: one timestep per tick, TICK_HZ ticks/second —
+#: the publication rate the pipeline is asked to sustain.
+TICK_HZ = 20.0
+#: Subscription variants, assigned round-robin.  ("v1", 1) is the
+#: prebuilt default (zero cache misses); the other rungs each cost one
+#: encode per rake per publication — *regardless of subscriber count*.
+VARIANTS = (("v1", 1), ("q16", 1), ("q16", 2))
+N_RAKES = 2
+
+_LEN = struct.Struct("<I")
+_HDR = struct.Struct("<BI")
+_PUSH_KIND = 4
+
+
+def _raise_fd_limit(need: int) -> int:
+    """Best-effort bump of RLIMIT_NOFILE; returns the effective ceiling."""
+    try:
+        import resource
+
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < need:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (min(need, hard), hard))
+            soft = resource.getrlimit(resource.RLIMIT_NOFILE)[0]
+        return soft
+    except Exception:  # noqa: BLE001 - platform without resource limits
+        return need
+
+
+class _Subscriber:
+    """One raw push subscriber: a socket and its reassembly buffer."""
+
+    __slots__ = ("sock", "buf", "frames", "bytes", "client_id")
+
+    def __init__(self, sock: socket.socket, client_id: int) -> None:
+        self.sock = sock
+        self.buf = bytearray()
+        self.frames = 0
+        self.bytes = 0
+        self.client_id = client_id
+
+    def pump(self) -> None:
+        """Drain the socket; count complete PUSH frames by header only."""
+        while True:
+            try:
+                chunk = self.sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                return
+            if not chunk:
+                raise ConnectionError("server closed the subscriber")
+            self.buf += chunk
+            self.bytes += len(chunk)
+            while len(self.buf) >= _LEN.size:
+                (length,) = _LEN.unpack_from(self.buf)
+                end = _LEN.size + length
+                if len(self.buf) < end:
+                    break
+                kind = self.buf[_LEN.size] & 0x7F
+                if kind == _PUSH_KIND:
+                    self.frames += 1
+                del self.buf[:end]
+
+
+class _Reader(threading.Thread):
+    """One selector draining every subscriber socket."""
+
+    def __init__(self) -> None:
+        super().__init__(daemon=True)
+        self.sel = selectors.DefaultSelector()
+        self.subs: list[_Subscriber] = []
+        self._halt = threading.Event()
+        self.dropped = 0
+
+    def add(self, sub: _Subscriber) -> None:
+        sub.sock.setblocking(False)
+        self.sel.register(sub.sock, selectors.EVENT_READ, sub)
+        self.subs.append(sub)
+
+    def delivered(self) -> int:
+        return sum(s.frames for s in self.subs)
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            for key, _mask in self.sel.select(timeout=0.05):
+                sub = key.data
+                try:
+                    sub.pump()
+                except (ConnectionError, OSError):
+                    self.dropped += 1
+                    self.sel.unregister(sub.sock)
+                    sub.sock.close()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=10.0)
+        for sub in self.subs:
+            try:
+                self.sel.unregister(sub.sock)
+            except (KeyError, ValueError):
+                pass
+            sub.sock.close()
+        self.sel.close()
+
+
+def _call(stream, rid: int, proc: str, *args):
+    """One raw dlib round-trip on a blocking stream."""
+    from repro.dlib.protocol import MessageKind, decode_message, encode_message
+
+    stream.send(
+        encode_message(MessageKind.CALL, rid, {"proc": proc, "args": list(args)})
+    )
+    kind, got_rid, result = decode_message(stream.recv())
+    if kind is not MessageKind.RESULT or got_rid != rid:
+        raise RuntimeError(f"unexpected reply to {proc}: {kind} rid={got_rid}")
+    return result
+
+
+def _connect_subscriber(address, index: int) -> _Subscriber:
+    from repro.dlib.transport import Stream
+
+    encoding, decimate = VARIANTS[index % len(VARIANTS)]
+    sock = socket.create_connection(address)
+    stream = Stream(sock)
+    info = _call(stream, 1, "wt.join", f"soak{index}")
+    client_id = info["client_id"]
+    sub = _call(
+        stream,
+        2,
+        "wt.subscribe",
+        client_id,
+        {"encoding": encoding, "decimate": decimate, "deltas": True, "push": True},
+    )
+    if not sub.get("push"):
+        raise RuntimeError("server did not arm push delivery")
+    return _Subscriber(sock, client_id)
+
+
+def _make_dataset():
+    import numpy as np
+
+    from repro.flow import MemoryDataset, RigidRotation, UniformFlow, sample_on_grid
+    from repro.grid import cartesian_grid
+
+    grid = cartesian_grid((9, 9, 5), lo=(0, 0, 0), hi=(8, 8, 4))
+    field = RigidRotation(omega=[0, 0, 0.5], center=[4, 4, 0]) + UniformFlow(
+        [0.1, 0, 0]
+    )
+    n_times = 8
+    vel = sample_on_grid(field, grid, np.arange(n_times) * 0.05, dtype=np.float64)
+    # The analytic field is steady; modulate each timestep so the flow —
+    # and therefore every rake's geometry and digest — actually changes
+    # per publication.  A steady field would make every delta empty and
+    # the encode-dedup measurement vacuous.
+    for i in range(n_times):
+        vel[i] *= 1.0 + 0.25 * np.sin(2.0 * np.pi * i / n_times)
+    return MemoryDataset(grid, vel, dt=0.05)
+
+
+def run_soak_scenario() -> dict:
+    """The full BENCH_7 measurement; returns the JSON-ready result."""
+    from repro.core import ToolSettings, WindtunnelClient, WindtunnelServer
+    from repro.perf import ServerLoopModel
+
+    max_clients = max(CLIENT_COUNTS)
+    fd_ceiling = _raise_fd_limit(2 * max_clients + 256)
+    counts = [n for n in CLIENT_COUNTS if 2 * n + 128 <= fd_ceiling]
+    if not counts:
+        raise RuntimeError(f"fd limit {fd_ceiling} too low for any soak level")
+
+    clock = {"now": 0.0}
+    srv = WindtunnelServer(
+        _make_dataset(),
+        settings=ToolSettings(streamline_steps=16, streakline_length=6),
+        # time_speed is timesteps per clock-second: advancing the test
+        # clock in real time then asks for TICK_HZ publications/second.
+        time_speed=TICK_HZ,
+        time_fn=lambda: clock["now"],
+        frame_wait=5.0,
+        lease_seconds=1e9,  # the soak must measure fan-out, not the reaper
+    )
+    srv.start()
+    reader = _Reader()
+    reader.start()
+    levels: list[dict] = []
+    try:
+        with WindtunnelClient(*srv.address, name="control") as control:
+            for i in range(N_RAKES):
+                control.add_rake([1 + 2 * i, 1, 1], [1 + 2 * i, 7, 3], n_seeds=4)
+            control.fetch_frame()  # warm the pipeline + first publication
+
+            registry = srv.registry
+            lag_hist = registry.histogram("server.loop_lag_seconds")
+            fanout_hist = registry.histogram("net.push_latency_seconds")
+
+            for n in counts:
+                while len(reader.subs) < n:
+                    reader.add(
+                        _connect_subscriber(srv.address, len(reader.subs))
+                    )
+                time.sleep(0.2)  # let subscriptions settle
+                c0 = registry.snapshot()["counters"]
+                delivered0 = reader.delivered()
+                fanout_total0 = fanout_hist.stats.total
+                t0 = time.perf_counter()
+                next_tick = t0
+                # Drive the simulation clock: each tick advances one
+                # timestep, so the pipeline publishes at ~TICK_HZ.
+                while True:
+                    now = time.perf_counter()
+                    if now - t0 >= WINDOW_SECONDS:
+                        break
+                    if now >= next_tick:
+                        clock["now"] += 1.0 / TICK_HZ
+                        next_tick += 1.0 / TICK_HZ
+                    time.sleep(min(0.005, max(0.0, next_tick - now)))
+                window = time.perf_counter() - t0
+                time.sleep(0.3)  # drain in-flight pushes before counting
+                c1 = registry.snapshot()["counters"]
+                delivered = reader.delivered() - delivered0
+
+                publications = c1.get("net.publications_fanned_out", 0) - c0.get(
+                    "net.publications_fanned_out", 0
+                )
+                pushes = c1.get("net.push_frames", 0) - c0.get("net.push_frames", 0)
+                misses = c1.get("net.encode_cache_misses", 0) - c0.get(
+                    "net.encode_cache_misses", 0
+                )
+                shed = c1.get("net.frames_shed", 0) - c0.get("net.frames_shed", 0)
+                levels.append(
+                    {
+                        "clients": n,
+                        "window_seconds": window,
+                        "publications": publications,
+                        "publish_hz": publications / window,
+                        "pushes_sent": pushes,
+                        "frames_delivered": delivered,
+                        "delivered_fps": delivered / window,
+                        "per_client_fps": delivered / window / n,
+                        "frames_shed": shed,
+                        "encodes_per_publication": (
+                            misses / publications if publications else 0.0
+                        ),
+                        # Loop health, straight from repro.obs.
+                        "p99_fanout_seconds": fanout_hist.quantile(0.99),
+                        "p99_loop_lag_seconds": lag_hist.quantile(0.99),
+                        "mean_fanout_seconds": (
+                            (fanout_hist.stats.total - fanout_total0)
+                            / max(1, publications)
+                        ),
+                    }
+                )
+
+            model = ServerLoopModel.fit(
+                [(row["clients"], row["mean_fanout_seconds"]) for row in levels],
+            )
+            peak = levels[-1]
+            predicted_hz = model.max_publish_hz(peak["clients"])
+            return {
+                "bench": "BENCH_7",
+                "fast_mode": FAST,
+                "tick_hz": TICK_HZ,
+                "n_rakes": N_RAKES,
+                "variants": [list(v) for v in VARIANTS],
+                "distinct_encoded_variants": sum(
+                    1 for enc, dec in VARIANTS if not (enc == "v1" and dec == 1)
+                ),
+                "subscribers_dropped": reader.dropped,
+                "levels": levels,
+                "model": {
+                    "encode_seconds": model.encode_seconds,
+                    "per_client_seconds": model.per_client_seconds,
+                    "max_publish_hz_at_peak": predicted_hz,
+                    "max_clients_at_tick_hz": model.max_clients(TICK_HZ),
+                },
+            }
+    finally:
+        reader.stop()
+        srv.stop()

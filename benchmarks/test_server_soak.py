@@ -1,0 +1,78 @@
+"""BENCH_7 — push fan-out soak on one event-loop worker (issue 7).
+
+Runs the live scenario from :mod:`benchmarks.soak_scenario` and gates on
+what must always hold, fast machine or slow: every subscriber level
+keeps receiving frames (no starvation, no dropped connections), fan-out
+latency stays bounded, and — the tentpole property — the number of
+variant encodes per publication equals the number of *distinct*
+encoding variants in play, not the number of clients.
+``benchmarks/record.py --soak`` emits the same scenario as
+``BENCH_7.json`` for the perf trajectory.
+"""
+
+import json
+
+from soak_scenario import FAST, N_RAKES, TICK_HZ, run_soak_scenario
+
+
+def test_push_fanout_soak(record, output_dir):
+    result = run_soak_scenario()
+
+    levels = result["levels"]
+    assert levels, "no soak level ran (fd limit?)"
+    assert result["subscribers_dropped"] == 0
+
+    expected_encodes = N_RAKES * result["distinct_encoded_variants"]
+    for row in levels:
+        # Every cohort keeps receiving frames the whole window.
+        assert row["frames_delivered"] > 0, f"{row['clients']} clients starved"
+        assert row["per_client_fps"] > 0.2 * TICK_HZ, (
+            f"{row['clients']} clients: {row['per_client_fps']:.1f} fps "
+            "— fan-out collapsed"
+        )
+        # Bounded latency, measured by repro.obs on the server.
+        assert row["p99_fanout_seconds"] < 0.5
+        # Encode-dedup: per publication the server builds each distinct
+        # variant once per rake — client count must not appear here.
+        assert row["encodes_per_publication"] <= expected_encodes + 0.5, (
+            f"{row['encodes_per_publication']:.1f} encodes/publication "
+            f"for {row['clients']} clients — the cache is leaking"
+        )
+        assert row["encodes_per_publication"] < row["clients"]
+
+    # The headline scale gate: the full soak must hold >= 500 subscribed
+    # clients on one worker (the smoke ladder stops lower by design).
+    peak = levels[-1]
+    if not FAST:
+        assert peak["clients"] >= 500
+
+    # The fitted loop model stays physical and lands within an order of
+    # magnitude of the measured saturation rate.
+    model = result["model"]
+    assert model["per_client_seconds"] >= 0.0
+    measured_hz = peak["publish_hz"]
+    predicted_hz = model["max_publish_hz_at_peak"]
+    if measured_hz < 0.9 * TICK_HZ:  # saturated: the prediction is testable
+        ratio = measured_hz / predicted_hz if predicted_hz else 0.0
+        assert 0.1 <= ratio <= 10.0, f"loop model off by {ratio:.2f}x"
+
+    (output_dir / "BENCH_7.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+    record(
+        "server_soak",
+        [
+            f"tick rate: {TICK_HZ:.0f} Hz, rakes: {N_RAKES}, "
+            f"variants: {result['distinct_encoded_variants']} (fast={FAST})",
+            *(
+                f"{row['clients']:5d} clients: "
+                f"{row['per_client_fps']:6.1f} fps/client, "
+                f"{row['encodes_per_publication']:.1f} encodes/pub, "
+                f"p99 fan-out {row['p99_fanout_seconds'] * 1e3:.1f} ms, "
+                f"{row['frames_shed']} shed"
+                for row in levels
+            ),
+            f"model: {model['per_client_seconds'] * 1e6:.0f} us/client, "
+            f"max {model['max_clients_at_tick_hz']} clients at {TICK_HZ:.0f} Hz",
+        ],
+    )

@@ -130,6 +130,7 @@ class WindtunnelClient:
             on_reconnect=self._on_reconnect,
             trace=trace,
             registry=registry,
+            on_push=self._on_push_frame,
         )
         info = self._rpc.call("wt.join", name)
         self.client_id: int = info["client_id"]
@@ -276,6 +277,7 @@ class WindtunnelClient:
         adaptive: bool = False,
         rakes=None,
         kinds=None,
+        push: bool = False,
     ) -> dict:
         """Negotiate bandwidth-adaptive (v2) frame delivery.
 
@@ -284,12 +286,21 @@ class WindtunnelClient:
         False, "supported": False}`` comes back — the client simply keeps
         using the v1 path, so new clients run against old servers
         unchanged.
+
+        With ``push=True`` the server also streams frames to this
+        connection as it publishes them (PUSH messages), without waiting
+        for ``wt.frame`` polls.  Pushed frames integrate into
+        :attr:`latest_state` exactly like pulled ones; they surface
+        whenever the stream is read — during any RPC, or via
+        :meth:`drain_pushes` while idle.  The reply's ``"push"`` key
+        confirms whether the server actually armed push delivery.
         """
         options: dict = {
             "encoding": encoding,
             "deltas": deltas,
             "decimate": decimate,
             "adaptive": adaptive,
+            "push": push,
         }
         if rakes is not None:
             options["rakes"] = [str(r) for r in rakes]
@@ -360,6 +371,36 @@ class WindtunnelClient:
             self._held_paths = held
             self._acked_seq = int(v2["seq"])
         return dict(state, paths=held)
+
+    # -- push-mode delivery ----------------------------------------------------
+
+    @property
+    def pushed_frames(self) -> int:
+        """How many server-pushed frames this client has received."""
+        return self._rpc.pushes_received
+
+    def _on_push_frame(self, state) -> None:
+        """Integrate one server-pushed frame (same shape as a v2 pull).
+
+        Runs from whichever thread is reading the stream.  Frames that
+        are not v2 envelopes are ignored — the server never sends them,
+        but a defensive client outlives a confused one.
+        """
+        if not isinstance(state, dict) or "v2" not in state:
+            return
+        state = self._integrate_v2(state)
+        with self._state_lock:
+            self.latest_state = state
+            self.state_stale = False
+
+    def drain_pushes(self, timeout: float = 0.0) -> int:
+        """Deliver any buffered server-pushed frames while idle.
+
+        Returns how many frames arrived.  Call this from the same thread
+        that issues RPCs (or with external serialization) — the stream
+        carries one conversation.
+        """
+        return self._rpc.poll_push(timeout)
 
     # -- the network half (figure 9, left process) ------------------------------
 

@@ -309,6 +309,7 @@ class FrameStore:
 
     def __init__(self, *, registry=None, digest_history: int = DIGEST_HISTORY) -> None:
         self._cond = threading.Condition()
+        self._listeners: list = []
         self._front: PublishedFrame | None = None
         self._back: PublishedFrame | None = None  # previous frame, kept alive
         self._seq = 0
@@ -354,6 +355,25 @@ class FrameStore:
         with self._cond:
             return self._digest_history.get(int(seq))
 
+    def subscribe(self, listener) -> None:
+        """Call ``listener(frame)`` after every publication.
+
+        Listeners run on the *publishing* thread (the pipeline's encode
+        stage), outside the store's lock — a listener that needs another
+        thread (the dlib event loop) must marshal itself across, e.g.
+        via ``DlibServer.call_soon``.  A listener that raises is the
+        publisher's bug; exceptions propagate.
+        """
+        with self._cond:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        with self._cond:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
     @property
     def publish_period_mean(self) -> float:
         """Mean seconds between consecutive publishes (0 if < 2 frames)."""
@@ -389,7 +409,10 @@ class FrameStore:
             if self._published_counter is not None:
                 self._published_counter.inc()
             self._cond.notify_all()
-            return stamped
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(stamped)
+        return stamped
 
     def wait_beyond(
         self, seq: int, timeout: float

@@ -145,6 +145,7 @@ class FramePipeline:
 
         self._state_lock = threading.Lock()
         self._waiters = 0
+        self._standing = 0
         self._demand_until = 0.0
         self._last_key: tuple[int, int] | None = None
 
@@ -266,6 +267,24 @@ class FramePipeline:
             if until > self._demand_until:
                 self._demand_until = until
 
+    def note_waiter(self) -> None:
+        """Register a reader blocked on a fresh frame (non-scoped form).
+
+        The parked-continuation path uses this pair directly: ``wt.frame``
+        defers its reply, registers a waiter, and the publication (or
+        timeout) callback calls :meth:`forget_waiter` — there is no stack
+        frame to scope a context manager to.
+        """
+        with self._state_lock:
+            self._waiters += 1
+            self._requests.inc()
+        self._work.set()
+
+    def forget_waiter(self) -> None:
+        """Balance a :meth:`note_waiter` once the reader unblocks."""
+        with self._state_lock:
+            self._waiters -= 1
+
     @contextmanager
     def waiting(self):
         """Scope in which a reader is blocked on a fresh frame.
@@ -275,15 +294,34 @@ class FramePipeline:
         unchanged environment still yields exactly one compute per
         distinct ``(version, timestep)``.
         """
-        with self._state_lock:
-            self._waiters += 1
-            self._requests.inc()
-        self._work.set()
+        self.note_waiter()
         try:
             yield
         finally:
-            with self._state_lock:
-                self._waiters -= 1
+            self.forget_waiter()
+
+    def add_standing_demand(self) -> None:
+        """A push-mode subscriber appeared: produce on every key change.
+
+        Standing demand is the push topology's substitute for per-call
+        waiters — subscribed clients never poll, so the producer treats
+        any change of ``(version, timestep)`` as demanded while at least
+        one standing subscriber exists.  Idle-key behaviour is unchanged:
+        a frozen clock and an untouched environment still compute
+        nothing.
+        """
+        with self._state_lock:
+            self._standing += 1
+        self._work.set()
+
+    def remove_standing_demand(self) -> None:
+        with self._state_lock:
+            self._standing = max(0, self._standing - 1)
+
+    @property
+    def standing_demand(self) -> int:
+        with self._state_lock:
+            return self._standing
 
     def invalidate(self) -> None:
         """Environment changed: wake the producer immediately.
@@ -309,7 +347,7 @@ class FramePipeline:
             last = self._last_key
             if key == last:
                 return None
-            if self._waiters > 0:
+            if self._waiters > 0 or self._standing > 0:
                 return "request"
             if (
                 last is not None
@@ -545,6 +583,7 @@ class FramePipeline:
             "steady_period_estimate": self.production_period_estimate(),
             "serial_period_estimate": self.serial_period_estimate(),
             "frames_anticipated": self.frames_anticipated,
+            "standing_demand": self.standing_demand,
             "requests": self.requests,
             "invalidations": self.invalidations,
             "produce_errors": self.produce_errors,

@@ -13,6 +13,19 @@ environment snapshot.  One compute and one encode serve N clients, and
 the steady-state frame period approaches the slowest *stage* rather than
 the sum of all of them (figure 8's concurrency, measured by
 ``benchmarks/test_fig8_live_pipeline``).
+
+Since the event-loop refactor, a ``wt.frame`` that needs a *fresh* frame
+no longer blocks the service thread either: the handler parks the call
+as a dlib continuation (:meth:`~repro.dlib.server.DlibServer.defer`) and
+the pipeline's publication callback — marshalled onto the loop via
+``call_soon`` — resolves every parked waiter whose acceptance window the
+new frame satisfies.  The same callback drives **push-mode delivery**:
+clients that subscribed with ``push=True`` receive each publication as a
+server-initiated PUSH message, composed through the same v2 delta/
+variant path as pull mode (byte-identical ``paths`` fragments), with the
+per-publication environment snapshot encoded once and spliced into every
+client's frame.  Slow subscribers shed frames at the dlib send-queue
+high-water mark instead of slowing the loop (docs/network.md).
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from repro.core.governor import DegradationPolicy, FrameBudgetGovernor
 from repro.core.pipeline import STAGES, FramePipeline
 from repro.core.session import SessionTable
 from repro.diskio.loader import TimestepLoader
+from repro.dlib.protocol import PreEncoded
 from repro.dlib.server import DlibServer
 from repro.flow.dataset import UnsteadyDataset
 from repro.obs import MetricsRegistry, current_trace
@@ -149,6 +163,12 @@ class WindtunnelServer:
         self._net_enc_hits = self.registry.counter("net.encode_cache_hits")
         self._net_enc_misses = self.registry.counter("net.encode_cache_misses")
         self._net_send_gauge = self.registry.gauge("net.send_throughput")
+        # Push-mode fan-out (docs/network.md, "Push-mode delivery").
+        self._net_push_frames = self.registry.counter("net.push_frames")
+        self._net_push_latency = self.registry.histogram(
+            "net.push_latency_seconds"
+        )
+        self._net_publications = self.registry.counter("net.publications_fanned_out")
         self._iso_cache_key: tuple | None = None
         self._iso_cache: dict | None = None
         self.sessions = SessionTable(
@@ -160,6 +180,11 @@ class WindtunnelServer:
         self.dlib = DlibServer(host, port, registry=self.registry)
         self.dlib.on_sent = self._on_sent
         self.dlib.add_tick(self._reap_tick, interval=reap_interval)
+        # Parked ``wt.frame`` continuations, owned by the dlib loop: the
+        # publication callback resolves them, the sweep tick expires them.
+        self._frame_waiters: list[dict] = []
+        self.dlib.add_tick(self._waiter_tick, interval=0.05)
+        self.store.subscribe(self._publication)
         self._register_procedures()
 
     @property
@@ -391,6 +416,8 @@ class WindtunnelServer:
         sub = self._subs.pop(cid, None)
         if sub is not None and sub.get("policy") is not None:
             self.registry.remove_prefix(f"net.degradation.{cid}.")
+        if sub is not None and sub.get("conn") is not None:
+            self.pipeline.remove_standing_demand()
 
     def _reap_tick(self, ctx) -> None:
         """Reaper sweep (runs on the dlib service thread).
@@ -468,56 +495,9 @@ class WindtunnelServer:
         self.sessions.touch(int(client_id))
         return self.env.snapshot(self._time_fn())
 
-    def _fresh_or_wait(self) -> tuple[PublishedFrame, bool]:
-        """The latest published frame, waiting for production if stale.
-
-        Returns ``(frame, cached)`` — ``cached`` is true when the store
-        already held a frame for the current (version, timestep), i.e.
-        the request cost no compute at all.  A stale read registers as a
-        *waiter* with the pipeline (which authorizes production) and
-        blocks until a frame at least as new as everything published at
-        arrival time lands; a mid-wait environment change simply extends
-        the wait until the producer catches up to the newest version.
-        """
-        pipeline = self.pipeline
-        pipeline.note_demand()
-        wall = self._time_fn()
-        version = self.env.version
-        timestep = self.env.clock.timestep_index(wall)
-        latest = self.store.latest()
-        if (
-            latest is not None
-            and latest.version == version
-            and latest.timestep == timestep
-        ):
-            return latest, True
-        if not pipeline.threaded:
-            return pipeline.produce_inline(), False
-        seq0 = latest.seq if latest is not None else 0
-        deadline = time.monotonic() + self._frame_wait
-        with pipeline.waiting():
-            seen = seq0
-            while True:
-                frame = self.store.wait_beyond(seen, timeout=0.05)
-                version = self.env.version
-                timestep = self.env.clock.timestep_index(self._time_fn())
-                if frame is not None:
-                    if frame.version == version and frame.timestep == timestep:
-                        return frame, False
-                    if frame.seq > seq0 and frame.version >= version:
-                        # Production moved past our request: newer than
-                        # anything published when we arrived, at most one
-                        # production period behind the clock.
-                        return frame, False
-                    seen = frame.seq
-                if not pipeline.alive:
-                    raise RuntimeError("windtunnel server is shutting down")
-                if time.monotonic() > deadline:
-                    raise RuntimeError("timed out waiting for a frame")
-
     def _rpc_frame(
         self, ctx, client_id: int = 0, ack: int = 0, throughput: float = 0.0
-    ) -> dict:
+    ):
         """Serve the shared visualization from the frame store.
 
         ``ack`` and ``throughput`` are v2 extensions (defaulted, so v1
@@ -534,6 +514,14 @@ class WindtunnelServer:
         environment snapshot — the only part of the response that is
         actually per-request.
 
+        A request the store cannot satisfy yet does not block: the call
+        parks as a dlib continuation (registered as a pipeline *waiter*,
+        which authorizes production) and the publication callback
+        resolves it when a frame at least as new as everything published
+        at arrival time lands; a mid-wait environment change simply
+        extends the wait until the producer catches up.  The sweep tick
+        expires waiters whose ``frame_wait`` deadline lapsed.
+
         A traced call gets production spans grafted under ``frame_wait``:
         the stages ran on the pipeline threads, so their measured
         durations are re-plotted back-to-back inside the wait — a slow
@@ -541,10 +529,68 @@ class WindtunnelServer:
         """
         self.sessions.touch(int(client_id))
         trace = current_trace()
-        with trace.span("frame_wait") if trace else nullcontext() as wait_span:
-            frame, cached = self._fresh_or_wait()
+        pipeline = self.pipeline
+        pipeline.note_demand()
+        wall = self._time_fn()
+        version = self.env.version
+        timestep = self.env.clock.timestep_index(wall)
+        latest = self.store.latest()
+        if (
+            latest is not None
+            and latest.version == version
+            and latest.timestep == timestep
+        ):
+            return self._frame_reply(
+                latest, True, int(client_id), int(ack), float(throughput), trace
+            )
+        if not pipeline.threaded:
+            # Serial fallback: produce inline on this thread (the
+            # benchmark's sum-of-stages baseline) — no continuation.
+            wait_start = trace.now() if trace is not None else 0.0
+            frame = pipeline.produce_inline()
+            return self._frame_reply(
+                frame, False, int(client_id), int(ack), float(throughput),
+                trace, wait_start=wait_start,
+            )
+        deferred = self.dlib.defer()
+        pipeline.note_waiter()
+        self._frame_waiters.append(
+            {
+                "deferred": deferred,
+                "client_id": int(client_id),
+                "ack": int(ack),
+                "throughput": float(throughput),
+                "seq0": latest.seq if latest is not None else 0,
+                "deadline": time.monotonic() + self._frame_wait,
+                "trace": trace,
+                "wait_start": trace.now() if trace is not None else 0.0,
+            }
+        )
+        return deferred
+
+    def _frame_reply(
+        self,
+        frame: PublishedFrame,
+        cached: bool,
+        client_id: int,
+        ack: int,
+        throughput: float,
+        trace,
+        wait_start: float | None = None,
+    ) -> dict:
+        """Assemble one client's ``wt.frame`` response for ``frame``.
+
+        Runs on the dlib service thread — synchronously for cache hits
+        and serial mode, from the publication callback for resolved
+        continuations (``wait_start`` is the trace-relative moment the
+        wait began; the production stages are grafted inside it).
+        """
         if trace is not None and not cached:
-            offset = wait_span.start
+            start = wait_start if wait_start is not None else trace.now()
+            wait_span = trace.mark(
+                "frame_wait", trace.now() - start, start=start
+            )
+            offset = start
             for stage in STAGES:
                 seconds = float(frame.stage_seconds.get(stage, 0.0))
                 wait_span.add_child(stage, offset, seconds)
@@ -554,7 +600,7 @@ class WindtunnelServer:
         self._frames_served.inc()
         if cached:
             self._frame_cache_hits.inc()
-        sub = self._subs.get(int(client_id))
+        sub = self._subs.get(client_id)
         if sub is None:
             # v1 path: byte-identical to the pre-subscription protocol.
             self._net_bytes_hist.observe(float(frame.wire_bytes))
@@ -565,9 +611,122 @@ class WindtunnelServer:
                 "env": env,
                 "cached": cached,
             }
-        return self._frame_v2(
-            frame, cached, env, sub, int(ack), float(throughput)
-        )
+        return self._frame_v2(frame, cached, env, sub, ack, throughput)
+
+    # -- publication fan-in/fan-out (dlib loop) -----------------------------
+
+    def _publication(self, frame: PublishedFrame) -> None:
+        """FrameStore listener: runs on the pipeline's encoder thread.
+
+        Marshals onto the dlib event loop — all waiter and subscription
+        state is loop-owned, so no further locking is needed there.
+        """
+        self.dlib.call_soon(lambda: self._on_publish(frame))
+
+    def _on_publish(self, frame: PublishedFrame) -> None:
+        """A frame was published: wake parked calls, fan out pushes."""
+        if self._frame_waiters:
+            version = self.env.version
+            timestep = self.env.clock.timestep_index(self._time_fn())
+            keep = []
+            for waiter in self._frame_waiters:
+                deferred = waiter["deferred"]
+                if deferred.done:  # connection died while parked
+                    self.pipeline.forget_waiter()
+                    continue
+                accepted = (
+                    frame.version == version and frame.timestep == timestep
+                ) or (
+                    # Production moved past the request: newer than
+                    # anything published when it arrived, at most one
+                    # production period behind the clock.
+                    frame.seq > waiter["seq0"] and frame.version >= version
+                )
+                if not accepted:
+                    keep.append(waiter)
+                    continue
+                self.pipeline.forget_waiter()
+                try:
+                    reply = self._frame_reply(
+                        frame,
+                        False,
+                        waiter["client_id"],
+                        waiter["ack"],
+                        waiter["throughput"],
+                        waiter["trace"],
+                        wait_start=waiter["wait_start"],
+                    )
+                except Exception as exc:  # noqa: BLE001 - cross the wire
+                    deferred.fail(exc)
+                else:
+                    deferred.resolve(reply)
+            self._frame_waiters = keep
+        self._fan_out(frame)
+
+    def _fan_out(self, frame: PublishedFrame) -> None:
+        """Push ``frame`` to every push-mode subscriber (dlib loop).
+
+        The environment snapshot is taken and encoded exactly once per
+        publication and spliced into every client's push; the per-rake
+        path variants are deduplicated by the frame's
+        :class:`~repro.core.framestore.EncodingCache`, so the encode
+        count per publication is the number of *distinct variants*, not
+        the number of clients.  A subscriber whose send queue is above
+        the high-water mark is shed *before* its payload is built.
+        """
+        pushers = [
+            (cid, sub)
+            for cid, sub in self._subs.items()
+            if sub.get("conn") is not None
+        ]
+        if not pushers:
+            return
+        self._net_publications.inc()
+        t0 = time.perf_counter()
+        env_wire = None
+        for cid, sub in pushers:
+            conn = sub["conn"]
+            if not self.dlib.is_connected(conn):
+                sub["conn"] = None
+                self.pipeline.remove_standing_demand()
+                continue
+            if self.dlib.push_backlogged(conn):
+                continue  # shed: the delta base must not advance either
+            if env_wire is None:
+                env_wire = PreEncoded.wrap(self.env.snapshot(self._time_fn()))
+            reply = self._frame_v2(
+                frame, False, env_wire, sub, sub.get("push_seq", 0), 0.0
+            )
+            if self.dlib.push(conn, reply, shed=False):
+                # TCP ordering: a queued frame either arrives or the
+                # connection dies, so the delta base may advance without
+                # waiting for an ack.
+                sub["push_seq"] = frame.seq
+                self._net_push_frames.inc()
+        self._net_push_latency.observe(time.perf_counter() - t0)
+
+    def _waiter_tick(self, ctx=None) -> None:
+        """Expire parked ``wt.frame`` continuations (dlib loop tick)."""
+        if not self._frame_waiters:
+            return
+        now = time.monotonic()
+        alive = self.pipeline.alive
+        keep = []
+        for waiter in self._frame_waiters:
+            deferred = waiter["deferred"]
+            if deferred.done:  # connection died while parked
+                self.pipeline.forget_waiter()
+                continue
+            if not alive:
+                self.pipeline.forget_waiter()
+                deferred.fail(RuntimeError("windtunnel server is shutting down"))
+                continue
+            if now > waiter["deadline"]:
+                self.pipeline.forget_waiter()
+                deferred.fail(RuntimeError("timed out waiting for a frame"))
+                continue
+            keep.append(waiter)
+        self._frame_waiters = keep
 
     def _interested(self, sub: dict, rid: str, kind: str) -> bool:
         if sub["rakes"] is not None and rid not in sub["rakes"]:
@@ -658,7 +817,11 @@ class WindtunnelServer:
         * ``decimate`` (default 1) — keep every n-th path point;
         * ``adaptive`` (default false) — server-side degradation ladder
           driven by measured throughput;
-        * ``rakes`` / ``kinds`` — interest filters (lists; absent = all).
+        * ``rakes`` / ``kinds`` — interest filters (lists; absent = all);
+        * ``push`` (default false) — push-mode delivery: the server sends
+          every publication as a PUSH message on *this* connection
+          (docs/network.md, "Push-mode delivery").  Pull-mode
+          ``wt.frame`` keeps working alongside.
         """
         cid = int(client_id)
         self.sessions.touch(cid)
@@ -668,6 +831,14 @@ class WindtunnelServer:
             return {"enabled": False, "seq": self.store.seq}
         self._drop_subscriber(cid)  # last-write-wins replaces prior state
         sub = self._make_sub(cid, options)
+        if sub["options"]["push"]:
+            conn = self.dlib.current_connection()
+            if conn is not None:
+                sub["conn"] = conn
+                # Standing demand: push subscribers never poll, so their
+                # existence is what keeps the producer following the
+                # clock (balanced in ``_drop_subscriber``/``_fan_out``).
+                self.pipeline.add_standing_demand()
         self._subs[cid] = sub
         return {
             "enabled": True,
@@ -676,6 +847,7 @@ class WindtunnelServer:
             "deltas": sub["deltas"],
             "decimate": sub["decimate"],
             "adaptive": sub["adaptive"],
+            "push": sub.get("conn") is not None,
             "rakes": None if sub["rakes"] is None else sorted(sub["rakes"]),
             "kinds": None if sub["kinds"] is None else sorted(sub["kinds"]),
         }
@@ -698,6 +870,7 @@ class WindtunnelServer:
             raise ValueError("decimate must be >= 1")
         deltas = bool(options.get("deltas", True))
         adaptive = bool(options.get("adaptive", False))
+        push = bool(options.get("push", False))
         rakes = options.get("rakes")
         kinds = options.get("kinds")
         return {
@@ -705,6 +878,11 @@ class WindtunnelServer:
             "decimate": decimate,
             "deltas": deltas,
             "adaptive": adaptive,
+            # Push state is bound to a live connection by ``wt.subscribe``
+            # (never by restore replay — a respawned worker has no socket
+            # to the client until it re-subscribes).
+            "conn": None,
+            "push_seq": 0,
             "rakes": None if rakes is None else {str(r) for r in rakes},
             "kinds": None if kinds is None else {str(k) for k in kinds},
             "policy": (
@@ -719,6 +897,7 @@ class WindtunnelServer:
                 "decimate": decimate,
                 "deltas": deltas,
                 "adaptive": adaptive,
+                "push": push,
                 "rakes": None if rakes is None else sorted(str(r) for r in rakes),
                 "kinds": None if kinds is None else sorted(str(k) for k in kinds),
             },
@@ -850,4 +1029,9 @@ class WindtunnelServer:
             "disconnects": ctx.disconnects,
             "protocol_errors": ctx.protocol_errors,
             "v2_subscriptions": len(self._subs),
+            "push_subscriptions": sum(
+                1 for sub in self._subs.values() if sub.get("conn") is not None
+            ),
+            "push_frames": self._net_push_frames.value,
+            "frame_waiters": len(self._frame_waiters),
         }

@@ -27,6 +27,7 @@ from repro.dlib.protocol import (
     DlibTimeoutError,
     MessageKind,
     PreEncoded,
+    ServerShutdownError,
     decode_message,
     decode_path_entry,
     decode_value,
@@ -37,7 +38,7 @@ from repro.dlib.protocol import (
     quantize_points,
 )
 from repro.dlib.transport import Stream, connect_tcp, pipe_pair
-from repro.dlib.server import DlibServer, ServerContext
+from repro.dlib.server import Deferred, DlibServer, ServerContext
 from repro.dlib.client import DlibClient, DlibRemoteError, RetryPolicy
 from repro.dlib.memory import MemoryManager, SegmentHandle
 
@@ -45,6 +46,7 @@ __all__ = [
     "DlibError",
     "DlibProtocolError",
     "DlibTimeoutError",
+    "ServerShutdownError",
     "MessageKind",
     "PreEncoded",
     "encode_value",
@@ -60,6 +62,7 @@ __all__ = [
     "pipe_pair",
     "DlibServer",
     "ServerContext",
+    "Deferred",
     "DlibClient",
     "DlibRemoteError",
     "RetryPolicy",

@@ -15,12 +15,21 @@ timeouts surfacing as :class:`~repro.dlib.protocol.DlibTimeoutError`), a
 that re-issues *idempotent* calls only, and automatic reconnection
 through a ``stream_factory`` with an ``on_reconnect`` hook the
 windtunnel layer uses to resume its session (``wt.rejoin``).
+
+Servers that negotiated push-mode delivery (``wt.subscribe`` with
+``push=True``) interleave :attr:`~repro.dlib.protocol.MessageKind.PUSH`
+frames with replies on the same stream.  The client hands each one to
+:attr:`~DlibClient.on_push` — whether it surfaces mid-call (while
+blocked for a reply) or while idle via :meth:`~DlibClient.poll_push`.
+Pull-mode clients never see a PUSH, so the wire format is unchanged
+for them.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
+import select
 import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
@@ -198,6 +207,13 @@ class DlibClient:
         Optional :class:`~repro.obs.registry.MetricsRegistry`; when
         given, every call records a ``client.rpc.<procedure>`` latency
         histogram and a ``client.calls`` counter.
+    on_push
+        Callback ``fn(value)`` for server-initiated PUSH frames
+        (push-mode subscriptions).  Invoked from whichever thread is
+        reading the stream — inside :meth:`call` while a reply is
+        pending, or from :meth:`poll_push` while idle.  Exceptions it
+        raises are swallowed (kept on :attr:`last_push_error`) so a
+        buggy handler cannot corrupt an unrelated RPC in flight.
     """
 
     def __init__(
@@ -215,6 +231,7 @@ class DlibClient:
         failover: Iterable[Callable[[], Stream]] = (),
         trace: bool = False,
         registry: MetricsRegistry | None = None,
+        on_push: Callable[[object], None] | None = None,
     ) -> None:
         if stream is None and (host is None or port is None) and stream_factory is None:
             raise ValueError("provide host and port, a stream, or a stream_factory")
@@ -249,6 +266,10 @@ class DlibClient:
         self._trace_ids = itertools.count(1)
         self.last_trace: dict | None = None
         self.last_latency = 0.0
+        self.on_push = on_push
+        self.pushes_received = 0
+        self.push_errors = 0
+        self.last_push_error: BaseException | None = None
 
     @property
     def stream(self) -> Stream:
@@ -415,16 +436,25 @@ class DlibClient:
         self._stream.send(
             encode_message(MessageKind.CALL, request_id, payload, trace_id=trace_id)
         )
-        for _ in range(_MAX_STALE_RESPONSES + 1):
+        stale = 0
+        while True:
             kind, rid, rsp_trace_id, result = decode_message_ex(self._stream.recv())
+            if kind is MessageKind.PUSH:
+                # Server-initiated frame interleaved with our reply.
+                # Deliver it and keep reading; pushes are not "stale" —
+                # an active subscription may legitimately outpace the
+                # stale-response budget.
+                self._handle_push(result)
+                continue
             if rid == request_id:
                 break
             # A stale response: the reply to a duplicated frame or to a
             # call we abandoned at its deadline.  Skip it.
-        else:
-            raise DlibProtocolError(
-                f"gave up after {_MAX_STALE_RESPONSES} stale responses"
-            )
+            stale += 1
+            if stale > _MAX_STALE_RESPONSES:
+                raise DlibProtocolError(
+                    f"gave up after {_MAX_STALE_RESPONSES} stale responses"
+                )
         self.last_latency = time.perf_counter() - t0
         if self.registry is not None:
             self.registry.counter("client.calls").inc()
@@ -445,6 +475,49 @@ class DlibClient:
                 data=result.get("data"),
             )
         raise DlibProtocolError(f"unexpected message kind {kind}")
+
+    # -- push-mode delivery ---------------------------------------------------
+
+    def _handle_push(self, value) -> None:
+        """Deliver one server-pushed value to :attr:`on_push`."""
+        self.pushes_received += 1
+        if self.registry is not None:
+            self.registry.counter("client.pushes_received").inc()
+        if self.on_push is None:
+            return
+        try:
+            self.on_push(value)
+        except Exception as exc:  # noqa: BLE001 - handler bugs must not kill RPC
+            self.push_errors += 1
+            self.last_push_error = exc
+
+    def poll_push(self, timeout: float = 0.0, max_frames: int | None = None) -> int:
+        """Drain server-pushed frames while no call is in flight.
+
+        Waits up to ``timeout`` seconds for the first frame, then keeps
+        draining whatever is already buffered without waiting further.
+        Returns the number of PUSH frames delivered.  Any non-PUSH frame
+        seen here is a stale reply to an abandoned call and is skipped.
+
+        Only call this between :meth:`call` invocations (same thread or
+        externally serialized) — the stream carries one conversation.
+        """
+        drained = 0
+        wait = max(0.0, timeout)
+        while max_frames is None or drained < max_frames:
+            ready, _, _ = select.select([self._stream.fileno()], [], [], wait)
+            if not ready:
+                break
+            wait = 0.0
+            if hasattr(self._stream, "settimeout"):
+                # Bound the frame read: data is already pending, so a
+                # stall here means a truncated frame, not idleness.
+                self._stream.settimeout(self.call_timeout or 10.0)
+            kind, _rid, _tid, value = decode_message_ex(self._stream.recv())
+            if kind is MessageKind.PUSH:
+                self._handle_push(value)
+                drained += 1
+        return drained
 
     # -- remote memory convenience -------------------------------------------
 

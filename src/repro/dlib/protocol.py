@@ -56,6 +56,7 @@ __all__ = [
     "DlibProtocolError",
     "DlibTimeoutError",
     "RetryAfterError",
+    "ServerShutdownError",
     "MessageKind",
     "PreEncoded",
     "TRACE_FLAG",
@@ -124,12 +125,34 @@ class RetryAfterError(DlibError):
         return {"retry_after": self.retry_after, "reason": self.reason}
 
 
+class ServerShutdownError(DlibError):
+    """The server shut down while this call was parked.
+
+    A handler may *defer* its reply (see :class:`repro.dlib.server.Deferred`)
+    — e.g. ``wt.frame`` parking until the pipeline publishes.  If the
+    server stops while continuations are parked, shutdown resolves each
+    of them with this error instead of silently dropping the reply, so
+    the client gets a typed, retry-safe answer rather than a dead socket
+    mid-call.  Crosses the wire as remote type ``"ServerShutdownError"``.
+    """
+
+    wire_type = "ServerShutdownError"
+
+
 class MessageKind(IntEnum):
-    """Top-level message discriminator."""
+    """Top-level message discriminator.
+
+    ``PUSH`` is the v2 push-mode extension (docs/network.md): a
+    server-initiated message carrying ``request_id = 0`` that is *not* a
+    reply to any CALL.  Only clients that negotiated push delivery via
+    ``wt.subscribe(..., push=True)`` ever receive one, so the pre-PUSH
+    client decoder is never confronted with the new kind byte.
+    """
 
     CALL = 1
     RESULT = 2
     ERROR = 3
+    PUSH = 4
 
 
 class PreEncoded:

@@ -1,4 +1,4 @@
-"""The dlib server: persistent context, serial multi-client service.
+"""The dlib server: persistent context, serial multi-client event loop.
 
 The server owns a :class:`ServerContext` — the "process environment"
 extension of section 4 — holding named state, a remote
@@ -8,12 +8,39 @@ All client calls are executed one at a time on a single service thread,
 which is what makes the windtunnel's first-come-first-served conflict
 rule (section 5.1) fall out for free.
 
-Robustness: every connection reads through a per-client reassembly
-buffer on a non-blocking socket, so a peer that sends a partial frame
-header and stalls parks *its own* connection — it cannot head-of-line
-block the service loop for everybody else.  Writes are bounded by a send
-deadline, and connection teardown (accounting included) happens in
-exactly one place, :meth:`DlibServer._drop`.
+Since the C10k refactor the service thread is a *non-blocking event
+loop*: one selector drives reads, writes, accepts, ticks, and callbacks
+scheduled from other threads (:meth:`DlibServer.call_soon`).  Three
+properties replace the old one-call-at-a-time-with-blocking-writes
+shape:
+
+* **Per-connection write queues.**  A reply (or push frame) is queued
+  and flushed as the peer's receive window allows; a short write or
+  ``EAGAIN`` parks the remainder on the connection's ``sendq`` and the
+  selector's ``EVENT_WRITE`` interest, never the loop.  Replies are
+  never shed — a peer whose reply backlog passes the hard limit is
+  declared dead and dropped — while *push* frames are shed above the
+  high-water mark (``net.frames_shed``): a slow subscriber loses
+  frames, not its connection, and never slows anybody else.
+* **Deferred replies (continuations).**  A handler may return
+  :meth:`DlibServer.defer`'s :class:`Deferred` instead of a value: the
+  call parks with no reply, the loop moves on, and any thread later
+  calls :meth:`Deferred.resolve` / :meth:`Deferred.fail` to complete it
+  (marshalled back onto the loop).  ``wt.frame`` uses this to wait for
+  the pipeline's next publish without holding the service thread.
+  Shutdown drains parked continuations with a typed
+  :class:`~repro.dlib.protocol.ServerShutdownError` instead of dropping
+  them.
+* **Push mode.**  :meth:`DlibServer.push` sends a server-initiated
+  ``PUSH`` message (``request_id = 0``) on any live connection — the
+  fan-out path for published frames (docs/network.md, "Push-mode
+  delivery").
+
+Robustness properties carried over from the pre-refactor loop: every
+connection reads through a per-client reassembly buffer on a
+non-blocking socket, so a peer that sends a partial frame header and
+stalls parks *its own* connection; connection teardown (accounting
+included) happens in exactly one place, :meth:`DlibServer._drop`.
 """
 
 from __future__ import annotations
@@ -24,6 +51,8 @@ import struct
 import threading
 import time
 import traceback
+import warnings
+from collections import deque
 from collections.abc import Callable
 from contextlib import nullcontext
 
@@ -32,6 +61,7 @@ from repro.dlib.protocol import (
     DlibProtocolError,
     MessageKind,
     PreEncoded,
+    ServerShutdownError,
     decode_message_ex,
     encode_message,
     encode_value,
@@ -40,15 +70,28 @@ from repro.dlib.transport import MAX_FRAME
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import Trace, TraceCollector, use_trace
 
-__all__ = ["ServerContext", "DlibServer"]
+__all__ = [
+    "ServerContext",
+    "DlibServer",
+    "Deferred",
+    "SEND_HIGH_WATER",
+    "SEND_HARD_LIMIT",
+]
 
 _LEN = struct.Struct("<I")
 
 #: Cap on a single non-blocking read.
 _READ_CHUNK = 1 << 16
 
-#: How long a response write may stall before the peer is declared dead.
-_SEND_DEADLINE = 5.0
+#: Default per-connection send-queue high-water mark: push frames are
+#: shed (not queued) while a connection's backlog is above this.
+SEND_HIGH_WATER = 256 * 1024
+
+#: Default hard limit on a connection's send queue.  Replies are never
+#: shed, so a peer that stops draining while replies accumulate past
+#: this bound is declared dead and dropped — the non-blocking analogue
+#: of the old 5 s blocking send deadline.
+SEND_HARD_LIMIT = 4 * 1024 * 1024
 
 
 class ServerContext:
@@ -74,7 +117,7 @@ class ServerContext:
         once per teardown, whatever the cause).
     disconnects
         Total connection teardowns — peer resets, protocol violations,
-        send stalls, and server-side shutdown closes alike.
+        send-queue overruns, and server-side shutdown closes alike.
     protocol_errors
         Teardowns caused specifically by malformed wire data.
     """
@@ -111,20 +154,36 @@ class ServerContext:
 
 
 class _Connection:
-    """One client link: non-blocking socket + incremental frame reassembly.
+    """One client link: non-blocking socket, reassembly buffer, send queue.
 
     ``pump()`` drains whatever bytes the kernel has ready into a buffer
     and peels off complete length-prefixed frames; a partial header or
     partial payload simply stays buffered until more bytes arrive.
+
+    ``queue()``/``flush()`` are the write-side mirror: outbound frames
+    accumulate on ``sendq`` and ``flush()`` pushes as much as the socket
+    accepts without ever blocking — a short write leaves the tail queued
+    for the selector's next ``EVENT_WRITE``.
     """
 
-    __slots__ = ("sock", "buf", "bytes_received", "bytes_sent")
+    __slots__ = (
+        "sock",
+        "buf",
+        "bytes_received",
+        "bytes_sent",
+        "sendq",
+        "sendq_bytes",
+        "frames_shed",
+    )
 
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
         self.buf = bytearray()
         self.bytes_received = 0
         self.bytes_sent = 0
+        self.sendq: deque[memoryview] = deque()
+        self.sendq_bytes = 0
+        self.frames_shed = 0
 
     def pump(self) -> list[tuple[bytes, float]]:
         """Read available bytes; return every newly completed frame.
@@ -156,29 +215,32 @@ class _Connection:
             del self.buf[:end]
         return frames
 
-    def send_frame(self, payload: bytes, deadline: float = _SEND_DEADLINE) -> None:
-        """Write one framed message, waiting at most ``deadline`` seconds
-        for the peer to drain its receive window."""
-        data = memoryview(_LEN.pack(len(payload)) + payload)
-        limit = time.monotonic() + deadline
-        sel = selectors.DefaultSelector()
-        sel.register(self.sock, selectors.EVENT_WRITE)
-        try:
-            while data:
-                try:
-                    n = self.sock.send(data)
-                except (BlockingIOError, InterruptedError):
-                    n = 0
-                if n:
-                    self.bytes_sent += n
-                    data = data[n:]
-                    continue
-                remaining = limit - time.monotonic()
-                if remaining <= 0:
-                    raise ConnectionError("peer stalled; response send timed out")
-                sel.select(timeout=min(remaining, 0.5))
-        finally:
-            sel.close()
+    def queue(self, payload: bytes) -> int:
+        """Append one framed message to the send queue; returns its
+        on-wire size (header included)."""
+        framed = _LEN.pack(len(payload)) + payload
+        self.sendq.append(memoryview(framed))
+        self.sendq_bytes += len(framed)
+        return len(framed)
+
+    def flush(self) -> bool:
+        """Send queued bytes until the socket would block or the queue
+        empties; returns ``True`` when fully drained.  Never blocks."""
+        while self.sendq:
+            head = self.sendq[0]
+            try:
+                n = self.sock.send(head)
+            except (BlockingIOError, InterruptedError):
+                return False
+            if n == 0:
+                return False
+            self.bytes_sent += n
+            self.sendq_bytes -= n
+            if n == len(head):
+                self.sendq.popleft()
+            else:
+                self.sendq[0] = head[n:]
+        return True
 
     def close(self) -> None:
         try:
@@ -186,6 +248,83 @@ class _Connection:
         except OSError:
             pass
         self.sock.close()
+
+
+class Deferred:
+    """A parked reply: a continuation for one in-flight CALL.
+
+    Obtained via :meth:`DlibServer.defer` *during dispatch* and returned
+    from the handler in place of a value.  Any thread may later complete
+    it exactly once with :meth:`resolve` or :meth:`fail`; the reply is
+    marshalled back onto the service thread and encoded exactly as a
+    synchronous return would have been (traced envelope, ``wire_type``/
+    ``wire_data`` error hooks included).  Completing a deferred whose
+    connection has died is a silent no-op — the methods return whether
+    this call won the completion race.
+
+    Tracing: the dlib layer does not stamp the parked interval itself —
+    the resolver knows *why* the call waited and grafts its own span
+    with an explicit start (``wt.frame`` marks the whole park as
+    ``frame_wait``), keeping the span tree free of double-counted time.
+    """
+
+    __slots__ = (
+        "_server",
+        "_conn",
+        "_request_id",
+        "_trace_id",
+        "_trace",
+        "_name",
+        "_done",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        server: "DlibServer",
+        conn: _Connection,
+        request_id: int,
+        trace_id: int,
+        trace: Trace | None,
+        name: str,
+    ) -> None:
+        self._server = server
+        self._conn = conn
+        self._request_id = request_id
+        self._trace_id = trace_id
+        self._trace = trace
+        self._name = name
+        self._done = False
+        self._lock = threading.Lock()
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def procedure(self) -> str:
+        return self._name
+
+    def _claim(self) -> bool:
+        with self._lock:
+            if self._done:
+                return False
+            self._done = True
+            return True
+
+    def resolve(self, value) -> bool:
+        """Complete the parked call with ``value`` (thread-safe, idempotent)."""
+        if not self._claim():
+            return False
+        self._server.call_soon(lambda: self._server._complete(self, value, None))
+        return True
+
+    def fail(self, exc: BaseException) -> bool:
+        """Complete the parked call with an error (thread-safe, idempotent)."""
+        if not self._claim():
+            return False
+        self._server.call_soon(lambda: self._server._complete(self, None, exc))
+        return True
 
 
 class DlibServer:
@@ -202,7 +341,8 @@ class DlibServer:
         server.stop()
 
     Procedures receive the :class:`ServerContext` as their first argument
-    followed by the client's (wire-decoded) arguments.
+    followed by the client's (wire-decoded) arguments.  A procedure may
+    return ``server.defer()``'s :class:`Deferred` to park its reply.
     """
 
     def __init__(
@@ -213,15 +353,25 @@ class DlibServer:
         memory_budget: int | None = None,
         registry: MetricsRegistry | None = None,
         trace_capacity: int = 64,
+        send_high_water: int = SEND_HIGH_WATER,
+        send_hard_limit: int = SEND_HARD_LIMIT,
     ) -> None:
         self._host, self._requested_port = host, port
         self.registry = registry if registry is not None else MetricsRegistry()
         self.context = ServerContext(memory_budget, registry=self.registry)
         self.traces = TraceCollector(trace_capacity)
+        self.send_high_water = int(send_high_water)
+        self.send_hard_limit = int(send_hard_limit)
         self._dispatch_hist = self.registry.histogram("dlib.dispatch_seconds")
         self._send_hist = self.registry.histogram("dlib.send_seconds")
         self._ticks_run = self.registry.counter("dlib.ticks_run")
         self._tick_errors = self.registry.counter("dlib.tick_errors")
+        self._loop_lag = self.registry.histogram("server.loop_lag_seconds")
+        self._stop_timeouts = self.registry.counter("server.stop_timeouts")
+        self._callback_errors = self.registry.counter("server.callback_errors")
+        self._sendq_gauge = self.registry.gauge("net.sendq_bytes")
+        self._frames_shed = self.registry.counter("net.frames_shed")
+        self._pushes_sent = self.registry.counter("dlib.pushes_sent")
         self._procedures: dict[str, Callable] = {}
         #: Optional post-send hook ``fn(procedure, nbytes, seconds)`` fired
         #: after every response write — the windtunnel server feeds its
@@ -234,6 +384,16 @@ class DlibServer:
         self._thread: threading.Thread | None = None
         self._running = False
         self._lock = threading.Lock()
+        # Event-loop state.  ``_sel``/``_conns`` are owned by the service
+        # thread; other threads reach the loop only through call_soon().
+        self._sel: selectors.BaseSelector | None = None
+        self._conns: dict[socket.socket, _Connection] = {}
+        self._callbacks: deque[tuple[Callable, float]] = deque()
+        self._parked: set[Deferred] = set()
+        self._current: tuple | None = None
+        self._sendq_total = 0
+        self._wake_r: socket.socket | None = None
+        self._wake_w: socket.socket | None = None
         self._register_builtins()
 
     @property
@@ -243,6 +403,11 @@ class DlibServer:
     @property
     def tick_errors(self) -> int:
         return self._tick_errors.value
+
+    @property
+    def parked_count(self) -> int:
+        """Number of calls currently parked on a :class:`Deferred`."""
+        return len(self._parked)
 
     # -- registry ---------------------------------------------------------
 
@@ -294,6 +459,10 @@ class DlibServer:
                 "memory_allocated": ctx_mem.allocated_bytes,
                 "ticks_run": self.ticks_run,
                 "tick_errors": self.tick_errors,
+                "parked_calls": self.parked_count,
+                "sendq_bytes": self._sendq_total,
+                "frames_shed": self._frames_shed.value,
+                "pushes_sent": self._pushes_sent.value,
             }
 
         def mem_alloc(ctx, nbytes):
@@ -335,20 +504,43 @@ class DlibServer:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((self._host, self._requested_port))
-        self._listener.listen(16)
+        self._listener.listen(128)
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
         self._running = True
         self._thread = threading.Thread(target=self._serve, daemon=True)
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, timeout: float = 5.0) -> None:
         self._running = False
+        self._wake()
+        leaked = False
         if self._thread is not None:
-            self._thread.join(timeout=5.0)
+            self._thread.join(timeout=timeout)
+            leaked = self._thread.is_alive()
+            if leaked:
+                self._stop_timeouts.inc()
+                warnings.warn(
+                    f"DlibServer service thread did not stop within {timeout} s; "
+                    "the daemon thread has been leaked "
+                    "(server.stop_timeouts counts these)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             self._thread = None
         if self._listener is not None:
             self._listener.close()
             self._listener = None
+        if not leaked:
+            # A leaked thread may still be selecting on the wake pipe;
+            # closing it under a live selector trades a warning for a
+            # crash, so the pair is only reclaimed after a clean join.
+            for sock in (self._wake_r, self._wake_w):
+                if sock is not None:
+                    sock.close()
+            self._wake_r = self._wake_w = None
 
     def __enter__(self) -> "DlibServer":
         return self.start()
@@ -356,19 +548,153 @@ class DlibServer:
     def __exit__(self, *exc) -> None:
         self.stop()
 
+    # -- cross-thread scheduling ------------------------------------------
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Schedule ``fn()`` on the service thread (thread-safe).
+
+        The pipeline's publication callback and :class:`Deferred`
+        completions arrive here.  The delay between scheduling and
+        execution is observed into ``server.loop_lag_seconds`` — the
+        loop-lag metric; a callback that raises is counted
+        (``server.callback_errors``), never fatal.
+        """
+        self._callbacks.append((fn, time.perf_counter()))
+        self._wake()
+
+    def _wake(self) -> None:
+        wake = self._wake_w
+        if wake is None:
+            return
+        try:
+            wake.send(b"\x00")
+        except (BlockingIOError, InterruptedError, OSError):
+            pass
+
+    def _run_callbacks(self) -> None:
+        # Snapshot the count so callbacks that schedule more callbacks
+        # yield to I/O instead of starving the selector.
+        for _ in range(len(self._callbacks)):
+            try:
+                fn, enqueued = self._callbacks.popleft()
+            except IndexError:
+                break
+            self._loop_lag.observe(time.perf_counter() - enqueued)
+            try:
+                fn()
+            except Exception:  # noqa: BLE001 - a callback must never kill the loop
+                self._callback_errors.inc()
+
+    # -- continuations -----------------------------------------------------
+
+    def current_connection(self) -> _Connection | None:
+        """The connection whose CALL is being dispatched right now.
+
+        Only meaningful on the service thread, inside a handler — how
+        ``wt.subscribe(push=True)`` captures the socket to push to.
+        """
+        cur = self._current
+        return cur[0] if cur is not None else None
+
+    def defer(self) -> Deferred:
+        """Park the in-flight call; return its continuation.
+
+        Valid only during dispatch (inside a handler, on the service
+        thread).  The handler must *return* the deferred; the reply is
+        sent when another party resolves it.
+        """
+        cur = self._current
+        if cur is None:
+            raise RuntimeError("defer() is only valid while dispatching a call")
+        conn, request_id, trace_id, trace, name = cur
+        d = Deferred(self, conn, request_id, trace_id, trace, name)
+        self._parked.add(d)
+        return d
+
+    def _complete(self, d: Deferred, value, exc) -> None:
+        """Finish a claimed deferred on the service thread."""
+        self._parked.discard(d)
+        conn = d._conn
+        if conn.sock not in self._conns:
+            return  # connection died while parked; nothing to reply to
+        trace = d._trace
+        try:
+            if exc is not None:
+                raise exc
+            self.context._calls.inc()
+            response = self._encode_result(d._request_id, d._trace_id, trace, value)
+        except Exception as err:  # noqa: BLE001 - faults must cross the wire
+            self.context._errors.inc()
+            response = self._encode_error(d._request_id, d._trace_id, err)
+        try:
+            self._finish_send(conn, response, d._name, trace)
+        except (ConnectionError, OSError):
+            self._drop(conn.sock)
+
+    # -- push mode ---------------------------------------------------------
+
+    def is_connected(self, conn: _Connection) -> bool:
+        """Whether ``conn`` is still registered with the loop (service
+        thread only) — how fan-out discovers dead push subscribers."""
+        return conn.sock in self._conns
+
+    def push_backlogged(self, conn: _Connection) -> bool:
+        """True when ``conn``'s send queue is above the high-water mark.
+
+        Counts the shed (``net.frames_shed``): callers ask *before*
+        building the per-client payload, so a slow subscriber costs
+        neither encode nor queue memory.
+        """
+        if conn.sendq_bytes > self.send_high_water:
+            conn.frames_shed += 1
+            self._frames_shed.inc()
+            return True
+        return False
+
+    def push(self, conn: _Connection, value, *, shed: bool = True) -> bool:
+        """Send a server-initiated PUSH message on ``conn``.
+
+        Service-thread only.  Returns ``False`` when the connection is
+        gone or (with ``shed=True``) its backlog is above the high-water
+        mark; a backlog past the hard limit drops the connection.
+        """
+        if conn.sock not in self._conns:
+            return False
+        if shed and self.push_backlogged(conn):
+            return False
+        payload = encode_message(MessageKind.PUSH, 0, value)
+        try:
+            self._queue(conn, payload)
+            self._flush(conn)
+            if conn.sendq_bytes > self.send_hard_limit:
+                raise ConnectionError(
+                    "peer stopped draining; push backlog exceeded hard limit"
+                )
+        except (ConnectionError, OSError):
+            self._drop(conn.sock)
+            return False
+        self._pushes_sent.inc()
+        return True
+
     # -- service loop ----------------------------------------------------------
 
     def _serve(self) -> None:
         sel = selectors.DefaultSelector()
-        assert self._listener is not None
+        assert self._listener is not None and self._wake_r is not None
         self._listener.setblocking(False)
         sel.register(self._listener, selectors.EVENT_READ, "listener")
+        sel.register(self._wake_r, selectors.EVENT_READ, "wakeup")
         conns: dict[socket.socket, _Connection] = {}
+        self._sel, self._conns = sel, conns
         try:
             while self._running:
-                # The single select + single service thread *is* the serial
-                # execution guarantee.
-                for key, _ in sel.select(timeout=0.05):
+                # The single selector + single service thread *is* the
+                # serial execution guarantee.
+                try:
+                    events = sel.select(timeout=0.05)
+                except OSError:
+                    break  # listener/wake pipe closed under a racing stop()
+                for key, mask in events:
                     if key.data == "listener":
                         try:
                             sock, _addr = self._listener.accept()
@@ -382,6 +708,11 @@ class DlibServer:
                         conns[sock] = _Connection(sock)
                         sel.register(sock, selectors.EVENT_READ, "client")
                         self.context._clients.inc()
+                    elif key.data == "wakeup":
+                        try:
+                            self._wake_r.recv(4096)
+                        except (BlockingIOError, InterruptedError, OSError):
+                            pass
                     else:
                         sock = key.fileobj
                         conn = conns.get(sock)
@@ -392,34 +723,67 @@ class DlibServer:
                                 pass
                             continue
                         try:
-                            for frame, arrived in conn.pump():
-                                self._dispatch(conn, frame, arrived)
+                            if mask & selectors.EVENT_WRITE:
+                                self._flush(conn)
+                            if mask & selectors.EVENT_READ:
+                                for frame, arrived in conn.pump():
+                                    self._dispatch(conn, frame, arrived)
                         except DlibProtocolError:
                             self.context._protocol_errors.inc()
-                            self._drop(sel, conns, sock)
+                            self._drop(sock)
                         except (ConnectionError, OSError):
-                            self._drop(sel, conns, sock)
+                            self._drop(sock)
+                self._run_callbacks()
                 self._run_ticks()
         finally:
+            self._shutdown_parked()
             for sock in list(conns):
-                self._drop(sel, conns, sock)
+                self._drop(sock)
+            self._sel = None
+            self._conns = {}
             sel.close()
 
-    def _drop(
-        self,
-        sel: selectors.BaseSelector,
-        conns: dict[socket.socket, _Connection],
-        sock: socket.socket,
-    ) -> None:
+    def _shutdown_parked(self) -> None:
+        """Resolve every parked continuation with a typed shutdown error.
+
+        Best effort: each reply is queued and flushed once; a peer that
+        cannot take it right now simply loses the race to the close.
+        """
+        if not self._parked:
+            return
+        exc = ServerShutdownError("server stopped while the call was parked")
+        for d in list(self._parked):
+            self._parked.discard(d)
+            if not d._claim():
+                continue  # a racing resolve() won; its callback will no-op
+            conn = d._conn
+            if conn.sock not in self._conns:
+                continue
+            try:
+                response = self._encode_error(d._request_id, d._trace_id, exc)
+                self._queue(conn, response)
+                self._flush(conn)
+            except (ConnectionError, OSError):
+                pass
+
+    def _drop(self, sock: socket.socket) -> None:
         """The single teardown path: unregister, close, account."""
-        conn = conns.pop(sock, None)
+        conn = self._conns.pop(sock, None)
         if conn is None:
             return
-        try:
-            sel.unregister(sock)
-        except (KeyError, ValueError):
-            pass
+        if self._sel is not None:
+            try:
+                self._sel.unregister(sock)
+            except (KeyError, ValueError):
+                pass
+        self._sendq_total -= conn.sendq_bytes
+        self._sendq_gauge.set(self._sendq_total)
         conn.close()
+        # Parked continuations for this connection have nobody to reply
+        # to: mark them done so a later resolve()/fail() is a no-op.
+        for d in [d for d in self._parked if d._conn is conn]:
+            d._claim()
+            self._parked.discard(d)
         self.context._clients.dec()
         self.context._disconnects.inc()
 
@@ -430,12 +794,125 @@ class DlibServer:
         for tick in self._ticks:
             fn, interval, due = tick
             if now >= due:
+                if due:
+                    # Tick lateness is loop lag by another door: a tick
+                    # that fires late was held up by dispatch/fan-out.
+                    self._loop_lag.observe(max(0.0, now - due))
                 tick[2] = now + interval
                 self._ticks_run.inc()
                 try:
                     fn(self.context)
                 except Exception:  # noqa: BLE001 - a tick must never kill the loop
                     self._tick_errors.inc()
+
+    # -- write path --------------------------------------------------------
+
+    def _queue(self, conn: _Connection, payload: bytes) -> None:
+        self._sendq_total += conn.queue(payload)
+        self._sendq_gauge.set(self._sendq_total)
+
+    def _flush(self, conn: _Connection) -> None:
+        """Flush ``conn``'s queue as far as the socket allows, keeping the
+        global backlog gauge and the selector's write interest current."""
+        before = conn.sendq_bytes
+        try:
+            conn.flush()
+        finally:
+            self._sendq_total += conn.sendq_bytes - before
+            self._sendq_gauge.set(self._sendq_total)
+            self._update_interest(conn)
+
+    def _update_interest(self, conn: _Connection) -> None:
+        sel = self._sel
+        if sel is None:
+            return
+        events = selectors.EVENT_READ
+        if conn.sendq:
+            events |= selectors.EVENT_WRITE
+        try:
+            sel.modify(conn.sock, events, "client")
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _send_reply(self, conn: _Connection, response: bytes) -> float:
+        """Queue one reply and flush what fits now; returns seconds spent.
+
+        Replies are never shed — but a peer whose backlog passes the
+        hard limit is dead weight holding server memory, and is dropped.
+        """
+        t0 = time.perf_counter()
+        self._queue(conn, response)
+        self._flush(conn)
+        if conn.sendq_bytes > self.send_hard_limit:
+            raise ConnectionError(
+                "peer stopped draining; reply backlog exceeded hard limit"
+            )
+        return time.perf_counter() - t0
+
+    def _finish_send(
+        self, conn: _Connection, response: bytes, name: str, trace: Trace | None
+    ) -> None:
+        send_seconds = self._send_reply(conn, response)
+        self._send_hist.observe(send_seconds)
+        if self.on_sent is not None:
+            try:
+                self.on_sent(name, len(response), send_seconds)
+            except Exception:  # noqa: BLE001 - telemetry must not kill the link
+                pass
+        if trace is not None:
+            trace.mark("send", send_seconds)
+            trace.root.duration = trace.now()
+            self.traces.add(trace)
+            self._dispatch_hist.observe(trace.root.duration)
+
+    # -- encoding ----------------------------------------------------------
+
+    def _encode_result(
+        self, request_id: int, trace_id: int, trace: Trace | None, result
+    ) -> bytes:
+        if trace is not None:
+            # Encode the result first (under its own span), then splice
+            # the finished tree next to it: the reply carries queue_wait
+            # + handler (+ parked) + encode.  The socket write cannot be
+            # inside its own payload; it lands in the trace collector
+            # and the dlib.send_seconds histogram.
+            with trace.span("encode"):
+                body = PreEncoded(encode_value(result))
+            trace.finish()
+            return encode_message(
+                MessageKind.RESULT,
+                request_id,
+                {"t": trace.to_wire(), "r": body},
+                trace_id=trace_id,
+            )
+        return encode_message(MessageKind.RESULT, request_id, result)
+
+    def _encode_error(
+        self, request_id: int, trace_id: int, exc: BaseException
+    ) -> bytes:
+        # An exception may claim a different wire-visible type via
+        # ``wire_type`` — how a proxy (the session gateway) re-raises
+        # a worker's error so the client sees the *original* type
+        # (``SessionExpiredError``), not the proxy's wrapper.
+        error = {
+            "type": getattr(exc, "wire_type", None) or type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+        # Typed errors (RetryAfterError and friends) carry structured
+        # detail in ``wire_data``; ship it so clients can act on the
+        # rejection (back off N seconds) instead of parsing prose.
+        data = getattr(exc, "wire_data", None)
+        if isinstance(data, dict):
+            error["data"] = data
+        return encode_message(
+            MessageKind.ERROR,
+            request_id,
+            error,
+            trace_id=trace_id,
+        )
+
+    # -- dispatch ----------------------------------------------------------
 
     def _dispatch(self, conn: _Connection, frame: bytes, arrived: float) -> None:
         kind, request_id, trace_id, payload = decode_message_ex(frame)
@@ -448,7 +925,8 @@ class DlibServer:
         kwargs = payload.get("kwargs", {})
         fn = self._procedures.get(name)
         if fn is None:
-            conn.send_frame(
+            self._send_reply(
+                conn,
                 encode_message(
                     MessageKind.ERROR,
                     request_id,
@@ -457,7 +935,7 @@ class DlibServer:
                         "message": f"no such procedure {name!r}",
                         "traceback": "",
                     },
-                )
+                ),
             )
             return
         # A traced call opens a span tree anchored at frame arrival, so
@@ -467,62 +945,24 @@ class DlibServer:
         trace = Trace(trace_id, name, origin=arrived) if trace_id else None
         if trace is not None:
             trace.mark("queue_wait", trace.now(), start=0.0)
+        self._current = (conn, request_id, trace_id, trace, name)
         try:
-            with use_trace(trace):
-                with trace.span("handler") if trace else nullcontext():
-                    result = fn(self.context, *args, **kwargs)
-            self.context._calls.inc()
-            if trace is not None:
-                # Encode the result first (under its own span), then
-                # splice the finished tree next to it: the reply carries
-                # queue_wait + handler + encode.  The socket write below
-                # cannot be inside its own payload; it lands in the
-                # trace collector and the dlib.send_seconds histogram.
-                with trace.span("encode"):
-                    body = PreEncoded(encode_value(result))
-                trace.finish()
-                response = encode_message(
-                    MessageKind.RESULT,
-                    request_id,
-                    {"t": trace.to_wire(), "r": body},
-                    trace_id=trace_id,
-                )
-            else:
-                response = encode_message(MessageKind.RESULT, request_id, result)
-        except Exception as exc:  # noqa: BLE001 - faults must cross the wire
-            self.context._errors.inc()
-            # An exception may claim a different wire-visible type via
-            # ``wire_type`` — how a proxy (the session gateway) re-raises
-            # a worker's error so the client sees the *original* type
-            # (``SessionExpiredError``), not the proxy's wrapper.
-            error = {
-                "type": getattr(exc, "wire_type", None) or type(exc).__name__,
-                "message": str(exc),
-                "traceback": traceback.format_exc(),
-            }
-            # Typed errors (RetryAfterError and friends) carry structured
-            # detail in ``wire_data``; ship it so clients can act on the
-            # rejection (back off N seconds) instead of parsing prose.
-            data = getattr(exc, "wire_data", None)
-            if isinstance(data, dict):
-                error["data"] = data
-            response = encode_message(
-                MessageKind.ERROR,
-                request_id,
-                error,
-                trace_id=trace_id,
-            )
-        t0 = time.perf_counter()
-        conn.send_frame(response)
-        send_seconds = time.perf_counter() - t0
-        self._send_hist.observe(send_seconds)
-        if self.on_sent is not None:
             try:
-                self.on_sent(name, len(response), send_seconds)
-            except Exception:  # noqa: BLE001 - telemetry must not kill the link
-                pass
-        if trace is not None:
-            trace.mark("send", send_seconds)
-            trace.root.duration = trace.now()
-            self.traces.add(trace)
-            self._dispatch_hist.observe(trace.root.duration)
+                with use_trace(trace):
+                    with trace.span("handler") if trace else nullcontext():
+                        result = fn(self.context, *args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - faults must cross the wire
+                self.context._errors.inc()
+                response = self._encode_error(request_id, trace_id, exc)
+            else:
+                if isinstance(result, Deferred):
+                    # The handler parked its reply; the continuation
+                    # owns the response now.  calls_served counts at
+                    # completion, so in-flight work is visible as the
+                    # gap between dispatches and completions.
+                    return
+                self.context._calls.inc()
+                response = self._encode_result(request_id, trace_id, trace, result)
+        finally:
+            self._current = None
+        self._finish_send(conn, response, name, trace)

@@ -8,6 +8,9 @@
 * :mod:`~repro.perf.wire` — the v2 wire-efficiency model: what deltas,
   quantization, and decimation buy against Table 1's 12 bytes/point
   (docs/network.md).
+* :mod:`~repro.perf.serverloop` — the push fan-out cost model: what one
+  publication costs the event loop per subscriber, and how many
+  subscribers one worker sustains (BENCH_7).
 """
 
 from repro.perf.scenario import (
@@ -27,10 +30,12 @@ from repro.perf.pipeline import (
 )
 from repro.perf.capacity import GatewayCapacityModel
 from repro.perf.profiling import ProfileReport, ProfileRow, profile_call
+from repro.perf.serverloop import ServerLoopModel
 from repro.perf.wire import SessionWireModel, frame_payload_bytes
 
 __all__ = [
     "GatewayCapacityModel",
+    "ServerLoopModel",
     "SessionWireModel",
     "frame_payload_bytes",
     "ProfileReport",

@@ -1,0 +1,108 @@
+"""Push fan-out cost model for the event-loop windtunnel server.
+
+Two measured constants describe what one publication costs the single
+service thread (the same measure-small/predict-big move as
+:mod:`repro.perf.capacity`):
+
+* ``encode_seconds`` — the per-publication *variant* cost: building each
+  distinct (encoding, decimate) fragment once, shared by every
+  subscriber on that rung.  Independent of client count — that is the
+  whole point of the :class:`~repro.core.framestore.EncodingCache`.
+* ``per_client_seconds`` — the per-subscriber cost: composing the
+  per-client envelope from cached fragments and queueing it on the
+  connection's send queue.  This is the term that scales with fan-out.
+
+A publication therefore occupies the loop for ``encode_seconds +
+n * per_client_seconds``; everything else (replies, ticks, accepts)
+waits behind it.  The model answers the operator questions in
+docs/operations.md: what publication rate a subscriber population can
+sustain, and how many subscribers fit under a target rate.  The
+``BENCH_7`` soak (``benchmarks/test_server_soak.py``) measures the
+constants live by sweeping subscriber count and fits the model with
+:meth:`ServerLoopModel.fit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerLoopModel"]
+
+
+@dataclass(frozen=True)
+class ServerLoopModel:
+    encode_seconds: float
+    per_client_seconds: float
+    loop_overhead_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.encode_seconds < 0:
+            raise ValueError("encode_seconds must be non-negative")
+        if self.per_client_seconds < 0:
+            raise ValueError("per_client_seconds must be non-negative")
+        if self.loop_overhead_seconds < 0:
+            raise ValueError("loop_overhead_seconds must be non-negative")
+
+    # -- cost per publication ------------------------------------------------
+
+    def fanout_seconds(self, n_clients: int) -> float:
+        """Loop occupancy of one publication fanned out to ``n_clients``."""
+        if n_clients < 0:
+            raise ValueError("n_clients must be non-negative")
+        return (
+            self.loop_overhead_seconds
+            + self.encode_seconds
+            + n_clients * self.per_client_seconds
+        )
+
+    # -- sustainable rates ---------------------------------------------------
+
+    def max_publish_hz(self, n_clients: int) -> float:
+        """The publication rate at which fan-out saturates the loop."""
+        cost = self.fanout_seconds(n_clients)
+        return float("inf") if cost <= 0 else 1.0 / cost
+
+    def max_clients(self, publish_hz: float, *, utilization: float = 0.8) -> int:
+        """Subscribers sustainable at ``publish_hz`` publications/second.
+
+        ``utilization`` reserves loop headroom for everything that is not
+        fan-out — replies to pull clients, session ticks, accepts.
+        """
+        if publish_hz <= 0:
+            raise ValueError("publish_hz must be positive")
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        if self.per_client_seconds <= 0:
+            return 10**9  # effectively unbounded: fan-out is all fixed cost
+        budget = utilization / publish_hz - self.encode_seconds - (
+            self.loop_overhead_seconds
+        )
+        return max(0, int(budget / self.per_client_seconds))
+
+    # -- fitting -------------------------------------------------------------
+
+    @classmethod
+    def fit(cls, samples, loop_lag_samples=()) -> "ServerLoopModel":
+        """Least-squares fit from ``(n_clients, fanout_seconds)`` pairs.
+
+        Two or more distinct client counts pin the line; the intercept is
+        the shared encode cost, the slope the per-subscriber cost.  Noise
+        can drive either term slightly negative on a quiet machine —
+        clamped to zero, the model stays physical.
+        """
+        pts = [(int(n), float(s)) for n, s in samples]
+        if len(pts) < 2 or len({n for n, _ in pts}) < 2:
+            raise ValueError("need samples at two or more distinct client counts")
+        n_mean = sum(n for n, _ in pts) / len(pts)
+        s_mean = sum(s for _, s in pts) / len(pts)
+        var = sum((n - n_mean) ** 2 for n, _ in pts)
+        cov = sum((n - n_mean) * (s - s_mean) for n, s in pts)
+        slope = cov / var
+        intercept = s_mean - slope * n_mean
+        lags = list(loop_lag_samples)
+        lag = sum(lags) / len(lags) if lags else 0.0
+        return cls(
+            encode_seconds=max(0.0, intercept),
+            per_client_seconds=max(0.0, slope),
+            loop_overhead_seconds=max(0.0, lag),
+        )

@@ -11,7 +11,7 @@ import struct
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.dlib import (
@@ -296,3 +296,102 @@ class TestAdversarialTransport:
         finally:
             if sock is not None:
                 sock.close()
+
+
+class TestEventLoopFuzz:
+    """Interleaved partial reads *and* writes across many sockets at once.
+
+    The event loop reassembles per-connection byte streams independently;
+    no fragmentation schedule on one socket may corrupt, reorder, or
+    starve another.  Hypothesis drives the fragmentation: each example is
+    a set of clients, each with its own chunk-size pattern for dribbling
+    its requests onto the wire.
+    """
+
+    @pytest.fixture()
+    def server(self):
+        srv = DlibServer()
+        srv.register("echo", lambda ctx, v: v)
+        srv.start()
+        yield srv
+        srv.stop()
+
+    @given(
+        plans=st.lists(
+            st.lists(st.integers(1, 7), min_size=1, max_size=6),
+            min_size=2,
+            max_size=6,
+        ),
+    )
+    @settings(
+        max_examples=15,
+        deadline=None,
+        # The server is stateless (echo) and every example dials fresh
+        # sockets, so sharing one server across examples is sound.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_fragmented_calls_interleaved_across_sockets(self, server, plans):
+        from repro.dlib.protocol import MessageKind, decode_message, encode_message
+
+        socks = [socket.create_connection(server.address) for _ in plans]
+        try:
+            # Build each client's outbound bytes: two calls back to back,
+            # so a frame boundary always falls mid-stream.
+            pending = []
+            for i, _ in enumerate(plans):
+                buf = b""
+                for rid in (2 * i + 1, 2 * i + 2):
+                    payload = encode_message(
+                        MessageKind.CALL, rid, {"proc": "echo", "args": [[rid, i]]}
+                    )
+                    buf += struct.pack("<I", len(payload)) + payload
+                pending.append(buf)
+            # Round-robin the sockets, each sending its next chunk (sized
+            # by its plan) per turn — interleaved partial writes from the
+            # server's point of view.
+            turn = 0
+            while any(pending):
+                for i, sock in enumerate(socks):
+                    if not pending[i]:
+                        continue
+                    sizes = plans[i]
+                    n = sizes[turn % len(sizes)]
+                    sock.sendall(pending[i][:n])
+                    pending[i] = pending[i][n:]
+                turn += 1
+            # Every client gets exactly its own replies, in its own order.
+            for i, sock in enumerate(socks):
+                s = Stream(sock)
+                for expect_rid in (2 * i + 1, 2 * i + 2):
+                    kind, rid, result = decode_message(s.recv())
+                    assert kind is MessageKind.RESULT
+                    assert rid == expect_rid
+                    assert result == [expect_rid, i]
+        finally:
+            for sock in socks:
+                sock.close()
+
+    def test_slow_reader_cannot_starve_the_loop(self, server):
+        """A client that never reads its replies fills its own send queue
+        only; other clients' latency stays flat."""
+        import time
+
+        from repro.dlib.protocol import MessageKind, encode_message
+
+        hog = socket.create_connection(server.address)
+        try:
+            # Pile up replies the hog never reads.  Payloads are small, so
+            # they queue without tripping the reply hard limit.
+            payload = encode_message(
+                MessageKind.CALL, 1, {"proc": "echo", "args": ["x" * 1024]}
+            )
+            frame = struct.pack("<I", len(payload)) + payload
+            for _ in range(50):
+                hog.sendall(frame)
+            with DlibClient(*server.address) as c:
+                for i in range(10):
+                    t0 = time.perf_counter()
+                    assert c.call("echo", i) == i
+                    assert time.perf_counter() - t0 < 1.0
+        finally:
+            hog.close()

@@ -12,7 +12,12 @@ import math
 import numpy as np
 import pytest
 
-from repro.perf import compare_to_model, profile_call, simulate_pipeline
+from repro.perf import (
+    ServerLoopModel,
+    compare_to_model,
+    profile_call,
+    simulate_pipeline,
+)
 
 
 class TestSimulatePipelineEdges:
@@ -135,3 +140,55 @@ class TestProfileCallEdges:
 
         report = profile_call(named_hotspot)
         assert report.find("named_hotspot")
+
+
+class TestServerLoopModel:
+    """The BENCH_7 fan-out cost model: fit, predict, and reject garbage."""
+
+    def test_fit_recovers_a_clean_line(self):
+        m = ServerLoopModel(encode_seconds=2e-3, per_client_seconds=1e-4)
+        samples = [(n, m.fanout_seconds(n)) for n in (100, 250, 500, 1000)]
+        fitted = ServerLoopModel.fit(samples)
+        assert math.isclose(fitted.encode_seconds, 2e-3, rel_tol=1e-9)
+        assert math.isclose(fitted.per_client_seconds, 1e-4, rel_tol=1e-9)
+
+    def test_fit_clamps_noise_driven_negative_terms(self):
+        # A quiet machine can measure a (slightly) negative intercept;
+        # the model must stay physical.
+        fitted = ServerLoopModel.fit([(10, 0.0009), (100, 0.0100)])
+        assert fitted.encode_seconds >= 0.0
+        assert fitted.per_client_seconds > 0.0
+
+    def test_fit_needs_two_distinct_client_counts(self):
+        with pytest.raises(ValueError):
+            ServerLoopModel.fit([(100, 0.01)])
+        with pytest.raises(ValueError):
+            ServerLoopModel.fit([(100, 0.01), (100, 0.02)])
+
+    def test_negative_constants_raise(self):
+        with pytest.raises(ValueError):
+            ServerLoopModel(encode_seconds=-1e-3, per_client_seconds=1e-4)
+        with pytest.raises(ValueError):
+            ServerLoopModel(encode_seconds=1e-3, per_client_seconds=-1e-4)
+
+    def test_max_publish_hz_is_the_fanout_reciprocal(self):
+        m = ServerLoopModel(encode_seconds=0.0, per_client_seconds=1e-3)
+        assert math.isclose(m.max_publish_hz(100), 10.0)
+        free = ServerLoopModel(encode_seconds=0.0, per_client_seconds=0.0)
+        assert free.max_publish_hz(10**6) == float("inf")
+
+    def test_max_clients_inverts_max_publish_hz(self):
+        m = ServerLoopModel(encode_seconds=1e-3, per_client_seconds=1e-4)
+        n = m.max_clients(10.0, utilization=1.0)
+        # n clients fit at 10 Hz; n+1 must not.
+        assert m.max_publish_hz(n) >= 10.0 > m.max_publish_hz(n + 1)
+
+    def test_max_clients_utilization_reserves_headroom(self):
+        m = ServerLoopModel(encode_seconds=0.0, per_client_seconds=1e-4)
+        assert m.max_clients(10.0, utilization=0.5) == pytest.approx(
+            m.max_clients(10.0, utilization=1.0) / 2, abs=1
+        )
+        with pytest.raises(ValueError):
+            m.max_clients(0.0)
+        with pytest.raises(ValueError):
+            m.max_clients(10.0, utilization=1.5)

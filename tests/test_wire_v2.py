@@ -444,3 +444,140 @@ class TestInterop:
             assert snap["histograms"]["net.bytes_per_frame"]["count"] >= 2
             assert "net.encode_cache_hits" in snap["counters"]
             assert f"net.degradation.{c.client_id}.level" in snap["gauges"]
+
+
+# -- push-mode delivery -------------------------------------------------------
+
+
+class TestPushDelivery:
+    """Server-initiated frame streaming (``wt.subscribe(push=True)``)."""
+
+    def _serve(self):
+        clock = {"now": 0.0}
+        srv = WindtunnelServer(
+            _make_dataset(),
+            settings=ToolSettings(streamline_steps=16, streakline_length=6),
+            time_speed=1.0,
+            time_fn=lambda: clock["now"],
+        )
+        srv.start()
+        return srv, clock
+
+    def test_push_subscription_streams_frames_without_polling(self):
+        srv, clock = self._serve()
+        try:
+            with WindtunnelClient(*srv.address, name="pushed") as c:
+                info = c.subscribe(encoding="q16", push=True)
+                assert info["push"] is True
+                c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+                deadline = 5.0
+                wait_until(
+                    lambda: c.drain_pushes(0.05) > 0 or c.pushed_frames > 0,
+                    timeout=deadline,
+                )
+                assert c.pushed_frames >= 1
+                state = c.latest_state  # arrived with no fetch_frame call
+                assert state is not None and "v2" in state
+                assert state["paths"]
+        finally:
+            srv.stop()
+
+    def test_pull_only_subscription_never_sees_a_push(self):
+        srv, clock = self._serve()
+        try:
+            with WindtunnelClient(*srv.address, name="pull") as c:
+                info = c.subscribe(encoding="q16", push=False)
+                assert info["push"] is False
+                c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+                c.fetch_frame()
+                assert c.drain_pushes(0.3) == 0
+                assert c.pushed_frames == 0
+        finally:
+            srv.stop()
+
+    def test_push_subscriber_drives_production_without_polling(self):
+        """Standing demand: the pipeline produces for a push subscriber
+        even though nobody calls wt.frame."""
+        srv, clock = self._serve()
+        try:
+            with WindtunnelClient(*srv.address, name="standing") as c:
+                c.subscribe(push=True)
+                assert srv.pipeline.standing_demand == 1
+                produced_before = srv.pipeline.frames_produced
+                c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+                wait_until(lambda: srv.pipeline.frames_produced > produced_before)
+            wait_until(lambda: srv.pipeline.standing_demand == 0)
+        finally:
+            srv.stop()
+
+    def test_fan_out_encodes_once_for_many_subscribers(self):
+        """N push subscribers sharing one encoding variant cost one encode
+        per publication, not N."""
+        srv, clock = self._serve()
+        clients = []
+        try:
+            for i in range(4):
+                c = WindtunnelClient(*srv.address, name=f"fan{i}")
+                c.subscribe(encoding="q16", push=True)
+                clients.append(c)
+            snap0 = srv.registry.snapshot()["counters"]
+            misses0 = snap0.get("net.encode_cache_misses", 0)
+            clients[0].add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
+            for c in clients:
+                wait_until(lambda c=c: c.drain_pushes(0.05) > 0 or c.pushed_frames > 0)
+            snap = srv.registry.snapshot()["counters"]
+            assert snap["net.publications_fanned_out"] >= 1
+            pushes = snap["net.push_frames"]
+            assert pushes >= len(clients)
+            # Encode-dedup: variants are built once per publication and
+            # shared across every subscriber on that (rake, ladder) rung.
+            misses = snap.get("net.encode_cache_misses", 0) - misses0
+            publications = snap["net.publications_fanned_out"]
+            assert misses <= 2 * publications  # paths variant + env, not N·clients
+        finally:
+            for c in clients:
+                c.close()
+            srv.stop()
+
+    @pytest.mark.parametrize("encoding", ["v1", "q16", "f16"])
+    def test_push_and_pull_sequences_are_bit_identical(self, encoding):
+        """The property the fan-out cache must preserve: a push-mode
+        subscriber and a pull-mode subscriber with the same subscription
+        terms reconstruct bit-identical per-rake state for the same
+        publication sequence."""
+        srv, clock = self._serve()
+        try:
+            with WindtunnelClient(*srv.address, name="pull") as pull, \
+                 WindtunnelClient(*srv.address, name="push") as push:
+                pull.subscribe(encoding=encoding, deltas=True, push=False)
+                push.subscribe(encoding=encoding, deltas=True, push=True)
+                rng = np.random.default_rng(7)
+                for step in range(4):
+                    # Mutate the scene: each mutation is one publication.
+                    y = float(rng.uniform(1.0, 7.0))
+                    pull.add_rake([1 + step, 1, 1], [1 + step, y, 3], n_seeds=4)
+                    state = pull.fetch_frame()
+                    seq = state["v2"]["seq"]
+                    wait_until(
+                        lambda: (
+                            push.drain_pushes(0.05) >= 0
+                            and push.latest_state is not None
+                            and push.latest_state.get("v2", {}).get("seq", -1) >= seq
+                        )
+                    )
+                    pushed = push.latest_state
+                    assert pushed["v2"]["encoding"] == state["v2"]["encoding"]
+                    assert set(pushed["paths"]) == set(state["paths"])
+                    for rid, entry in state["paths"].items():
+                        other = pushed["paths"][rid]
+                        # Bit-identical reconstruction, not merely close:
+                        # both sides decode the same cached fragments.
+                        np.testing.assert_array_equal(
+                            entry["vertices"], other["vertices"]
+                        )
+                        np.testing.assert_array_equal(
+                            np.asarray(entry["lengths"]), np.asarray(other["lengths"])
+                        )
+                        assert entry["kind"] == other["kind"]
+        finally:
+            srv.stop()
