@@ -220,6 +220,60 @@ def record_soak(output: Path) -> int:
     return 0
 
 
+def record_sweep(output: Path) -> int:
+    """Run the BENCH_8 batch-windtunnel sweep, emit BENCH_8.json.
+
+    The live measurement lives in :mod:`benchmarks.sweep_scenario`
+    (shared with the CI sweep-smoke job); this entry adds host
+    provenance and the smoke gates: the full grid must expand and every
+    scenario must complete.
+    """
+    from sweep_scenario import MIN_SCENARIOS, run_sweep_scenario
+
+    result = run_sweep_scenario()
+    result["host"] = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    summary = result["summary"]
+    print(
+        f"sweep         {result['scenarios']} scenario(s)"
+        f"  {result['wall_seconds']:6.2f} s"
+        f"  ({result['scenarios_per_second']:.1f}/s, "
+        f"{result['workers']} workers)"
+    )
+    for run in result["runs"]:
+        line = f"  [{run['status']:>8}] {run['scenario_id']}  {run['label']}"
+        if run["status"] == "ok":
+            m = run["metrics"]
+            line += (
+                f"  {m['bytes_per_frame']:,.0f} B/frame"
+                f"  {m['encodes_per_publication']:.1f} enc/pub"
+            )
+        print(line)
+    print(f"wrote {output}")
+
+    if result["scenarios"] < MIN_SCENARIOS:
+        print(
+            f"FAIL: grid expanded to {result['scenarios']} scenarios"
+            f" (< {MIN_SCENARIOS})",
+            file=sys.stderr,
+        )
+        return 1
+    if summary["rejected"] or summary["errors"]:
+        print(
+            f"FAIL: {summary['rejected']} rejected, "
+            f"{summary['errors']} errored",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -227,7 +281,8 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=None,
         help="result path (default: output/BENCH_4.json, BENCH_6.json "
-        "with --gateway, or BENCH_7.json with --soak)",
+        "with --gateway, BENCH_7.json with --soak, or BENCH_8.json "
+        "with --sweep)",
     )
     parser.add_argument(
         "--skip-table3", action="store_true",
@@ -241,7 +296,17 @@ def main(argv: list[str] | None = None) -> int:
         "--soak", action="store_true",
         help="record the BENCH_7 push fan-out soak scenario instead",
     )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="record the BENCH_8 batch-windtunnel sweep scenario instead",
+    )
     args = parser.parse_args(argv)
+    if args.sweep:
+        return record_sweep(
+            args.output
+            if args.output is not None
+            else Path(__file__).parent / "output" / "BENCH_8.json"
+        )
     if args.gateway:
         return record_gateway(
             args.output

@@ -1,0 +1,79 @@
+"""The BENCH_8 batch-windtunnel scenario: the smoke sweep, measured.
+
+Runs the checked-in ``examples/sweeps/smoke.yaml`` grid (8 scenarios:
+2 shapes x 2 encodings x 2 fault profiles) through :class:`repro.sweep.
+SweepRunner` into a throwaway store and summarizes the lane itself —
+scenarios/second of sweep throughput, the per-scenario metric snapshots,
+and the deterministic wire numbers the comparison reporter keys on.
+
+Shared between ``benchmarks/record.py --sweep`` (emits BENCH_8.json with
+host provenance + CI gates) and any ad-hoc profiling of the sweep lane.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sweep import ResultsStore, SweepRunner, load_manifest  # noqa: E402
+
+#: The manifest the scenario sweeps (relative to the repo root).
+MANIFEST = Path(__file__).resolve().parent.parent / "examples" / "sweeps" / "smoke.yaml"
+#: Every scenario in the grid must complete (no rejects, no errors).
+MIN_SCENARIOS = 8
+#: Pool width for the measured run.
+WORKERS = 4
+
+
+def run_sweep_scenario(manifest_path: Path | str = MANIFEST) -> dict:
+    """Run the smoke sweep once; plain-data result for JSON dumping."""
+    manifest = load_manifest(manifest_path)
+    scenarios = manifest.expand()
+    with tempfile.TemporaryDirectory(prefix="wt-bench-sweep-") as tmp:
+        runner = SweepRunner(
+            manifest, ResultsStore(tmp), workers=WORKERS, keyframes=False
+        )
+        t0 = time.perf_counter()
+        outcome = runner.run()
+        wall = time.perf_counter() - t0
+        summary = outcome.store.header()["summary"]
+
+    runs = []
+    for record in sorted(outcome.records, key=lambda r: r["scenario_id"]):
+        entry = {
+            "scenario_id": record["scenario_id"],
+            "label": record["label"],
+            "status": record["status"],
+        }
+        if record["status"] == "ok":
+            m = record["metrics"]
+            entry["metrics"] = {
+                "frame_seconds_p50": m["frame_seconds_p50"],
+                "frame_seconds_p95": m["frame_seconds_p95"],
+                "bytes_per_frame": m["bytes_per_frame"],
+                "encodes_per_publication": m["encodes_per_publication"],
+                "points_total": m["points_total"],
+                "faults_injected": m["faults_injected"],
+            }
+        runs.append(entry)
+
+    return {
+        "bench": "BENCH_8",
+        "manifest": {"digest": manifest.digest, "name": manifest.name},
+        "scenarios": len(scenarios),
+        "workers": WORKERS,
+        "wall_seconds": wall,
+        "scenarios_per_second": len(scenarios) / wall if wall > 0 else 0.0,
+        "summary": summary,
+        "runs": runs,
+    }
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(run_sweep_scenario(), indent=2, sort_keys=True))

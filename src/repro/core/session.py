@@ -83,6 +83,11 @@ class SessionTable:
         self.reaped_total = 0
         self.resumed_total = 0
         self.evicted_total = 0
+        #: Completed reaper passes.  A progress counter, not a health
+        #: stat: tests assert "the reaper ran and declined to act" by
+        #: waiting for this to advance (tests/__init__.py rule 2)
+        #: instead of sleeping and hoping the reaper thread got a turn.
+        self.sweeps_total = 0
 
     def __len__(self) -> int:
         return len(self._leases)
@@ -186,4 +191,5 @@ class SessionTable:
         for cid in evict:
             del self._leases[cid]
             self.evicted_total += 1
+        self.sweeps_total += 1
         return expired

@@ -20,7 +20,14 @@ Everything here is dependency-free within the repo (NumPy + stdlib) and
 safe to call from any thread.
 """
 
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+)
 from repro.obs.trace import (
     Span,
     Trace,
@@ -36,6 +43,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "scoped_registry",
     "Span",
     "Trace",
     "TraceCollector",

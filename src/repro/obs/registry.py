@@ -25,13 +25,21 @@ their own so tests and co-hosted instances cannot bleed into each other.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.util.ringbuffer import RingBuffer
 from repro.util.timers import TimingStats
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "scoped_registry",
+]
 
 #: Default quantiles reported by a histogram snapshot.
 QUANTILES = (0.5, 0.95, 0.99)
@@ -222,11 +230,44 @@ class MetricsRegistry:
 
 _default = MetricsRegistry()
 
+# Per-thread registry override stack (see scoped_registry).  Thread-local
+# so concurrent scopes — the sweep runner's worker pool runs one scope
+# per in-flight scenario — cannot observe each other's registries.
+_scope = threading.local()
+
 
 def get_registry() -> MetricsRegistry:
-    """The process-wide default registry.
+    """The calling thread's active registry.
 
-    Servers make their own (isolation across tests and co-hosted
-    instances); this one backs code with no natural owner.
+    Inside a :func:`scoped_registry` block this is the scope's registry;
+    otherwise the process-wide default.  Servers still make their own
+    (isolation across tests and co-hosted instances); this backs code
+    with no natural owner — and lets a *run* harness capture that code's
+    metrics without threading a registry through every call site.
     """
+    stack = getattr(_scope, "stack", None)
+    if stack:
+        return stack[-1]
     return _default
+
+
+@contextmanager
+def scoped_registry(registry: MetricsRegistry | None = None):
+    """Route this thread's :func:`get_registry` callers into ``registry``.
+
+    The sweep runner wraps each headless scenario run in a scope, so
+    engine gauges, fault counters, and anything else that falls back to
+    the default registry land in that run's snapshot instead of bleeding
+    across concurrently-running scenarios (or into the process registry).
+    Scopes nest; each ``with`` restores the previous registry on exit.
+    Yields the active registry (a fresh one when ``registry`` is None).
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    stack = getattr(_scope, "stack", None)
+    if stack is None:
+        stack = _scope.stack = []
+    stack.append(registry)
+    try:
+        yield registry
+    finally:
+        stack.pop()

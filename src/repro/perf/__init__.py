@@ -29,11 +29,19 @@ from repro.perf.pipeline import (
     simulate_pipeline,
 )
 from repro.perf.capacity import GatewayCapacityModel
+from repro.perf.regression import (
+    DEFAULT_SWEEP_TOLERANCES,
+    MetricTolerance,
+    SweepTolerances,
+)
 from repro.perf.profiling import ProfileReport, ProfileRow, profile_call
 from repro.perf.serverloop import ServerLoopModel
 from repro.perf.wire import SessionWireModel, frame_payload_bytes
 
 __all__ = [
+    "DEFAULT_SWEEP_TOLERANCES",
+    "MetricTolerance",
+    "SweepTolerances",
     "GatewayCapacityModel",
     "ServerLoopModel",
     "SessionWireModel",

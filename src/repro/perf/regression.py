@@ -1,0 +1,125 @@
+"""Per-metric regression tolerances for the sweep comparison report.
+
+The live-pipeline benchmark judges a measurement against its model with
+one relative ``tolerance`` knob (:func:`repro.perf.pipeline.
+compare_to_model`).  The sweep reporter generalizes that idiom to a
+*table*: each tracked metric carries its own relative tolerance and a
+direction — timing metrics regress only when they grow, byte/encode
+metrics are near-exact (the pipeline is deterministic about them), and
+correctness metrics (points, fault reconciliation) tolerate nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MetricTolerance", "SweepTolerances", "DEFAULT_SWEEP_TOLERANCES"]
+
+
+@dataclass(frozen=True)
+class MetricTolerance:
+    """How one metric is judged between two sweep runs.
+
+    ``direction`` is who counts as worse: ``"higher"`` (latency, bytes —
+    growth beyond tolerance regresses, shrinkage is a win), or
+    ``"either"`` (counts that must reproduce — any drift beyond
+    tolerance regresses, both ways).
+
+    ``floor`` is an absolute don't-care band: when both measurements sit
+    at or below it, no relative drift regresses.  Timing metrics need
+    this — a smoke sweep's 3 ms frames triple from scheduler jitter
+    alone, and both values are still an order of magnitude inside the
+    paper's 1/8 s frame budget.  The relative tolerance takes over the
+    moment either side leaves the band.
+    """
+
+    tolerance: float
+    direction: str = "higher"
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.tolerance) or self.tolerance < 0:
+            raise ValueError("tolerance must be finite and non-negative")
+        if self.direction not in ("higher", "either"):
+            raise ValueError("direction must be 'higher' or 'either'")
+        if not np.isfinite(self.floor) or self.floor < 0:
+            raise ValueError("floor must be finite and non-negative")
+
+    def judge(self, old: float, new: float) -> dict:
+        """Compare one metric pair; plain-data verdict for the report."""
+        old = float(old)
+        new = float(new)
+        if old == 0.0:
+            # No baseline magnitude to be relative to: any appearance of
+            # the metric is drift, judged absolutely.
+            delta = new
+            regressed = (
+                abs(new) > self.tolerance
+                if self.direction == "either"
+                else new > self.tolerance
+            )
+        else:
+            delta = (new - old) / abs(old)
+            regressed = (
+                abs(delta) > self.tolerance
+                if self.direction == "either"
+                else delta > self.tolerance
+            )
+        if abs(old) <= self.floor and abs(new) <= self.floor:
+            regressed = False
+        return {
+            "old": old,
+            "new": new,
+            "relative_delta": delta,
+            "tolerance": self.tolerance,
+            "direction": self.direction,
+            "regressed": bool(regressed),
+        }
+
+
+class SweepTolerances:
+    """The tolerance table the sweep reporter judges stores against."""
+
+    def __init__(self, table: dict[str, MetricTolerance]) -> None:
+        self.table = dict(table)
+
+    def metrics(self) -> list[str]:
+        return sorted(self.table)
+
+    def judge(self, name: str, old: float, new: float) -> dict | None:
+        """Verdict for one metric, or None for untracked metrics."""
+        tol = self.table.get(name)
+        if tol is None:
+            return None
+        return tol.judge(old, new)
+
+    def override(self, name: str, tolerance: float) -> "SweepTolerances":
+        """A copy with one metric's tolerance replaced (CLI ``--tolerance``)."""
+        if name not in self.table:
+            raise KeyError(
+                f"unknown sweep metric {name!r}; tracked: {self.metrics()}"
+            )
+        table = dict(self.table)
+        table[name] = MetricTolerance(
+            tolerance=float(tolerance),
+            direction=table[name].direction,
+            floor=table[name].floor,
+        )
+        return SweepTolerances(table)
+
+
+#: The standing lane's defaults.  Timing metrics get generous headroom
+#: (CI boxes are noisy; only a real slowdown should page anyone), while
+#: the deterministic wire/compute metrics get none to speak of.
+DEFAULT_SWEEP_TOLERANCES = SweepTolerances(
+    {
+        "frame_seconds_p50": MetricTolerance(2.0, "higher", floor=0.05),
+        "frame_seconds_p95": MetricTolerance(3.0, "higher", floor=0.05),
+        "bytes_per_frame": MetricTolerance(0.01, "higher"),
+        "encodes_per_publication": MetricTolerance(0.01, "higher"),
+        "points_total": MetricTolerance(0.0, "either"),
+        "faults_injected": MetricTolerance(0.0, "either"),
+    }
+)

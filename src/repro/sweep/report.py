@@ -1,0 +1,151 @@
+"""The sweep comparison report: diff two results stores, flag regressions.
+
+Joins two stores' run records by scenario content address, judges each
+tracked metric with the per-metric relative tolerances of
+:class:`repro.perf.SweepTolerances` (the generalization of
+``compare_to_model``'s single knob), and renders a deterministic text
+report.  Determinism is load-bearing: the golden-master test pins the
+rendered bytes for a checked-in store pair, so any accidental format or
+semantics drift in this file fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.regression import DEFAULT_SWEEP_TOLERANCES, SweepTolerances
+from repro.sweep.results import ResultsStore
+
+__all__ = ["SweepReport", "compare_stores", "render_report"]
+
+
+@dataclass
+class SweepReport:
+    """The comparison's plain-data outcome."""
+
+    old_root: str
+    new_root: str
+    scenarios: list[dict] = field(default_factory=list)
+    only_old: list[str] = field(default_factory=list)
+    only_new: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> int:
+        return sum(s["regressions"] for s in self.scenarios)
+
+    @property
+    def status_breaks(self) -> int:
+        """Scenarios that ran before and now reject or error."""
+        return sum(1 for s in self.scenarios if s["status_break"])
+
+    @property
+    def failed(self) -> bool:
+        """Whether the comparison should fail the lane (exit nonzero)."""
+        return bool(self.regressions or self.status_breaks)
+
+
+def compare_stores(
+    old: ResultsStore | str,
+    new: ResultsStore | str,
+    *,
+    tolerances: SweepTolerances | None = None,
+) -> SweepReport:
+    """Judge ``new`` against the baseline ``old``, metric by metric.
+
+    Scenarios present in only one store are listed but judged neither
+    way — a manifest edit is a conscious act, not a regression.  A
+    scenario whose status degraded (ok -> error/rejected) always fails.
+    """
+    old = old if isinstance(old, ResultsStore) else ResultsStore(old)
+    new = new if isinstance(new, ResultsStore) else ResultsStore(new)
+    tolerances = tolerances if tolerances is not None else DEFAULT_SWEEP_TOLERANCES
+    old_runs = old.runs()
+    new_runs = new.runs()
+
+    report = SweepReport(old_root=str(old.root), new_root=str(new.root))
+    report.only_old = sorted(set(old_runs) - set(new_runs))
+    report.only_new = sorted(set(new_runs) - set(old_runs))
+
+    for sid in sorted(set(old_runs) & set(new_runs)):
+        o, n = old_runs[sid], new_runs[sid]
+        entry = {
+            "scenario_id": sid,
+            "label": n.get("label", o.get("label", sid)),
+            "old_status": o["status"],
+            "new_status": n["status"],
+            "status_break": o["status"] == "ok" and n["status"] != "ok",
+            "metrics": {},
+            "regressions": 0,
+        }
+        if o["status"] == "ok" and n["status"] == "ok":
+            om, nm = o["metrics"], n["metrics"]
+            for name in tolerances.metrics():
+                if name not in om or name not in nm:
+                    continue
+                verdict = tolerances.judge(name, om[name], nm[name])
+                entry["metrics"][name] = verdict
+                if verdict["regressed"]:
+                    entry["regressions"] += 1
+        report.scenarios.append(entry)
+    return report
+
+
+def _fmt(value: float) -> str:
+    """Fixed-width numeric formatting (stable across platforms)."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.001:
+        return f"{value:.3e}"
+    return f"{value:.6g}"
+
+
+def render_report(report: SweepReport, *, verbose: bool = False) -> str:
+    """Deterministic text rendering of a comparison report.
+
+    Regressed metrics always print; healthy metrics print only under
+    ``verbose``.  No timestamps, no absolute store paths in the body —
+    only content the two stores themselves determine — so identical
+    stores render identical bytes anywhere.
+    """
+    lines: list[str] = []
+    lines.append("sweep comparison")
+    lines.append(f"  scenarios compared: {len(report.scenarios)}")
+    if report.only_old:
+        lines.append(f"  only in baseline: {len(report.only_old)}")
+        for sid in report.only_old:
+            lines.append(f"    - {sid}")
+    if report.only_new:
+        lines.append(f"  only in candidate: {len(report.only_new)}")
+        for sid in report.only_new:
+            lines.append(f"    + {sid}")
+    lines.append("")
+
+    for entry in report.scenarios:
+        flagged = entry["regressions"] or entry["status_break"]
+        if not (flagged or verbose):
+            continue
+        marker = "FAIL" if flagged else "ok  "
+        lines.append(f"{marker} {entry['scenario_id']}  {entry['label']}")
+        if entry["status_break"]:
+            lines.append(
+                f"       status: {entry['old_status']} -> {entry['new_status']}"
+            )
+        for name in sorted(entry["metrics"]):
+            verdict = entry["metrics"][name]
+            if not (verdict["regressed"] or verbose):
+                continue
+            tag = "REGRESSED" if verdict["regressed"] else "within"
+            lines.append(
+                f"       {name}: {_fmt(verdict['old'])} -> {_fmt(verdict['new'])}"
+                f"  ({verdict['relative_delta']:+.1%}, tol {verdict['tolerance']:.0%},"
+                f" {verdict['direction']}) {tag}"
+            )
+
+    lines.append("")
+    verdict = "FAIL" if report.failed else "PASS"
+    lines.append(
+        f"{verdict}: {report.regressions} metric regression(s), "
+        f"{report.status_breaks} status break(s) "
+        f"across {len(report.scenarios)} scenario(s)"
+    )
+    return "\n".join(lines) + "\n"

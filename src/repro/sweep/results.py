@@ -1,0 +1,87 @@
+"""The content-addressed sweep results store.
+
+One sweep run writes one store directory::
+
+    <root>/
+      sweep.json            # manifest provenance + run summary
+      runs/<scenario_id>.json
+      keyframes/<scenario_id>.ppm   # optional rendered keyframes
+
+Run files are named by the scenario's content address (a hash of its
+fully-resolved parameters, :attr:`~repro.sweep.manifest.Scenario.
+scenario_id`), so two stores produced from the same manifest — on
+different days, different machines, different revisions — hold runs
+under identical names, and the comparison reporter joins them by
+identity instead of by position.  All JSON is written with sorted keys,
+which is what makes the report golden-master test byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sweep.manifest import ScenarioError
+
+__all__ = ["ResultsStore"]
+
+
+class ResultsStore:
+    """Reader/writer for one sweep's results directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- writing -------------------------------------------------------------
+
+    def initialize(self, header: dict) -> None:
+        """Create the store layout and write the sweep header."""
+        (self.root / "runs").mkdir(parents=True, exist_ok=True)
+        self._write_json(self.root / "sweep.json", header)
+
+    def finalize(self, summary: dict) -> None:
+        """Merge the end-of-sweep summary into the header."""
+        header = self.header()
+        header["summary"] = summary
+        self._write_json(self.root / "sweep.json", header)
+
+    def write_run(self, record: dict) -> Path:
+        """Persist one run record under its scenario id."""
+        sid = record["scenario_id"]
+        path = self.root / "runs" / f"{sid}.json"
+        self._write_json(path, record)
+        return path
+
+    def keyframe_path(self, scenario_id: str) -> Path:
+        path = self.root / "keyframes" / f"{scenario_id}.ppm"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return path
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> None:
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def exists(self) -> bool:
+        return (self.root / "sweep.json").is_file()
+
+    def header(self) -> dict:
+        path = self.root / "sweep.json"
+        if not path.is_file():
+            raise ScenarioError("store", f"not a sweep results store: {self.root}")
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def runs(self) -> dict[str, dict]:
+        """All run records, keyed and sorted by scenario id."""
+        out: dict[str, dict] = {}
+        runs_dir = self.root / "runs"
+        if not runs_dir.is_dir():
+            raise ScenarioError("store", f"store has no runs/: {self.root}")
+        for path in sorted(runs_dir.glob("*.json")):
+            record = json.loads(path.read_text(encoding="utf-8"))
+            out[record["scenario_id"]] = record
+        return out

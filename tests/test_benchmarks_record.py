@@ -1,0 +1,118 @@
+"""Argument-routing tests for the perf recorder (benchmarks/record.py).
+
+The recorder grew three alternate lanes (``--gateway`` -> BENCH_6,
+``--soak`` -> BENCH_7, ``--sweep`` -> BENCH_8) beside the default
+BENCH_4 run; these tests pin the dispatch table and the default output
+paths without running any benchmark — each lane's recorder function is
+monkeypatched to capture its call.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def record(monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCHMARKS))
+    import record as record_mod
+
+    return record_mod
+
+
+class TestLaneDispatch:
+    @pytest.mark.parametrize(
+        "flag, func, bench",
+        [
+            ("--gateway", "record_gateway", "BENCH_6.json"),
+            ("--soak", "record_soak", "BENCH_7.json"),
+            ("--sweep", "record_sweep", "BENCH_8.json"),
+        ],
+    )
+    def test_flag_routes_to_lane_with_default_output(
+        self, record, monkeypatch, flag, func, bench
+    ):
+        calls = []
+
+        def fake(output):
+            calls.append(output)
+            return 0
+
+        monkeypatch.setattr(record, func, fake)
+        assert record.main([flag]) == 0
+        assert calls == [BENCHMARKS / "output" / bench]
+
+    @pytest.mark.parametrize(
+        "flag, func",
+        [
+            ("--gateway", "record_gateway"),
+            ("--soak", "record_soak"),
+            ("--sweep", "record_sweep"),
+        ],
+    )
+    def test_output_flag_overrides_lane_default(
+        self, record, monkeypatch, tmp_path, flag, func
+    ):
+        calls = []
+        monkeypatch.setattr(
+            record, func, lambda output: calls.append(output) or 0
+        )
+        target = tmp_path / "custom.json"
+        assert record.main([flag, "--output", str(target)]) == 0
+        assert calls == [target]
+
+    def test_lane_exit_code_propagates(self, record, monkeypatch):
+        monkeypatch.setattr(record, "record_sweep", lambda output: 1)
+        assert record.main(["--sweep"]) == 1
+
+
+class TestDefaultLane:
+    def test_no_flag_runs_bench4_to_default_path(
+        self, record, monkeypatch, tmp_path
+    ):
+        # Stub out the actual benchmarks; assert the BENCH_4 shell runs
+        # and writes its JSON to the chosen path.
+        monkeypatch.setattr(
+            record,
+            "bench_fused_frame",
+            lambda dataset: {
+                "fused_frame_seconds": 0.001,
+                "per_rake_frame_seconds": 0.01,
+                "speedup": 10.0,
+                "points_per_second": 1e6,
+            },
+        )
+        monkeypatch.setattr(
+            record, "tapered_cylinder_dataset",
+            lambda **kw: object(),
+        )
+        target = tmp_path / "b4.json"
+        code = record.main(
+            ["--skip-table3", "--output", str(target)]
+        )
+        assert code == 0
+        assert target.is_file()
+        text = target.read_text()
+        assert '"bench": "BENCH_4"' in text
+
+    def test_speedup_gate_fails_the_run(self, record, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            record,
+            "bench_fused_frame",
+            lambda dataset: {
+                "fused_frame_seconds": 0.01,
+                "per_rake_frame_seconds": 0.001,
+                "speedup": 0.1,
+                "points_per_second": 1e5,
+            },
+        )
+        monkeypatch.setattr(
+            record, "tapered_cylinder_dataset", lambda **kw: object()
+        )
+        code = record.main(
+            ["--skip-table3", "--output", str(tmp_path / "b4.json")]
+        )
+        assert code == 1

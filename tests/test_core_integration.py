@@ -213,15 +213,12 @@ class TestGovernorIntegration:
 class TestNetworkLoop:
     def test_background_fetch_decouples_render(self, server):
         """Figure 9: rendering proceeds from the latest fetched state."""
-        import time
+        from tests import wait_until
 
         with WindtunnelClient(*server.address, width=80, height=60) as c:
             c.add_rake([2, 2, 2], [2, 6, 2], n_seeds=3)
             c.start_network_loop(interval=0.01)
-            deadline = time.time() + 5.0
-            while c.latest_state is None and time.time() < deadline:
-                time.sleep(0.01)
-            assert c.latest_state is not None
+            wait_until(lambda: c.latest_state is not None)
             # Render many head-tracked frames without any further RPC.
             served_before = server.frames_served
             for yaw in np.linspace(0, 0.2, 5):

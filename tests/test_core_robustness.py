@@ -14,6 +14,7 @@ from repro.flow import MemoryDataset, RigidRotation, sample_on_grid
 from repro.grid import cartesian_grid
 from repro.netsim import FaultPlan, FaultyChannel, NetworkModel, ThrottledChannel
 from repro.util import look_at
+from tests import wait_until
 
 HEAD = look_at([4.0, -6.0, 2.0], [4.0, 4.0, 2.0], up=[0, 0, 1])
 
@@ -156,12 +157,10 @@ def leased_server():
 
 
 def _wait_until(predicate, timeout=5.0):
-    deadline = time.time() + timeout
-    while time.time() < deadline:
-        if predicate():
-            return True
-        time.sleep(0.02)
-    return False
+    # The shared helper raises on timeout; keep the boolean wrapper so
+    # the call sites read as assertions.
+    wait_until(predicate, timeout=timeout)
+    return True
 
 
 class TestSessionLeases:
@@ -222,7 +221,15 @@ class TestSessionLeases:
         cid = c.client_id
         c.close()
         assert srv.sessions.get(cid) is None
-        time.sleep(0.6)
+        # "Nothing left to reap" is a claim about the reaper *declining*
+        # to act: wait until it has completed full sweeps past the lease
+        # deadline (tests/__init__.py rule 2), then assert no reap.
+        sweeps0 = srv.sessions.sweeps_total
+        deadline = time.monotonic() + srv.sessions.lease_seconds
+        wait_until(
+            lambda: srv.sessions.sweeps_total > sweeps0
+            and time.monotonic() > deadline
+        )
         assert srv.sessions.reaped_total == 0  # nothing left to reap
 
 

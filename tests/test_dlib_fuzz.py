@@ -145,13 +145,15 @@ class TestServerAbuse:
         srv.stop()
 
     def test_garbage_connection_does_not_kill_server(self, server):
+        from tests import wait_until
+
         host, port = server.address
         sock = socket.create_connection((host, port))
         sock.sendall(struct.pack("<I", 12) + b"not-a-messag")
         sock.close()
-        import time
-
-        time.sleep(0.2)
+        # Wait for the server to actually shed the offender (progress
+        # counter, not a sleep — tests/__init__.py rule 2).
+        wait_until(lambda: server.context.disconnects >= 1)
         with DlibClient(host, port) as c:
             assert c.call("echo", 7) == 7
 
@@ -197,12 +199,12 @@ class TestAdversarialTransport:
 
     def test_partial_header_then_disconnect(self, server):
         """Two bytes of a four-byte header, then gone: server sheds it."""
-        import time
+        from tests import wait_until
 
         sock = socket.create_connection(server.address)
         sock.sendall(b"\x10\x00")  # half a length prefix
         sock.close()
-        time.sleep(0.2)
+        wait_until(lambda: server.context.disconnects >= 1)
         with DlibClient(*server.address) as c:
             assert c.call("echo", "fine") == "fine"
             # Teardown accounting: the staller was subtracted, we remain.
@@ -211,12 +213,12 @@ class TestAdversarialTransport:
 
     def test_mid_payload_disconnect(self, server):
         """A frame promising 100 bytes delivers 7, then the peer dies."""
-        import time
+        from tests import wait_until
 
         sock = socket.create_connection(server.address)
         sock.sendall(struct.pack("<I", 100) + b"partial")
         sock.close()
-        time.sleep(0.2)
+        wait_until(lambda: server.context.disconnects >= 1)
         with DlibClient(*server.address) as c:
             assert c.call("echo", "fine") == "fine"
 

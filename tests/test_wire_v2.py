@@ -470,11 +470,21 @@ class TestPushDelivery:
                 info = c.subscribe(encoding="q16", push=True)
                 assert info["push"] is True
                 c.add_rake([1, 1, 1], [1, 7, 3], n_seeds=5)
-                deadline = 5.0
-                wait_until(
-                    lambda: c.drain_pushes(0.05) > 0 or c.pushed_frames > 0,
-                    timeout=deadline,
-                )
+
+                # The first push may predate the rake (the subscription
+                # streams immediately, and an empty pre-rake frame is a
+                # legal delivery) — wait for a pushed state that carries
+                # the rake's paths, not merely for any push.
+                def rake_frame_pushed():
+                    c.drain_pushes(0.05)
+                    state = c.latest_state
+                    return (
+                        c.pushed_frames > 0
+                        and state is not None
+                        and state.get("paths")
+                    )
+
+                wait_until(rake_frame_pushed, timeout=5.0)
                 assert c.pushed_frames >= 1
                 state = c.latest_state  # arrived with no fetch_frame call
                 assert state is not None and "v2" in state
