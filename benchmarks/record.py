@@ -274,6 +274,76 @@ def record_sweep(output: Path) -> int:
     return 0
 
 
+def record_cache(output: Path) -> int:
+    """Run the BENCH_9 tiered-cache replay, emit BENCH_9.json.
+
+    The live measurement lives in :mod:`benchmarks.cache_scenario`
+    (shared with ``benchmarks/test_cache_tiers.py``); this entry adds
+    host provenance and the smoke gates: co-located sessions must
+    collapse aggregate disk time, the tier-2 hit rate must clear its
+    floor, and cached frames must stay bit-identical to uncached ones.
+    """
+    from cache_scenario import L2_HIT_GATE, RATIO_GATE, run_cache_scenario
+
+    result = run_cache_scenario()
+    result["host"] = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    base, fleet = result["baseline"], result["fleet"]
+    print(
+        f"baseline      {base['disk_seconds'] * 1e3:8.2f} ms modeled disk"
+        f"  ({base['source_reads']} reads, 1 session)"
+    )
+    print(
+        f"fleet         {fleet['disk_seconds'] * 1e3:8.2f} ms modeled disk"
+        f"  ({fleet['source_reads']} reads,"
+        f" {result['scenario']['sessions']} sessions)"
+    )
+    print(
+        f"aggregate     {result['aggregate_disk_ratio']:8.2f}x baseline"
+        f"  (gate {RATIO_GATE}x)"
+    )
+    print(
+        f"tier-2 hits   {fleet['l2_hit_rate']:8.1%}"
+        f"  (gate {L2_HIT_GATE:.0%})"
+    )
+    m = result["model"]
+    print(
+        f"tier costs    l1 {m['l1_seconds'] * 1e6:6.1f} us"
+        f"  l2 {m['l2_seconds'] * 1e6:6.1f} us"
+        f"  source {m['source_seconds'] * 1e3:6.2f} ms"
+    )
+    for row in result["fleet_table"]:
+        print(
+            f"  {row['sessions']:3d} sessions  h2 {row['l2_hit_rate']:5.1%}"
+            f"  disk {row['aggregate_disk_factor']:5.2f}x"
+            f"  eff {row['effective_bandwidth_mbps']:8.1f} MB/s"
+        )
+    print(f"wrote {output}")
+
+    if result["aggregate_disk_ratio"] > RATIO_GATE:
+        print(
+            "FAIL: co-located sessions did not collapse aggregate disk time",
+            file=sys.stderr,
+        )
+        return 1
+    if fleet["l2_hit_rate"] < L2_HIT_GATE:
+        print("FAIL: tier-2 hit rate below floor", file=sys.stderr)
+        return 1
+    if not result["frames_identical"]:
+        print(
+            "FAIL: cached frames diverged from the uncached path",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -281,8 +351,8 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=None,
         help="result path (default: output/BENCH_4.json, BENCH_6.json "
-        "with --gateway, BENCH_7.json with --soak, or BENCH_8.json "
-        "with --sweep)",
+        "with --gateway, BENCH_7.json with --soak, BENCH_8.json "
+        "with --sweep, or BENCH_9.json with --cache)",
     )
     parser.add_argument(
         "--skip-table3", action="store_true",
@@ -300,7 +370,17 @@ def main(argv: list[str] | None = None) -> int:
         "--sweep", action="store_true",
         help="record the BENCH_8 batch-windtunnel sweep scenario instead",
     )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="record the BENCH_9 tiered timestep-cache scenario instead",
+    )
     args = parser.parse_args(argv)
+    if args.cache:
+        return record_cache(
+            args.output
+            if args.output is not None
+            else Path(__file__).parent / "output" / "BENCH_9.json"
+        )
     if args.sweep:
         return record_sweep(
             args.output

@@ -123,6 +123,24 @@ class ComputeEngine:
 
     # -- per-frame compute ------------------------------------------------------
 
+    def cache_stats(self) -> dict | None:
+        """Per-tier timestep-cache counters, or ``None`` when unmanaged.
+
+        Surfaced by ``wt.pipeline_stats`` (the ``"cache"`` block) so an
+        operator can read tier hit rates without a metrics scrape.
+        """
+        if self.loader is None:
+            return None
+        out = self.loader.cache.stats_snapshot()
+        out["loader"] = {
+            "hits": self.loader.hits,
+            "misses": self.loader.misses,
+            "prefetch_issued": self.loader.prefetch_issued,
+            "stall_seconds": self.loader.stall_seconds,
+            "modeled_read_seconds": self.loader.modeled_read_seconds,
+        }
+        return out
+
     def _grid_velocity(self, timestep: int, direction: int = 1) -> np.ndarray:
         if self.loader is not None:
             return self.loader.load(

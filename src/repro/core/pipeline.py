@@ -180,6 +180,10 @@ class FramePipeline:
             # ``_predict_next``.  This also covers the engine's internal
             # loads during the integrate stage.
             engine.auto_prefetch = False
+            # Per-tier cache counters (cache.l1/l2/source.*) join the
+            # server's registry, so ``wt.metrics`` reconciles exactly
+            # with the loads this pipeline injects.
+            engine.loader.bind_registry(self.registry)
         if getattr(engine, "registry", None) is None:
             # The engine's fused-compute gauges (engine.fused_batch_size,
             # engine.points_per_second) land in the pipeline's registry so
@@ -600,4 +604,9 @@ class FramePipeline:
                 "backend": getattr(self.engine, "backend", None),
                 "transport": transport_stats(),
             },
+            "cache": (
+                self.engine.cache_stats()
+                if hasattr(self.engine, "cache_stats")
+                else None
+            ),
         }

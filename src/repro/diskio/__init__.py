@@ -1,4 +1,4 @@
-"""Disk-resident dataset machinery: bandwidth models, prefetch, residency.
+"""Disk-resident dataset machinery: bandwidth models, caching, residency.
 
 Section 5.1-5.2: when a dataset exceeds physical memory "the data must
 reside on a mass storage device, usually disk".  The Convex's measured
@@ -6,8 +6,13 @@ reside on a mass storage device, usually disk".  The Convex's measured
 the 1/8 s budget; anything bigger (the 36 MB/timestep Harrier) is out of
 reach — Table 2.  The server hides what latency it can by loading the
 *next* timestep into a buffer while the current one is being computed on
-(figure 8, rightmost process); that double-buffered prefetch is
-:class:`~repro.diskio.loader.TimestepLoader`.
+(figure 8, rightmost process); that prefetch is
+:class:`~repro.diskio.loader.TimestepLoader`, and the buffer behind it
+has grown into a three-tier cache (docs/caching.md): a per-process LRU
+(:class:`~repro.diskio.cache.TimestepCache`), a shared-memory segment
+co-located sessions attach (:class:`~repro.diskio.shmcache.
+SharedTimestepCache`), and a network block server fleets stripe
+prefetches across (:mod:`repro.diskio.blockserver`).
 """
 
 from repro.diskio.model import (
@@ -17,8 +22,17 @@ from repro.diskio.model import (
     table2_rows,
     timesteps_per_gigabyte,
 )
+from repro.diskio.cache import (
+    DatasetSource,
+    TierStats,
+    TieredTimestepCache,
+    TimestepCache,
+    dataset_key,
+    decoded_timestep_nbytes,
+)
 from repro.diskio.loader import TimestepLoader
 from repro.diskio.residency import ResidencyPlan, plan_residency
+from repro.diskio.shmcache import SharedTimestepCache
 
 __all__ = [
     "DiskModel",
@@ -29,4 +43,11 @@ __all__ = [
     "TimestepLoader",
     "ResidencyPlan",
     "plan_residency",
+    "TierStats",
+    "TimestepCache",
+    "TieredTimestepCache",
+    "DatasetSource",
+    "SharedTimestepCache",
+    "dataset_key",
+    "decoded_timestep_nbytes",
 ]

@@ -1,0 +1,534 @@
+"""The tiered timestep cache — one read API over three storage tiers.
+
+The paper's Table 2 says the windtunnel is ultimately disk-bandwidth
+bound: every session replaying an unsteady dataset pays the full read
+cost of every timestep, and a fleet of N co-located sessions pays it N
+times.  Bethel/Tierney's WAN visualization work (PAPERS.md) answers with
+DPSS-style tiered data caches: each block is paid for once, then served
+from progressively closer tiers.  This module is that ladder for decoded
+grid-velocity timesteps:
+
+* **Tier 1** (:class:`TimestepCache`) — a per-process LRU of decoded
+  arrays, budgeted in timesteps and/or bytes (the byte budget comes from
+  :func:`~repro.diskio.residency.plan_residency`).  Entries are read-only
+  views; a caller can never poison a cached timestep.
+* **Tier 2** — a :class:`~repro.diskio.shmcache.SharedTimestepCache`
+  segment that co-located sessions attach read-only, so N workers on one
+  dataset hold one copy and perform ≈1× aggregate disk reads.
+* **Tier 3 / source** — the dataset itself (modeled disk cost) or a
+  remote :mod:`~repro.diskio.blockserver` a fleet stripes prefetches
+  across.
+
+:class:`TieredTimestepCache` is the single read API: ``get(t)`` falls
+through L1 → L2 → source, promoting on the way back up, and every tier
+keeps ``cache.{hits,misses,bytes,evictions,stall_seconds}`` counters (a
+:class:`TierStats`) that can be mirrored into a
+:class:`~repro.obs.registry.MetricsRegistry` for ``wt.metrics``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from repro.diskio.model import DiskModel
+from repro.diskio.residency import plan_residency
+from repro.flow.dataset import UnsteadyDataset
+
+__all__ = [
+    "TierStats",
+    "TimestepCache",
+    "DatasetSource",
+    "TieredTimestepCache",
+    "dataset_key",
+    "decoded_timestep_nbytes",
+]
+
+#: Tier labels returned by :meth:`TieredTimestepCache.get`.
+TIER_L1 = "l1"
+TIER_L2 = "l2"
+TIER_SOURCE = "source"
+
+
+def decoded_timestep_nbytes(dataset: UnsteadyDataset) -> int:
+    """Bytes of one *decoded* (grid-coordinate, float64) timestep."""
+    return int(dataset.grid.n_points) * 3 * 8
+
+
+def dataset_key(dataset: UnsteadyDataset, extra: str = "") -> str:
+    """A short stable identity for a dataset's decoded timesteps.
+
+    Keys tier-2 segments and tier-3 block requests: two processes agree
+    on a segment/stripe only if their datasets have the same grid shape,
+    timestep count, dt, and raw per-timestep size.  Content is *not*
+    hashed (that would read the whole dataset); callers that co-locate
+    different datasets with identical geometry must pass a
+    distinguishing ``extra`` string.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    ident = (
+        tuple(int(s) for s in dataset.grid.shape),
+        int(dataset.n_timesteps),
+        float(dataset.dt),
+        int(dataset.timestep_nbytes),
+        str(extra),
+    )
+    h.update(repr(ident).encode())
+    return h.hexdigest()
+
+
+class TierStats:
+    """Hit/miss accounting for one cache tier.
+
+    Plain, lock-guarded numbers first (so tests reconcile exactly and the
+    counters work with no registry at all); optionally mirrored into a
+    :class:`~repro.obs.registry.MetricsRegistry` as ``cache.<tier>.*``
+    instruments by :meth:`bind_registry`.  Binding replays the totals
+    accrued so far, so a loader created before its server still reports
+    exact counts through ``wt.metrics``.
+
+    ``stall_seconds`` is the tier's wait cost: for L1 it is time a demand
+    load spent blocked on an in-flight prefetch; for L2 the writer-lock /
+    copy wait; for the source tier the (modeled) read seconds.
+    """
+
+    __slots__ = (
+        "tier",
+        "hits",
+        "misses",
+        "bytes",
+        "evictions",
+        "stall_seconds",
+        "resident_bytes",
+        "_registry",
+        "_lock",
+    )
+
+    def __init__(self, tier: str) -> None:
+        self.tier = tier
+        self.hits = 0
+        self.misses = 0
+        self.bytes = 0  # cumulative bytes served from this tier
+        self.evictions = 0
+        self.stall_seconds = 0.0
+        self.resident_bytes = 0  # current bytes held by this tier
+        self._registry = None
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+
+    def _emit(self, name: str, n) -> None:
+        if self._registry is not None:
+            self._registry.counter(f"cache.{self.tier}.{name}").inc(n)
+
+    def hit(self, nbytes: int = 0) -> None:
+        with self._lock:
+            self.hits += 1
+            self.bytes += nbytes
+            self._emit("hits", 1)
+            if nbytes:
+                self._emit("bytes", nbytes)
+
+    def miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+            self._emit("misses", 1)
+
+    def evict(self, n: int = 1) -> None:
+        with self._lock:
+            self.evictions += n
+            self._emit("evictions", n)
+
+    def stall(self, seconds: float) -> None:
+        if seconds < 0:
+            seconds = 0.0
+        with self._lock:
+            self.stall_seconds += seconds
+            self._emit("stall_seconds", seconds)
+
+    def set_resident(self, nbytes: int) -> None:
+        with self._lock:
+            self.resident_bytes = int(nbytes)
+            if self._registry is not None:
+                self._registry.gauge(f"cache.{self.tier}.resident_bytes").set(nbytes)
+
+    # -- registry mirroring --------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        """Mirror this tier into ``registry`` (replaying current totals)."""
+        with self._lock:
+            if self._registry is registry:
+                return
+            self._registry = registry
+            registry.counter(f"cache.{self.tier}.hits").inc(self.hits)
+            registry.counter(f"cache.{self.tier}.misses").inc(self.misses)
+            registry.counter(f"cache.{self.tier}.bytes").inc(self.bytes)
+            registry.counter(f"cache.{self.tier}.evictions").inc(self.evictions)
+            registry.counter(f"cache.{self.tier}.stall_seconds").inc(
+                self.stall_seconds
+            )
+            registry.gauge(f"cache.{self.tier}.resident_bytes").set(
+                self.resident_bytes
+            )
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        n = self.accesses
+        return self.hits / n if n else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "tier": self.tier,
+                "hits": self.hits,
+                "misses": self.misses,
+                "bytes": self.bytes,
+                "evictions": self.evictions,
+                "stall_seconds": self.stall_seconds,
+                "resident_bytes": self.resident_bytes,
+            }
+
+
+class TimestepCache:
+    """Tier 1: a thread-safe LRU of decoded grid-velocity timesteps.
+
+    The generalization of :class:`~repro.diskio.loader.TimestepLoader`'s
+    historical 2-slot double buffer.  Budgeted in timesteps
+    (``capacity_timesteps``), bytes (``capacity_bytes``), or both —
+    whichever is exceeded first evicts the least-recently-used entry
+    (the most recent insert always stays resident, even over-budget, so
+    a single oversized timestep still flows through).
+
+    Every stored array is kept (and returned) as a read-only view:
+    mutating a cached timestep raises, so the cache can hand the same
+    array to the pipeline, the integrator pool, and the encoder without
+    defensive copies.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity_timesteps: int | None = 2,
+        capacity_bytes: int | None = None,
+        stats: TierStats | None = None,
+    ) -> None:
+        if capacity_timesteps is None and capacity_bytes is None:
+            raise ValueError("need a timestep and/or byte budget")
+        if capacity_timesteps is not None and capacity_timesteps < 1:
+            raise ValueError("capacity must be at least 1")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError("byte budget must be positive")
+        self.capacity_timesteps = capacity_timesteps
+        self.capacity_bytes = capacity_bytes
+        self.stats = stats if stats is not None else TierStats(TIER_L1)
+        self._entries: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._nbytes = 0
+        self._lock = threading.Lock()
+        self._evict_listeners: list[Callable[[int, np.ndarray], None]] = []
+
+    @classmethod
+    def from_residency(
+        cls,
+        dataset: UnsteadyDataset,
+        memory_bytes: int,
+        fps: float = 10.0,
+        **kwargs,
+    ) -> "TimestepCache":
+        """Budget a cache from a :func:`plan_residency` memory window.
+
+        The residency plan bounds how many *raw* timesteps fit in
+        ``memory_bytes``; the cache holds the decoded (float64)
+        grid-velocity form, so the byte budget is the window times the
+        decoded size.
+        """
+        plan = plan_residency(dataset, memory_bytes, fps)
+        per = decoded_timestep_nbytes(dataset)
+        return cls(
+            capacity_timesteps=plan.window_timesteps,
+            capacity_bytes=plan.window_timesteps * per,
+            **kwargs,
+        )
+
+    def add_evict_listener(
+        self, listener: Callable[[int, np.ndarray], None]
+    ) -> None:
+        """Call ``listener(t, arr)`` after ``t`` leaves the cache."""
+        self._evict_listeners.append(listener)
+
+    # -- access ----------------------------------------------------------------
+
+    def get(self, t: int, *, count: bool = True) -> np.ndarray | None:
+        """The cached array for ``t`` (refreshing LRU order), or ``None``."""
+        t = int(t)
+        with self._lock:
+            arr = self._entries.get(t)
+            if arr is not None:
+                self._entries.move_to_end(t)
+        if count:
+            if arr is not None:
+                self.stats.hit(arr.nbytes)
+            else:
+                self.stats.miss()
+        return arr
+
+    def peek(self, t: int) -> np.ndarray | None:
+        """Like :meth:`get` but without LRU refresh or accounting."""
+        with self._lock:
+            return self._entries.get(int(t))
+
+    def put(self, t: int, arr: np.ndarray) -> np.ndarray:
+        """Insert ``t`` and return the (read-only) stored view."""
+        t = int(t)
+        view = np.asarray(arr).view()
+        view.flags.writeable = False
+        evicted: list[tuple[int, np.ndarray]] = []
+        with self._lock:
+            old = self._entries.pop(t, None)
+            if old is not None:
+                self._nbytes -= old.nbytes
+            self._entries[t] = view
+            self._nbytes += view.nbytes
+            while len(self._entries) > 1 and self._over_budget():
+                key, dropped = self._entries.popitem(last=False)
+                self._nbytes -= dropped.nbytes
+                evicted.append((key, dropped))
+            self.stats.set_resident(self._nbytes)
+        if evicted:
+            self.stats.evict(len(evicted))
+            for key, dropped in evicted:
+                for listener in self._evict_listeners:
+                    listener(key, dropped)
+        return view
+
+    def _over_budget(self) -> bool:
+        if (
+            self.capacity_timesteps is not None
+            and len(self._entries) > self.capacity_timesteps
+        ):
+            return True
+        return self.capacity_bytes is not None and self._nbytes > self.capacity_bytes
+
+    def pop(self, t: int) -> None:
+        """Drop ``t`` without counting an eviction (explicit invalidation)."""
+        with self._lock:
+            arr = self._entries.pop(int(t), None)
+            if arr is not None:
+                self._nbytes -= arr.nbytes
+            self.stats.set_resident(self._nbytes)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+            self.stats.set_resident(0)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def keys(self) -> list[int]:
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._nbytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, t: int) -> bool:
+        with self._lock:
+            return int(t) in self._entries
+
+
+class DatasetSource:
+    """The bottom tier: read a decoded timestep from the dataset itself.
+
+    Charges the modeled disk cost of one raw timestep per read through
+    the injectable ``sleep`` (a ``VirtualClock.sleep`` or a plain list
+    append in tests), exactly as the historical loader did.  The modeled
+    charge — not wall time — feeds ``stats.stall_seconds``, so the
+    source tier's accounting is deterministic.
+    """
+
+    def __init__(
+        self,
+        dataset: UnsteadyDataset,
+        disk_model: DiskModel | None = None,
+        *,
+        sleep=time.sleep,
+    ) -> None:
+        self.dataset = dataset
+        self.disk_model = disk_model
+        self._sleep = sleep
+        self.stats = TierStats(TIER_SOURCE)
+        self.modeled_read_seconds = 0.0
+
+    def read(self, t: int) -> np.ndarray:
+        if self.disk_model is not None:
+            d = self.disk_model.read_time(self.dataset.timestep_nbytes)
+            self.modeled_read_seconds += d
+            self.stats.stall(d)
+            self._sleep(d)
+        gv = self.dataset.grid_velocity(t)
+        self.stats.hit(gv.nbytes)
+        return gv
+
+    def hint(self, timesteps) -> None:
+        """Prefetch hint — a no-op for a local dataset."""
+
+    def close(self) -> None:
+        pass
+
+
+class TieredTimestepCache:
+    """One read API over the L1 → L2 → source ladder.
+
+    ``get(t)`` returns ``(array, tier)`` where ``tier`` names the level
+    that satisfied the read; the array is always a read-only view.  A
+    tier-2 hit is promoted into tier 1 with its shm slot *pinned* — the
+    reader protocol of :class:`~repro.diskio.shmcache.SharedTimestepCache`
+    guarantees the segment never evicts a slot under the mapped view —
+    and the pin is released when tier 1 evicts the entry.
+
+    The ``l2`` object is duck-typed (``get``/``put``/``release``/
+    ``stats``/``close``); ``source`` needs ``read``/``hint``/``stats``/
+    ``close``.  Pass ``owns_l2=True`` when this cache should close the
+    tier-2 attachment on :meth:`close` (workers own their attachment;
+    a gateway-owned segment outlives its workers).
+    """
+
+    def __init__(
+        self,
+        dataset: UnsteadyDataset,
+        *,
+        disk_model: DiskModel | None = None,
+        l1: TimestepCache | None = None,
+        l1_timesteps: int | None = 2,
+        l1_bytes: int | None = None,
+        l2=None,
+        owns_l2: bool = False,
+        source=None,
+        sleep=time.sleep,
+        registry=None,
+    ) -> None:
+        self.dataset = dataset
+        if source is None:
+            source = DatasetSource(dataset, disk_model, sleep=sleep)
+        self.source = source
+        if l1 is None:
+            l1 = TimestepCache(
+                capacity_timesteps=l1_timesteps, capacity_bytes=l1_bytes
+            )
+        self.l1 = l1
+        self.l2 = l2
+        self._owns_l2 = owns_l2
+        self._pinned: set[int] = set()
+        self._pin_lock = threading.Lock()
+        if l2 is not None:
+            # Only a tier-2-backed stack needs eviction notifications; a
+            # shared L1 (the sweep runner's) would otherwise accumulate
+            # one dead listener per scenario.
+            self.l1.add_evict_listener(self._on_l1_evict)
+        if registry is not None:
+            self.bind_registry(registry)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def _on_l1_evict(self, t: int, arr: np.ndarray) -> None:
+        if self.l2 is None:
+            return
+        with self._pin_lock:
+            if t not in self._pinned:
+                return
+            self._pinned.discard(t)
+        self.l2.release(t)
+
+    def bind_registry(self, registry) -> None:
+        """Mirror every tier's counters into ``registry`` (``cache.*``)."""
+        self.l1.stats.bind_registry(registry)
+        if self.l2 is not None:
+            self.l2.stats.bind_registry(registry)
+        self.source.stats.bind_registry(registry)
+
+    # -- the read API ----------------------------------------------------------
+
+    def get(self, t: int, *, l1_probe: bool = True) -> tuple[np.ndarray, str]:
+        """Read timestep ``t``, falling through the tiers.
+
+        ``l1_probe=False`` skips the (counted) tier-1 probe — for callers
+        that already probed and missed, so one access is one probe.
+        """
+        t = int(t)
+        if l1_probe:
+            arr = self.l1.get(t)
+            if arr is not None:
+                return arr, TIER_L1
+        if self.l2 is not None:
+            arr = self.l2.get(t)
+            if arr is not None:
+                with self._pin_lock:
+                    already = t in self._pinned
+                    self._pinned.add(t)
+                if already:  # racing promotion: keep a single pin per t
+                    self.l2.release(t)
+                return self.l1.put(t, arr), TIER_L2
+        gv = self.source.read(t)
+        if self.l2 is not None:
+            self.l2.put(t, gv)
+        return self.l1.put(t, gv), TIER_SOURCE
+
+    def peek(self, t: int) -> np.ndarray | None:
+        """Tier-1 resident view for ``t`` (no fills, no accounting)."""
+        return self.l1.peek(t)
+
+    def prefetch_hint(self, timesteps) -> None:
+        """Forward a prediction downstream (to a block server's stager).
+
+        Best-effort: a hint must never fail a frame, so transport errors
+        are swallowed.
+        """
+        if np.isscalar(timesteps):
+            timesteps = [int(timesteps)]
+        ts = [
+            int(t) for t in timesteps if 0 <= int(t) < self.dataset.n_timesteps
+        ]
+        if not ts:
+            return
+        try:
+            self.source.hint(ts)
+        except Exception:
+            pass
+
+    # -- introspection / lifecycle ---------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        out = {
+            "l1": self.l1.stats.snapshot(),
+            "source": self.source.stats.snapshot(),
+        }
+        if self.l2 is not None:
+            out["l2"] = self.l2.stats.snapshot()
+        return out
+
+    def close(self) -> None:
+        with self._pin_lock:
+            pinned = list(self._pinned)
+            self._pinned.clear()
+        if self.l2 is not None:
+            for t in pinned:
+                self.l2.release(t)
+            if self._owns_l2:
+                self.l2.close()
+        self.source.close()

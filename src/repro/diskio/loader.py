@@ -1,23 +1,27 @@
-"""Double-buffered timestep loading with background prefetch.
+"""Prefetching timestep loading over the tiered cache.
 
 Figure 8's rightmost process: "The timestep required for the next
 computation is loaded into a buffer" while the current computation runs.
 :class:`TimestepLoader` reproduces that overlap with a single background
-worker; the modeled disk read time (from a
-:class:`~repro.diskio.model.DiskModel`) is charged against the prefetch
-thread, so a well-hidden load costs the frame nothing and an unhidden one
-stalls it — exactly the trade Table 2 quantifies.
+worker.  Storage and reads live in a
+:class:`~repro.diskio.cache.TieredTimestepCache` (per-process LRU →
+optional shared-memory segment → dataset/block-server source), so the
+historical double buffer is now just a 2-slot tier-1; the modeled disk
+read time (from a :class:`~repro.diskio.model.DiskModel`) is charged by
+the source tier against whichever thread performs the read, so a
+well-hidden load costs the frame nothing and an unhidden one stalls it —
+exactly the trade Table 2 quantifies.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor, wait
 
 import numpy as np
 
+from repro.diskio.cache import TIER_SOURCE, TieredTimestepCache
 from repro.diskio.model import DiskModel
 from repro.flow.dataset import UnsteadyDataset
 
@@ -30,20 +34,36 @@ class TimestepLoader:
     Parameters
     ----------
     dataset
-        The dataset to serve; loads go through ``dataset.grid_velocity``
-        (which performs the real I/O for disk-backed datasets plus the
-        physical->grid conversion).
+        The dataset to serve; source reads go through
+        ``dataset.grid_velocity`` (which performs the real I/O for
+        disk-backed datasets plus the physical->grid conversion).
     disk_model
-        Optional bandwidth model; each *uncached* load sleeps for the
+        Optional bandwidth model; each *source* load sleeps for the
         modeled read time of one raw timestep, emulating the Convex disk.
     prefetch
         Whether to speculatively load the next timestep in the background.
     capacity
-        Timesteps retained in the loader's buffer (2 = classic double
-        buffering).
+        Timesteps retained in the tier-1 buffer (2 = classic double
+        buffering).  ``capacity_bytes`` adds a byte budget (see
+        :meth:`TimestepCache.from_residency`).
     sleep
         Injectable sleep function (e.g. a ``VirtualClock.sleep``) so tests
         and analytic benchmarks don't spend real wall-clock time.
+    cache
+        A pre-built :class:`TieredTimestepCache` — the pipeline, gateway
+        workers, and the sweep runner pass one to share tiers; when
+        omitted one is built from ``capacity``/``shared``.
+    shared
+        A tier-2 cache (:class:`~repro.diskio.shmcache.
+        SharedTimestepCache`) for the internally-built tier stack.
+    registry
+        Optional :class:`~repro.obs.registry.MetricsRegistry` to mirror
+        the per-tier ``cache.*`` counters into (also see
+        :meth:`bind_registry`).
+
+    All arrays returned by :meth:`load`/:meth:`peek` are read-only views;
+    mutating one raises, so a cached timestep can never be poisoned by a
+    downstream consumer.
     """
 
     def __init__(
@@ -53,46 +73,46 @@ class TimestepLoader:
         *,
         prefetch: bool = True,
         capacity: int = 2,
+        capacity_bytes: int | None = None,
         sleep=time.sleep,
+        cache: TieredTimestepCache | None = None,
+        shared=None,
+        registry=None,
     ) -> None:
-        if capacity < 1:
-            raise ValueError("capacity must be at least 1")
-        self.dataset = dataset
+        if cache is None:
+            cache = TieredTimestepCache(
+                dataset,
+                disk_model=disk_model,
+                l1_timesteps=capacity,
+                l1_bytes=capacity_bytes,
+                l2=shared,
+                sleep=sleep,
+            )
+        self.cache = cache
+        self.dataset = cache.dataset
         self.disk_model = disk_model
         self.prefetch_enabled = prefetch
-        self.capacity = capacity
-        self._sleep = sleep
-        self._buffer: OrderedDict[int, np.ndarray] = OrderedDict()
+        self.capacity = cache.l1.capacity_timesteps
         self._pending: dict[int, Future] = {}
         self._lock = threading.Lock()
         self._pool = ThreadPoolExecutor(max_workers=1) if prefetch else None
-        # Statistics
+        # Statistics (loader-level; per-tier counts live on cache.*.stats).
         self.hits = 0
         self.misses = 0
         self.prefetch_issued = 0
         self.stall_seconds = 0.0
-        self.modeled_read_seconds = 0.0
+        if registry is not None:
+            self.bind_registry(registry)
 
     # -- internals -------------------------------------------------------------
 
-    def _read(self, t: int) -> np.ndarray:
-        """The actual (modeled-cost) load of one timestep."""
-        if self.disk_model is not None:
-            d = self.disk_model.read_time(self.dataset.timestep_nbytes)
-            self.modeled_read_seconds += d
-            self._sleep(d)
-        return self.dataset.grid_velocity(t)
-
-    def _store(self, t: int, gv: np.ndarray) -> None:
-        with self._lock:
-            self._buffer[t] = gv
-            self._buffer.move_to_end(t)
-            while len(self._buffer) > self.capacity:
-                self._buffer.popitem(last=False)
-
     def _prefetch_job(self, t: int) -> np.ndarray:
-        gv = self._read(t)
-        self._store(t, gv)
+        # Forward the prediction downstream first: a striped block server
+        # starts staging while this read's round trip is in flight, and
+        # sibling sessions benefit from the hint even if our own read
+        # lands moments later.
+        self.cache.prefetch_hint(t)
+        gv, _tier = self.cache.get(t)
         with self._lock:
             self._pending.pop(t, None)
         return gv
@@ -114,22 +134,22 @@ class TimestepLoader:
         """
         t = int(t)
         with self._lock:
-            cached = self._buffer.get(t)
             pending = self._pending.get(t)
-        if cached is not None:
-            self.hits += 1
-            gv = cached
-        elif pending is not None:
+        if pending is not None:
             # The prefetch got there first but hasn't finished: the frame
             # stalls for the remainder — partially hidden latency.
             start = time.perf_counter()
             gv = pending.result()
-            self.stall_seconds += time.perf_counter() - start
+            stall = time.perf_counter() - start
+            self.stall_seconds += stall
+            self.cache.l1.stats.stall(stall)
             self.hits += 1
         else:
-            self.misses += 1
-            gv = self._read(t)
-            self._store(t, gv)
+            gv, tier = self.cache.get(t)
+            if tier == TIER_SOURCE:
+                self.misses += 1
+            else:
+                self.hits += 1
 
         if auto_prefetch:
             self.prefetch(t + (1 if direction >= 0 else -1))
@@ -141,9 +161,12 @@ class TimestepLoader:
         The pipeline's prefetch hook — the producer calls this with its
         *predicted* next timestep (which may not be ``t ± 1`` when the
         clock outruns the compute), so the background read overlaps the
-        current frame's integration.  Returns ``True`` if a background
-        load was actually issued; already-buffered, already-pending, or
-        out-of-range timesteps are a cheap no-op.
+        current frame's integration.  The prediction is also forwarded
+        downstream (:meth:`TieredTimestepCache.prefetch_hint`) so a
+        tier-3 block server stages it before any worker asks.  Returns
+        ``True`` if a background load was actually issued;
+        already-buffered, already-pending, or out-of-range timesteps are
+        a cheap no-op.
         """
         if not self.prefetch_enabled or self._pool is None:
             return False
@@ -151,36 +174,55 @@ class TimestepLoader:
         if not (0 <= t < self.dataset.n_timesteps):
             return False
         with self._lock:
-            if t in self._buffer or t in self._pending:
+            if self.cache.peek(t) is not None or t in self._pending:
                 return False
             self._pending[t] = self._pool.submit(self._prefetch_job, t)
             self.prefetch_issued += 1
             return True
 
     def peek(self, t: int) -> np.ndarray | None:
-        """The buffered array for timestep ``t``, or ``None`` (no charge)."""
-        with self._lock:
-            return self._buffer.get(int(t))
+        """The tier-1 array for timestep ``t``, or ``None`` (no charge)."""
+        return self.cache.peek(t)
 
     @property
     def buffered_timesteps(self) -> list[int]:
-        with self._lock:
-            return list(self._buffer)
+        return self.cache.l1.keys
+
+    @property
+    def modeled_read_seconds(self) -> float:
+        """Total modeled disk seconds charged by the source tier."""
+        return self.cache.source.modeled_read_seconds
+
+    def bind_registry(self, registry) -> None:
+        """Mirror per-tier ``cache.*`` counters into ``registry``.
+
+        Totals accrued before binding are replayed, so a server that
+        adopts a pre-warmed loader still reports exact counts through
+        ``wt.metrics``.
+        """
+        self.cache.bind_registry(registry)
 
     def drain(self) -> None:
-        """Wait for any in-flight prefetch (for deterministic tests)."""
+        """Wait for every in-flight prefetch (for deterministic tests).
+
+        Blocks on the futures themselves rather than re-polling the
+        pending map, so draining costs one wait per generation of
+        in-flight work instead of a busy-spin on the lock.
+        """
         while True:
             with self._lock:
                 futures = list(self._pending.values())
             if not futures:
                 return
+            wait(futures)
             for f in futures:
-                f.result()
+                f.result()  # propagate prefetch errors to the drainer
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self.cache.close()
 
     def __enter__(self) -> "TimestepLoader":
         return self

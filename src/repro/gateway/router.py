@@ -23,16 +23,25 @@ admission ladder throttles frames before workers saturate.
 from __future__ import annotations
 
 import itertools
+import os
 import secrets
 
+from repro.diskio.shmcache import SharedTimestepCache
 from repro.dlib.client import RETRYABLE_ERRORS, DlibClient, DlibRemoteError
 from repro.dlib.protocol import RetryAfterError
 from repro.dlib.server import DlibServer
 from repro.gateway.admission import AdmissionController
 from repro.gateway.journal import SessionJournal
 from repro.gateway.supervisor import WorkerSupervisor
-from repro.gateway.worker import default_worker_spec
+from repro.gateway.worker import (
+    default_worker_spec,
+    spec_dataset_key,
+    spec_slot_shape,
+)
 from repro.obs.registry import MetricsRegistry
+
+#: Disambiguates segment names when one process hosts several gateways.
+_SEGMENT_SEQ = itertools.count(1)
 
 __all__ = ["ForwardedError", "SessionGateway"]
 
@@ -109,6 +118,8 @@ class SessionGateway:
         ready_timeout: float = 30.0,
         start_method: str | None = None,
         journal_path: str | None = None,
+        shared_timestep_cache: bool = False,
+        cache_slots: int = 8,
         registry: MetricsRegistry | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -125,8 +136,16 @@ class SessionGateway:
             retry_after=retry_after,
             registry=self.registry,
         )
+        # The gateway owns the tier-2 shared segment (docs/caching.md):
+        # workers only ever *attach*, so a SIGKILLed worker can neither
+        # leak nor take down the segment — crash recovery respawns into
+        # the same warm cache.  Created in start(), unlinked in stop().
+        self._spec = dict(spec) if spec is not None else default_worker_spec()
+        self._shared_cache_requested = bool(shared_timestep_cache)
+        self._cache_slots = int(cache_slots)
+        self.timestep_cache = None
         self.supervisor = WorkerSupervisor(
-            spec if spec is not None else default_worker_spec(),
+            self._spec,
             n_workers,
             self.journal,
             heartbeat_interval=heartbeat_interval,
@@ -153,6 +172,30 @@ class SessionGateway:
         return self.dlib.address
 
     def start(self) -> "SessionGateway":
+        if self._shared_cache_requested and self.timestep_cache is None:
+            try:
+                key = spec_dataset_key(self._spec)
+                self.timestep_cache = SharedTimestepCache(
+                    f"wt-tsc-{key}-g{os.getpid()}-{next(_SEGMENT_SEQ)}",
+                    spec_slot_shape(self._spec),
+                    slots=self._cache_slots,
+                    dataset_id=key,
+                    create="always",
+                )
+                self._spec["timestep_cache"] = {
+                    "segment": self.timestep_cache.name,
+                    "slots": self._cache_slots,
+                    "create": "never",
+                }
+                # The supervisor holds its own copy of the spec (taken at
+                # construction); respawns must carry the segment too.
+                self.supervisor.spec["timestep_cache"] = dict(
+                    self._spec["timestep_cache"]
+                )
+            except (OSError, ValueError):
+                # Platforms without working shared memory just run each
+                # worker on a private loader.
+                self.timestep_cache = None
         self.supervisor.start()
         self.dlib.start()
         return self
@@ -166,6 +209,9 @@ class SessionGateway:
                 pass
         self._backends.clear()
         self.supervisor.stop()
+        if self.timestep_cache is not None:
+            self.timestep_cache.close()  # owner: unlinks the segment
+            self.timestep_cache = None
 
     def __enter__(self) -> "SessionGateway":
         return self.start()

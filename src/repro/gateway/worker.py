@@ -38,6 +38,12 @@ DEFAULT_SPEC = {
     "lease_seconds": 30.0,
     "reap_interval": 1.0,
     "allow_chaos": False,
+    # Tier-1 timesteps each worker's loader retains; ``timestep_cache``
+    # (set by the gateway) names a tier-2 shared-memory segment workers
+    # attach so co-located sessions share decoded timesteps:
+    # {"segment": str, "slots": int, "create": "never"}.
+    "cache_timesteps": 2,
+    "timestep_cache": None,
 }
 
 
@@ -46,6 +52,33 @@ def default_worker_spec(**overrides) -> dict:
     spec = dict(DEFAULT_SPEC)
     spec.update(overrides)
     return spec
+
+
+def spec_slot_shape(spec: dict) -> tuple[int, ...]:
+    """Decoded-timestep shape for a spec's dataset, without building it."""
+    return tuple(spec.get("shape", DEFAULT_SPEC["shape"])) + (3,)
+
+
+def spec_dataset_key(spec: dict) -> str:
+    """The :func:`repro.diskio.dataset_key` a spec's dataset will have.
+
+    Computed analytically so the gateway can size and name the shared
+    segment *before* any worker builds the dataset.  Mirrors
+    ``tapered_cylinder_dataset``'s default float32 storage (12 bytes per
+    point, the paper's Table 2 accounting).
+    """
+    import hashlib
+
+    shape = tuple(spec.get("shape", DEFAULT_SPEC["shape"]))
+    n_timesteps = int(spec.get("n_timesteps", DEFAULT_SPEC["n_timesteps"]))
+    dt = float(spec.get("dt", DEFAULT_SPEC["dt"]))
+    n_points = 1
+    for s in shape:
+        n_points *= int(s)
+    ident = (shape, n_timesteps, dt, n_points * 12, "")
+    h = hashlib.blake2b(digest_size=8)
+    h.update(repr(ident).encode())
+    return h.hexdigest()
 
 
 def run_worker(spec: dict, conn: Connection) -> None:
@@ -57,6 +90,9 @@ def run_worker(spec: dict, conn: Connection) -> None:
     module top, so a ``spawn``-start child pays them exactly once.
     """
     from repro.core.server import WindtunnelServer
+    from repro.diskio.cache import TieredTimestepCache
+    from repro.diskio.loader import TimestepLoader
+    from repro.diskio.shmcache import SharedTimestepCache
     from repro.flow.taperedcylinder import tapered_cylinder_dataset
 
     dataset = tapered_cylinder_dataset(
@@ -64,10 +100,37 @@ def run_worker(spec: dict, conn: Connection) -> None:
         n_timesteps=int(spec.get("n_timesteps", DEFAULT_SPEC["n_timesteps"])),
         dt=float(spec.get("dt", DEFAULT_SPEC["dt"])),
     )
+    # Tier-2 attach: when the gateway carved a shared segment for this
+    # dataset, co-located workers read decoded timesteps from it instead
+    # of each paying the full load — the fleet performs ≈1x aggregate
+    # disk reads (docs/caching.md).  Attach failures degrade to a
+    # private loader: the cache is an optimization, never a dependency.
+    loader = None
+    cache_spec = spec.get("timestep_cache") or None
+    if cache_spec:
+        try:
+            shared = SharedTimestepCache.for_dataset(
+                dataset,
+                name=cache_spec.get("segment"),
+                slots=int(cache_spec.get("slots", 8)),
+                create=str(cache_spec.get("create", "never")),
+            )
+            tiers = TieredTimestepCache(
+                dataset,
+                l1_timesteps=int(
+                    spec.get("cache_timesteps", DEFAULT_SPEC["cache_timesteps"])
+                ),
+                l2=shared,
+                owns_l2=True,  # the attachment dies with this worker
+            )
+            loader = TimestepLoader(dataset, cache=tiers, prefetch=False)
+        except (OSError, ValueError):
+            loader = None
     server = WindtunnelServer(
         dataset,
         host="127.0.0.1",
         port=0,
+        loader=loader,
         backend=str(spec.get("backend", DEFAULT_SPEC["backend"])),
         workers=int(spec.get("workers", DEFAULT_SPEC["workers"])),
         time_speed=float(spec.get("time_speed", DEFAULT_SPEC["time_speed"])),

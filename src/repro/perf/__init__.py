@@ -11,6 +11,9 @@
 * :mod:`~repro.perf.serverloop` — the push fan-out cost model: what one
   publication costs the event loop per subscriber, and how many
   subscribers one worker sustains (BENCH_7).
+* :mod:`~repro.perf.cachetier` — the tiered timestep-cache cost model:
+  per-tier hit rates to effective disk bandwidth and the fleet-scale
+  Table 2 wall (BENCH_9, docs/caching.md).
 """
 
 from repro.perf.scenario import (
@@ -28,6 +31,7 @@ from repro.perf.pipeline import (
     compare_to_model,
     simulate_pipeline,
 )
+from repro.perf.cachetier import CacheTierModel
 from repro.perf.capacity import GatewayCapacityModel
 from repro.perf.regression import (
     DEFAULT_SWEEP_TOLERANCES,
@@ -42,6 +46,7 @@ __all__ = [
     "DEFAULT_SWEEP_TOLERANCES",
     "MetricTolerance",
     "SweepTolerances",
+    "CacheTierModel",
     "GatewayCapacityModel",
     "ServerLoopModel",
     "SessionWireModel",

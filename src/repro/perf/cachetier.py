@@ -1,0 +1,153 @@
+"""Tiered-cache cost model: hit rates to effective disk bandwidth.
+
+The paper's Table 2 prices *one* session's appetite against *one* disk:
+a million-point dataset at 10 frames/s wants ~114 MB/s of sustained
+read bandwidth, already past the Convex's stripe.  A fleet of N
+co-located sessions naively multiplies that wall by N.  The tiered
+timestep cache (docs/caching.md) collapses the multiplier: with a
+shared tier-2 segment at hit rate ``h2``, only ``(1 - h2)`` of each
+session's reads reach the disk, and co-located replay pushes ``h2``
+toward its steady-state ceiling ``(N - 1) / N`` — the first session
+faults a timestep in, the other ``N - 1`` find it.
+
+Three measured constants describe what one decoded-timestep read costs
+at each level of the ladder (the same measure-small/predict-big move as
+:class:`~repro.perf.serverloop.ServerLoopModel`); the ``BENCH_9`` lane
+(``benchmarks/cache_scenario.py``) measures them live and fits the
+model with :meth:`CacheTierModel.fit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheTierModel"]
+
+
+@dataclass(frozen=True)
+class CacheTierModel:
+    #: Seconds to serve one read from the per-process LRU (tier 1).
+    l1_seconds: float
+    #: Seconds to serve one read from the shared segment (tier 2):
+    #: seqlock-validated copy-out of one decoded timestep.
+    l2_seconds: float
+    #: Seconds to serve one read from the source (modeled disk or block
+    #: server) — the Table 2 term.
+    source_seconds: float
+
+    def __post_init__(self) -> None:
+        for name in ("l1_seconds", "l2_seconds", "source_seconds"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # -- cost per read -------------------------------------------------------
+
+    def access_seconds(self, l1_hit_rate: float, l2_hit_rate: float) -> float:
+        """Expected cost of one read at the given hit rates.
+
+        ``l1_hit_rate`` is the fraction of reads tier 1 serves;
+        ``l2_hit_rate`` is the fraction of *tier-1 misses* tier 2
+        serves (the conditional rate the cache counters report).
+        """
+        for name, rate in (("l1_hit_rate", l1_hit_rate),
+                           ("l2_hit_rate", l2_hit_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        miss = (1.0 - l1_hit_rate) * (1.0 - l2_hit_rate)
+        return (
+            l1_hit_rate * self.l1_seconds
+            + (1.0 - l1_hit_rate) * l2_hit_rate * self.l2_seconds
+            + miss * self.source_seconds
+        )
+
+    def effective_bandwidth(
+        self, timestep_nbytes: int, l1_hit_rate: float, l2_hit_rate: float
+    ) -> float:
+        """Decoded bytes per second one session sees through the ladder.
+
+        This is "effective disk bandwidth": the cache makes the slow
+        tier *look* faster by answering most reads above it.
+        """
+        if timestep_nbytes <= 0:
+            raise ValueError("timestep_nbytes must be positive")
+        cost = self.access_seconds(l1_hit_rate, l2_hit_rate)
+        return float("inf") if cost <= 0 else timestep_nbytes / cost
+
+    # -- fleet scale (the Table 2 wall) --------------------------------------
+
+    @staticmethod
+    def fleet_l2_hit_rate(n_sessions: int) -> float:
+        """Steady-state tier-2 hit rate for ``n`` co-located replaying
+        sessions: the first faults each timestep in, the rest find it."""
+        if n_sessions < 1:
+            raise ValueError("n_sessions must be at least 1")
+        return (n_sessions - 1) / n_sessions
+
+    def aggregate_disk_factor(
+        self, n_sessions: int, l2_hit_rate: float | None = None
+    ) -> float:
+        """Fleet disk reads as a multiple of one uncached session's.
+
+        ``n`` sessions with no sharing cost ``n``x Table 2; at tier-2
+        hit rate ``h2`` they cost ``n * (1 - h2)``x — approaching 1x as
+        ``h2`` approaches its ``(n - 1) / n`` ceiling.
+        """
+        if n_sessions < 1:
+            raise ValueError("n_sessions must be at least 1")
+        if l2_hit_rate is None:
+            l2_hit_rate = self.fleet_l2_hit_rate(n_sessions)
+        if not 0.0 <= l2_hit_rate <= 1.0:
+            raise ValueError("l2_hit_rate must be in [0, 1]")
+        return n_sessions * (1.0 - l2_hit_rate)
+
+    def max_sessions(
+        self,
+        frame_hz: float,
+        l2_hit_rate: float,
+        *,
+        utilization: float = 0.8,
+    ) -> int:
+        """Co-located sessions one source disk sustains at ``frame_hz``.
+
+        Each session wants ``frame_hz`` timestep reads per second, of
+        which ``(1 - h2)`` reach the source; the source serves at most
+        ``utilization / source_seconds`` reads per second.
+        """
+        if frame_hz <= 0:
+            raise ValueError("frame_hz must be positive")
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        if not 0.0 <= l2_hit_rate <= 1.0:
+            raise ValueError("l2_hit_rate must be in [0, 1]")
+        per_session = frame_hz * (1.0 - l2_hit_rate) * self.source_seconds
+        if per_session <= 0:
+            return 10**9  # every read is absorbed above the source
+        return max(0, int(utilization / per_session))
+
+    # -- fitting -------------------------------------------------------------
+
+    @classmethod
+    def fit(cls, samples) -> "CacheTierModel":
+        """Least-squares fit from per-tier access mixes.
+
+        ``samples`` are ``(l1_fraction, l2_fraction, source_fraction,
+        mean_read_seconds)`` rows — the fractions of reads each tier
+        served during a measured window and the window's mean cost per
+        read.  Three rows with linearly independent mixes pin the three
+        constants exactly; more rows average out noise.  Noise can drive
+        a cheap tier slightly negative — clamped to zero, the model
+        stays physical.
+        """
+        import numpy as np
+
+        rows = [
+            (float(a), float(b), float(c), float(s)) for a, b, c, s in samples
+        ]
+        if len(rows) < 3:
+            raise ValueError("need at least three sample mixes")
+        a = np.array([r[:3] for r in rows])
+        b = np.array([r[3] for r in rows])
+        if np.linalg.matrix_rank(a) < 3:
+            raise ValueError("sample mixes are degenerate; vary the hit rates")
+        coef, *_ = np.linalg.lstsq(a, b, rcond=None)
+        return cls(*(max(0.0, float(c)) for c in coef))

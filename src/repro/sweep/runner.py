@@ -22,6 +22,7 @@ exactly as a soak test's would.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -33,6 +34,8 @@ from repro.core.engine import ComputeEngine, ToolSettings
 from repro.core.environment import Environment
 from repro.core.framestore import FrameStore
 from repro.core.pipeline import FramePipeline
+from repro.diskio.cache import TieredTimestepCache, TimestepCache
+from repro.diskio.loader import TimestepLoader
 from repro.flow import tapered_cylinder_dataset
 from repro.netsim.channel import VirtualClock
 from repro.netsim.faults import FaultPlan, FaultyChannel
@@ -41,7 +44,7 @@ from repro.sweep.manifest import Scenario, ScenarioError, SweepManifest
 from repro.sweep.results import ResultsStore
 from repro.tracers.rake import Rake
 
-__all__ = ["run_scenario", "SweepRunner", "SweepOutcome"]
+__all__ = ["run_scenario", "SweepRunner", "SweepOutcome", "DatasetPool"]
 
 #: Metrics every run record reports (the comparison report's join set).
 RUN_METRICS = (
@@ -90,13 +93,84 @@ def _build_rakes(scenario: Scenario, grid) -> dict[int, Rake]:
     return rakes
 
 
+class DatasetPool:
+    """Datasets and shared tier-1 timestep caches, keyed by geometry.
+
+    Scenarios in a sweep grid overwhelmingly vary tool parameters
+    (steps, quality, encoding, faults) over a handful of distinct
+    datasets, yet the naive runner rebuilt the dataset — and re-decoded
+    every timestep — once per grid point.  The pool holds one dataset
+    and one :class:`~repro.diskio.cache.TimestepCache` (tier 1 of the
+    caching ladder, docs/caching.md) per ``(shape, timesteps)`` key, so
+    N scenarios over one dataset pay for its timesteps once.
+
+    Safe under the sweep's thread pool: the pool dict, the dataset's
+    internal decode cache, and the shared :class:`TimestepCache` are all
+    lock-guarded, and cached timesteps are read-only views.  The shared
+    cache's counters are kept *out* of per-run registries — attribution
+    of a hit to one of several concurrent runs is scheduling-dependent,
+    and run records must stay byte-deterministic; aggregate totals are
+    reported once in the sweep summary instead.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, tuple] = {}
+        self.datasets_built = 0
+        self.reuses = 0
+
+    def acquire(self, scenario: Scenario):
+        """The ``(dataset, shared tier-1 cache)`` pair for a scenario."""
+        key = (tuple(scenario.shape), int(scenario.timesteps))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.reuses += 1
+                return entry
+        # Build outside the pool lock: decoding a dataset is the slow
+        # part, and stalling every other geometry behind it would
+        # serialize the sweep's warmup.
+        dataset = tapered_cylinder_dataset(
+            shape=key[0], n_timesteps=key[1], dt=0.25
+        )
+        cache = TimestepCache(capacity_timesteps=max(2, key[1]))
+        with self._lock:
+            entry = self._entries.setdefault(key, (dataset, cache))
+            if entry[0] is not dataset:  # lost the build race; count reuse
+                self.reuses += 1
+            else:
+                self.datasets_built += 1
+            return entry
+
+    def snapshot(self) -> dict:
+        """Aggregate reuse totals for the sweep summary."""
+        with self._lock:
+            entries = list(self._entries.values())
+            out = {
+                "datasets": len(entries),
+                "datasets_built": self.datasets_built,
+                "dataset_reuses": self.reuses,
+            }
+        out["l1_hits"] = sum(c.stats.hits for _, c in entries)
+        out["l1_misses"] = sum(c.stats.misses for _, c in entries)
+        out["l1_resident_bytes"] = sum(c.resident_bytes for _, c in entries)
+        return out
+
+
 def run_scenario(
     scenario: Scenario,
     *,
     keyframe_path: str | Path | None = None,
     registry: MetricsRegistry | None = None,
+    dataset=None,
+    timestep_cache: TimestepCache | None = None,
 ) -> dict:
     """Execute one headless run; returns its plain-data run record.
+
+    ``dataset`` and ``timestep_cache`` let a caller (the sweep runner's
+    :class:`DatasetPool`) share one dataset and one tier-1 timestep
+    cache across runs over the same geometry; both default to private
+    per-run instances, preserving the historical fully-isolated run.
 
     Raises :class:`ScenarioError` for inputs the manifest layer could
     not have rejected statically (none are currently known — the
@@ -105,16 +179,23 @@ def run_scenario(
     """
     registry = registry if registry is not None else MetricsRegistry()
     with scoped_registry(registry):
-        return _run_scenario_scoped(scenario, keyframe_path, registry)
+        return _run_scenario_scoped(
+            scenario, keyframe_path, registry, dataset, timestep_cache
+        )
 
 
 def _run_scenario_scoped(
-    scenario: Scenario, keyframe_path, registry: MetricsRegistry
+    scenario: Scenario,
+    keyframe_path,
+    registry: MetricsRegistry,
+    dataset=None,
+    timestep_cache: TimestepCache | None = None,
 ) -> dict:
     started = time.perf_counter()
-    dataset = tapered_cylinder_dataset(
-        shape=scenario.shape, n_timesteps=scenario.timesteps, dt=0.25
-    )
+    if dataset is None:
+        dataset = tapered_cylinder_dataset(
+            shape=scenario.shape, n_timesteps=scenario.timesteps, dt=0.25
+        )
     env = Environment(
         n_timesteps=scenario.timesteps, time_speed=scenario.time_speed
     )
@@ -147,6 +228,19 @@ def _run_scenario_scoped(
         time_fn=lambda: clock["now"],
         registry=registry,
     )
+    if timestep_cache is not None:
+        # Attach the shared tier-1 cache *after* pipeline construction,
+        # deliberately skipping the pipeline's loader registry binding:
+        # the cache is shared across concurrently-running scenarios, so
+        # per-run hit/miss attribution is scheduling-dependent and would
+        # break the run record's byte-determinism.  Totals surface in
+        # the sweep summary via :meth:`DatasetPool.snapshot`.
+        engine.loader = TimestepLoader(
+            dataset,
+            cache=TieredTimestepCache(dataset, l1=timestep_cache),
+            prefetch=False,  # serial runs; background staging buys nothing
+        )
+        engine.auto_prefetch = False
 
     plan = None
     channel = None
@@ -275,11 +369,15 @@ class SweepRunner:
     """Expand a manifest and execute its grid on a bounded worker pool.
 
     Workers are threads: a headless run spends its time inside NumPy
-    kernels (which release the GIL) and the per-run state is fully
-    isolated — separate datasets, engines, stores, and (via
-    :func:`scoped_registry`) separate metrics registries.  ``workers``
-    bounds concurrency the way the gateway's admission controller bounds
-    seats: the grid can be arbitrarily large, the in-flight set cannot.
+    kernels (which release the GIL) and the per-run *mutable* state is
+    fully isolated — separate engines, stores, and (via
+    :func:`scoped_registry`) separate metrics registries.  Read-only
+    state is shared: a :class:`DatasetPool` hands scenarios over the
+    same geometry one dataset and one tier-1 timestep cache
+    (``share_datasets=False`` restores full per-run isolation).
+    ``workers`` bounds concurrency the way the gateway's admission
+    controller bounds seats: the grid can be arbitrarily large, the
+    in-flight set cannot.
     """
 
     def __init__(
@@ -289,6 +387,7 @@ class SweepRunner:
         *,
         workers: int = 4,
         keyframes: bool = False,
+        share_datasets: bool = True,
     ) -> None:
         if workers < 1:
             raise ScenarioError("workers", "worker pool needs at least one worker")
@@ -296,6 +395,7 @@ class SweepRunner:
         self.store = store if isinstance(store, ResultsStore) else ResultsStore(store)
         self.workers = int(workers)
         self.keyframes = bool(keyframes)
+        self.dataset_pool = DatasetPool() if share_datasets else None
 
     def run(self, *, progress=None) -> SweepOutcome:
         """Execute every scenario; returns the outcome (store populated).
@@ -337,6 +437,8 @@ class SweepRunner:
             "wall_seconds": time.time() - started,
             "workers": self.workers,
         }
+        if self.dataset_pool is not None:
+            summary["dataset_cache"] = self.dataset_pool.snapshot()
         self.store.finalize(summary)
         return SweepOutcome(store=self.store, records=records)
 
@@ -347,7 +449,15 @@ class SweepRunner:
             else None
         )
         try:
-            return run_scenario(scenario, keyframe_path=keyframe)
+            dataset = cache = None
+            if self.dataset_pool is not None:
+                dataset, cache = self.dataset_pool.acquire(scenario)
+            return run_scenario(
+                scenario,
+                keyframe_path=keyframe,
+                dataset=dataset,
+                timestep_cache=cache,
+            )
         except ScenarioError as exc:
             return {
                 "scenario_id": scenario.scenario_id,

@@ -1,7 +1,8 @@
 """Argument-routing tests for the perf recorder (benchmarks/record.py).
 
-The recorder grew three alternate lanes (``--gateway`` -> BENCH_6,
-``--soak`` -> BENCH_7, ``--sweep`` -> BENCH_8) beside the default
+The recorder grew four alternate lanes (``--gateway`` -> BENCH_6,
+``--soak`` -> BENCH_7, ``--sweep`` -> BENCH_8, ``--cache`` ->
+BENCH_9) beside the default
 BENCH_4 run; these tests pin the dispatch table and the default output
 paths without running any benchmark — each lane's recorder function is
 monkeypatched to capture its call.
@@ -30,6 +31,7 @@ class TestLaneDispatch:
             ("--gateway", "record_gateway", "BENCH_6.json"),
             ("--soak", "record_soak", "BENCH_7.json"),
             ("--sweep", "record_sweep", "BENCH_8.json"),
+            ("--cache", "record_cache", "BENCH_9.json"),
         ],
     )
     def test_flag_routes_to_lane_with_default_output(
@@ -51,6 +53,7 @@ class TestLaneDispatch:
             ("--gateway", "record_gateway"),
             ("--soak", "record_soak"),
             ("--sweep", "record_sweep"),
+            ("--cache", "record_cache"),
         ],
     )
     def test_output_flag_overrides_lane_default(

@@ -1,0 +1,139 @@
+"""The tiered-cache cost model's arithmetic and fitting edge cases."""
+
+import pytest
+
+from repro.perf import CacheTierModel
+
+MODEL = CacheTierModel(
+    l1_seconds=1e-6, l2_seconds=1e-4, source_seconds=1e-1
+)
+
+
+class TestValidation:
+    def test_rejects_negative_tier_costs(self):
+        with pytest.raises(ValueError, match="l2_seconds"):
+            CacheTierModel(1e-6, -1.0, 1e-1)
+
+    @pytest.mark.parametrize("h1,h2", [(-0.1, 0.5), (0.5, 1.5), (2.0, 0.0)])
+    def test_rejects_out_of_range_rates(self, h1, h2):
+        with pytest.raises(ValueError, match="hit_rate"):
+            MODEL.access_seconds(h1, h2)
+
+    def test_effective_bandwidth_needs_positive_bytes(self):
+        with pytest.raises(ValueError, match="timestep_nbytes"):
+            MODEL.effective_bandwidth(0, 0.5, 0.5)
+
+    def test_fleet_needs_at_least_one_session(self):
+        with pytest.raises(ValueError, match="n_sessions"):
+            CacheTierModel.fleet_l2_hit_rate(0)
+        with pytest.raises(ValueError, match="n_sessions"):
+            MODEL.aggregate_disk_factor(0)
+
+    def test_max_sessions_validation(self):
+        with pytest.raises(ValueError, match="frame_hz"):
+            MODEL.max_sessions(0.0, 0.5)
+        with pytest.raises(ValueError, match="utilization"):
+            MODEL.max_sessions(10.0, 0.5, utilization=1.5)
+        with pytest.raises(ValueError, match="l2_hit_rate"):
+            MODEL.max_sessions(10.0, 1.01)
+
+
+class TestAccessMath:
+    def test_pure_mixes_price_one_tier(self):
+        assert MODEL.access_seconds(1.0, 0.0) == MODEL.l1_seconds
+        # h2 is conditional on an L1 miss, so (0, 1) is all-L2...
+        assert MODEL.access_seconds(0.0, 1.0) == MODEL.l2_seconds
+        assert MODEL.access_seconds(0.0, 0.0) == MODEL.source_seconds
+        # ...and at h1=1 the L2 rate prices nothing at all.
+        assert MODEL.access_seconds(1.0, 1.0) == MODEL.l1_seconds
+
+    def test_mixed_rates_weight_the_ladder(self):
+        got = MODEL.access_seconds(0.5, 0.5)
+        want = 0.5 * 1e-6 + 0.25 * 1e-4 + 0.25 * 1e-1
+        assert got == pytest.approx(want)
+
+    def test_effective_bandwidth_grows_with_hit_rate(self):
+        cold = MODEL.effective_bandwidth(1 << 20, 0.0, 0.0)
+        warm = MODEL.effective_bandwidth(1 << 20, 0.9, 0.9)
+        assert warm > cold
+        assert cold == pytest.approx((1 << 20) / 0.1)
+
+    def test_zero_cost_ladder_is_infinite_bandwidth(self):
+        free = CacheTierModel(0.0, 0.0, 0.0)
+        assert free.effective_bandwidth(1 << 20, 1.0, 0.0) == float("inf")
+
+
+class TestFleetScale:
+    def test_steady_state_hit_rate_is_n_minus_one_over_n(self):
+        assert CacheTierModel.fleet_l2_hit_rate(1) == 0.0
+        assert CacheTierModel.fleet_l2_hit_rate(4) == 0.75
+        assert CacheTierModel.fleet_l2_hit_rate(32) == pytest.approx(31 / 32)
+
+    def test_aggregate_factor_collapses_to_one(self):
+        # n * (1 - (n-1)/n) == 1: the fleet reads the disk once, total.
+        for n in (1, 2, 4, 8, 32):
+            assert MODEL.aggregate_disk_factor(n) == pytest.approx(1.0)
+
+    def test_aggregate_factor_without_sharing_is_n(self):
+        assert MODEL.aggregate_disk_factor(8, l2_hit_rate=0.0) == 8
+
+    def test_max_sessions_arithmetic(self):
+        # 10 Hz, h2=0.75 -> 0.25 s of source per session-second;
+        # 0.8 utilization sustains 3 sessions.
+        assert MODEL.max_sessions(10.0, 0.75) == 3
+        assert MODEL.max_sessions(10.0, 0.0) < MODEL.max_sessions(10.0, 0.9)
+
+    def test_max_sessions_unbounded_when_source_never_hit(self):
+        assert MODEL.max_sessions(10.0, 1.0) == 10**9
+        free = CacheTierModel(1e-6, 1e-4, 0.0)
+        assert free.max_sessions(10.0, 0.0) == 10**9
+
+
+class TestFit:
+    def test_pure_mixes_recover_the_constants(self):
+        fitted = CacheTierModel.fit(
+            [
+                (1.0, 0.0, 0.0, 2e-6),
+                (0.0, 1.0, 0.0, 3e-4),
+                (0.0, 0.0, 1.0, 5e-2),
+            ]
+        )
+        assert fitted.l1_seconds == pytest.approx(2e-6)
+        assert fitted.l2_seconds == pytest.approx(3e-4)
+        assert fitted.source_seconds == pytest.approx(5e-2)
+
+    def test_mixed_rows_average_out(self):
+        truth = CacheTierModel(1e-6, 1e-4, 1e-2)
+        mixes = [
+            (0.8, 0.1, 0.1),
+            (0.1, 0.8, 0.1),
+            (0.1, 0.1, 0.8),
+            (0.4, 0.3, 0.3),
+        ]
+        rows = [
+            (a, b, c, a * truth.l1_seconds + b * truth.l2_seconds
+             + c * truth.source_seconds)
+            for a, b, c in mixes
+        ]
+        fitted = CacheTierModel.fit(rows)
+        assert fitted.source_seconds == pytest.approx(truth.source_seconds)
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ValueError, match="three sample"):
+            CacheTierModel.fit([(1, 0, 0, 1e-6), (0, 1, 0, 1e-4)])
+
+    def test_degenerate_mixes_rejected(self):
+        rows = [(0.5, 0.5, 0.0, 1e-4)] * 3
+        with pytest.raises(ValueError, match="degenerate"):
+            CacheTierModel.fit(rows)
+
+    def test_noise_clamps_to_physical_costs(self):
+        # Noise that would drive the cheap tier negative stays at zero.
+        fitted = CacheTierModel.fit(
+            [
+                (1.0, 0.0, 0.0, -1e-9),
+                (0.0, 1.0, 0.0, 1e-4),
+                (0.0, 0.0, 1.0, 1e-2),
+            ]
+        )
+        assert fitted.l1_seconds == 0.0

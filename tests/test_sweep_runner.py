@@ -257,3 +257,75 @@ class TestSweepRunCli:
         )
         assert code == 2
         assert "base.encoding" in out.getvalue()
+
+
+class TestDatasetSharing:
+    def test_pool_reuses_by_geometry(self):
+        from repro.sweep.runner import DatasetPool
+
+        manifest = tiny_manifest(axes={"encoding": ["v1", "f16"]})
+        a, b = manifest.expand()
+        pool = DatasetPool()
+        ds_a, cache_a = pool.acquire(a)
+        ds_b, cache_b = pool.acquire(b)
+        # Same (shape, timesteps): one dataset, one shared tier-1 cache.
+        assert ds_a is ds_b and cache_a is cache_b
+        assert pool.datasets_built == 1 and pool.reuses == 1
+        big = tiny_manifest(
+            base={
+                "shape": [10, 8, 5], "timesteps": 2, "frames": 2,
+                "seeds_per_rake": 2, "streamline_steps": 6,
+                "streakline_length": 4,
+            }
+        ).expand()[0]
+        ds_c, _ = pool.acquire(big)
+        assert ds_c is not ds_a
+        assert pool.datasets_built == 2
+
+    def test_summary_reports_shared_cache_totals(self, tmp_path):
+        manifest = tiny_manifest(axes={"encoding": ["v1", "f16", "q16"]})
+        runner = SweepRunner(manifest, tmp_path / "s", workers=1)
+        assert runner.run().succeeded
+        summary = ResultsStore(tmp_path / "s").header()["summary"]
+        cache = summary["dataset_cache"]
+        # Three scenarios, one geometry: the dataset is built once and
+        # its two timesteps are decoded once for the whole sweep.
+        assert cache["datasets"] == 1
+        assert cache["datasets_built"] == 1
+        assert cache["dataset_reuses"] == 2
+        assert cache["l1_misses"] == 2
+        assert cache["l1_hits"] > 0
+        assert cache["l1_resident_bytes"] > 0
+
+    def test_records_are_identical_with_and_without_sharing(self, tmp_path):
+        # Sharing is a pure perf change: per-run records must stay
+        # byte-deterministic, with the shared cache's counters kept out.
+        manifest = tiny_manifest(axes={"encoding": ["v1", "f16"]})
+        shared = SweepRunner(
+            manifest, tmp_path / "a", workers=2, share_datasets=True
+        ).run()
+        private = SweepRunner(
+            manifest, tmp_path / "b", workers=2, share_datasets=False
+        ).run()
+        by_id = lambda o: {r["scenario_id"]: r for r in o.records}  # noqa: E731
+        a, b = by_id(shared), by_id(private)
+        assert a.keys() == b.keys()
+        for sid in a:
+            assert a[sid]["obs"]["counters"] == b[sid]["obs"]["counters"]
+            for name in ("bytes_per_frame", "points_total",
+                         "encodes_per_publication", "faults_injected"):
+                assert a[sid]["metrics"][name] == b[sid]["metrics"][name]
+            assert not any(
+                k.startswith("cache.") for k in a[sid]["obs"]["counters"]
+            )
+
+    def test_share_datasets_false_restores_isolation(self, tmp_path):
+        manifest = tiny_manifest(axes={"encoding": ["v1", "f16"]})
+        runner = SweepRunner(
+            manifest, tmp_path / "s", workers=2, share_datasets=False
+        )
+        assert runner.dataset_pool is None
+        assert runner.run().succeeded
+        assert "dataset_cache" not in (
+            ResultsStore(tmp_path / "s").header()["summary"]
+        )
