@@ -344,6 +344,69 @@ def record_cache(output: Path) -> int:
     return 0
 
 
+def record_insitu(output: Path) -> int:
+    """Run the BENCH_10 live-windtunnel steering soak, emit BENCH_10.json.
+
+    The live measurement lives in :mod:`benchmarks.insitu_scenario`
+    (shared with ``benchmarks/test_insitu_soak.py``); this entry adds
+    host provenance and the smoke gates: every steer must reach every
+    pushed client inside the latency gate, the ``insitu.*`` counters
+    must reconcile exactly, and every client must hold the frame budget.
+    """
+    from insitu_scenario import (
+        MIN_CLIENT_FPS,
+        STEER_LATENCY_GATE,
+        run_insitu_scenario,
+    )
+
+    result = run_insitu_scenario()
+    result["host"] = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    sim = result["sim"]
+    print(
+        f"sim           {sim['timesteps_published']:6d} timesteps"
+        f"  ({sim['sim_steps_total']} solver steps,"
+        f" {sim['sim_rate_hz']:.0f} steps/s)"
+    )
+    for i, row in enumerate(result["clients"]):
+        print(
+            f"client {i}      {row['pushed_frames']:6d} pushed frames"
+            f"  ({row['fps']:6.1f} fps, gate {MIN_CLIENT_FPS})"
+        )
+    latencies = [s["latency_seconds"] for s in result["steering"]]
+    print(
+        f"steering      {len(latencies):6d} changes"
+        f"  (max {max(latencies) * 1e3:6.1f} ms to all clients,"
+        f" gate {STEER_LATENCY_GATE}s)"
+    )
+    m = result["model"]
+    print(
+        f"model         step {m['step_seconds'] * 1e6:6.1f} us"
+        f"  predicted {m['predicted_fps']:6.1f} fps"
+        f"  steer latency {m['predicted_steering_latency_seconds'] * 1e3:6.1f} ms"
+    )
+    print(f"wrote {output}")
+
+    if not all(s["observed_by_all"] for s in result["steering"]):
+        print("FAIL: a steering change never reached every client",
+              file=sys.stderr)
+        return 1
+    if not sim["counters_reconciled"]:
+        print("FAIL: insitu.* counters did not reconcile", file=sys.stderr)
+        return 1
+    if any(row["fps"] < MIN_CLIENT_FPS for row in result["clients"]):
+        print("FAIL: a pushed client fell below the frame-rate floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -352,7 +415,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="result path (default: output/BENCH_4.json, BENCH_6.json "
         "with --gateway, BENCH_7.json with --soak, BENCH_8.json "
-        "with --sweep, or BENCH_9.json with --cache)",
+        "with --sweep, BENCH_9.json with --cache, or BENCH_10.json "
+        "with --insitu)",
     )
     parser.add_argument(
         "--skip-table3", action="store_true",
@@ -374,7 +438,17 @@ def main(argv: list[str] | None = None) -> int:
         "--cache", action="store_true",
         help="record the BENCH_9 tiered timestep-cache scenario instead",
     )
+    parser.add_argument(
+        "--insitu", action="store_true",
+        help="record the BENCH_10 live-windtunnel steering soak instead",
+    )
     args = parser.parse_args(argv)
+    if args.insitu:
+        return record_insitu(
+            args.output
+            if args.output is not None
+            else Path(__file__).parent / "output" / "BENCH_10.json"
+        )
     if args.cache:
         return record_cache(
             args.output

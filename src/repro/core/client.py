@@ -258,6 +258,24 @@ class WindtunnelClient:
         """Adjust shared tracer parameters (steps, dt, streak length)."""
         return self._call("wt.set_tool_settings", self.client_id, settings)
 
+    def steer(self, **changes) -> dict:
+        """Steer a live (in situ) windtunnel (``wt.steer``).
+
+        Accepted keys: ``u_inf``, ``dt``, ``taper``, ``angle``,
+        ``paused``, ``reset`` (docs/steering.md).  Returns the assigned
+        steering epoch — watch :attr:`latest_state` (or frame replies)
+        for ``steer_epoch >= epoch`` to know when visible frames include
+        the change.  Deliberately not idempotent: re-issuing after a
+        transport failure would double-apply the change under a fresh
+        epoch.  Raises the server's error on conflicts (another user
+        holds the steering lease) or out-of-range parameters.
+        """
+        return self._call("wt.steer", self.client_id, changes)
+
+    def release_steering(self) -> dict:
+        """Release the steering lease early (``wt.steer_release``)."""
+        return self._call("wt.steer_release", self.client_id)
+
     def request_isosurface(self, level_fraction: float = 0.75) -> dict:
         """Fetch a |v| isosurface of the current timestep from the server.
 

@@ -81,6 +81,7 @@ class Environment:
         # nests try_grab/release.
         self.lock = threading.RLock()
         self._listeners: list = []
+        self._state_providers: dict[str, object] = {}
 
     def subscribe(self, listener) -> None:
         """Register ``listener()`` to run after every version bump.
@@ -91,6 +92,19 @@ class Environment:
         on the mutation itself rather than on its next poll.
         """
         self._listeners.append(listener)
+
+    def add_state_provider(self, key: str, provider) -> None:
+        """Contribute an extra section to every :meth:`snapshot`.
+
+        ``provider()`` must return a serializable value; it runs with the
+        environment lock held, so it must be cheap.  This is how
+        subsystems the environment does not know about (the in situ
+        steering controller's ``"steering"`` section) ride along in
+        ``wt.state`` without the core importing them.
+        """
+        if not callable(provider):
+            raise TypeError("provider must be callable")
+        self._state_providers[str(key)] = provider
 
     def bump(self) -> None:
         """Explicitly invalidate the shared visualization.
@@ -282,7 +296,7 @@ class Environment:
     def snapshot(self, wall: float) -> dict:
         """Serializable view of the environment for clients to render."""
         with self.lock:
-            return {
+            snap = {
                 "version": self.version,
                 "clock": self.clock.snapshot(wall),
                 "rakes": {
@@ -291,3 +305,6 @@ class Environment:
                 },
                 "users": {str(uid): u.to_wire() for uid, u in self.users.items()},
             }
+            for key, provider in self._state_providers.items():
+                snap[key] = provider()
+            return snap

@@ -253,6 +253,12 @@ class PublishedFrame:
     digests
         ``{rake_id: content digest}`` — bit-exact geometry identity per
         rake, the basis of delta frames (docs/network.md).
+    steer_epoch
+        Steering provenance: the last applied steering epoch the solver
+        state reflected when this frame's timestep was produced (0 for
+        replay datasets and for live frames before any steering).  A
+        client that issued ``wt.steer`` watches this field to know when
+        the flow it sees includes its change (docs/steering.md).
     rake_fragments
         ``{rake_id: wire bytes}`` — the per-rake v1 entry fragments
         whose concatenation is ``paths_wire``.
@@ -270,6 +276,7 @@ class PublishedFrame:
     batch: dict = field(default_factory=dict)
     digests: dict = field(default_factory=dict)
     rake_fragments: dict = field(default_factory=dict)
+    steer_epoch: int = 0
     enc_cache: EncodingCache = field(
         default_factory=EncodingCache, compare=False, repr=False
     )

@@ -69,6 +69,7 @@ class _Job:
     stage_seconds: dict = field(default_factory=dict)
     quality: float = 1.0
     batch: dict = field(default_factory=dict)
+    steer_epoch: int = 0
 
 
 class FramePipeline:
@@ -136,6 +137,10 @@ class FramePipeline:
         self._demand_window = float(demand_window)
         self._poll_interval = float(poll_interval)
         self.stage_cost = dict(stage_cost or {})
+        # In situ provenance hook: when set, ``epoch_fn(timestep)`` is the
+        # steering epoch stamped into the published frame for that
+        # timestep (0 for replay datasets, which never set it).
+        self.epoch_fn = None
 
         self._running = False
         self._work = threading.Event()
@@ -336,6 +341,16 @@ class FramePipeline:
         self._invalidations.inc()
         self._work.set()
 
+    def nudge(self) -> None:
+        """Wake the producer without counting an invalidation.
+
+        The in situ producer calls this after installing a fresh solver
+        timestep: the environment did not change (no version bump), but
+        the clock's live frontier did, so the producer should re-examine
+        its key now instead of on the next poll tick.
+        """
+        self._work.set()
+
     # -- the producer ------------------------------------------------------
 
     def _current_key(self) -> tuple[int, int]:
@@ -465,6 +480,7 @@ class FramePipeline:
         with self._state_lock:
             self._last_key = (version, timestep)
 
+        epoch_fn = self.epoch_fn
         return _Job(
             version=version,
             timestep=timestep,
@@ -473,6 +489,7 @@ class FramePipeline:
             compute_seconds=compute_seconds,
             stage_seconds=stage_seconds,
             quality=quality,
+            steer_epoch=int(epoch_fn(timestep)) if epoch_fn is not None else 0,
             batch={
                 "fused": bool(getattr(self.engine, "fused", False)),
                 "fused_batch_size": int(
@@ -534,6 +551,7 @@ class FramePipeline:
             batch=job.batch,
             digests=enc.digests,
             rake_fragments=enc.fragments,
+            steer_epoch=job.steer_epoch,
         )
         return self.store.publish(frame)
 

@@ -347,8 +347,22 @@ class WindtunnelServer:
         clock = state.get("clock")
         if clock:
             self.env.clock.restore(dict(clock), self._time_fn())
+        steering = state.get("steering")
+        if steering:
+            self._restore_steering(list(steering))
         self.env.bump()
         return {"sessions": restored_sessions, "rakes": restored_rakes}
+
+    def _restore_steering(self, entries: list) -> None:
+        """Replay journaled steering entries on a respawned worker.
+
+        A no-op here: the base server replays *precomputed* datasets,
+        which have no steering state.  The in situ server
+        (:class:`~repro.insitu.server.InsituWindtunnelServer`) overrides
+        this to re-apply the journaled ``wt.steer`` history in epoch
+        order, restoring the steered regime after a crash
+        (docs/steering.md).
+        """
 
     def _rpc_health(self, ctx) -> dict:
         """One cheap liveness + saturation probe (the supervisor's pulse).
@@ -606,6 +620,7 @@ class WindtunnelServer:
             self._net_bytes_hist.observe(float(frame.wire_bytes))
             return {
                 "timestep": frame.timestep,
+                "steer_epoch": frame.steer_epoch,
                 "paths": frame.paths_wire,
                 "compute_seconds": frame.compute_seconds,
                 "env": env,
@@ -790,6 +805,7 @@ class WindtunnelServer:
             policy.note_send(fragment.nbytes, 0.0)
         return {
             "timestep": frame.timestep,
+            "steer_epoch": frame.steer_epoch,
             "paths": fragment,
             "compute_seconds": frame.compute_seconds,
             "env": env,

@@ -35,6 +35,36 @@ class TimeControl:
         self._playing = True
         self._anchor_wall = 0.0
         self._anchor_pos = 0.0
+        self._live_fn = None
+
+    # -- live (in situ) mode -------------------------------------------------
+
+    def bind_live(self, latest_fn) -> None:
+        """Follow a live producer instead of replaying a finite sequence.
+
+        ``latest_fn()`` returns the newest *published-ready* timestep index
+        (or ``-1`` before the first one).  In live mode the clock has no
+        schedule of its own: while playing, :meth:`position` is simply the
+        producer's frontier — the dataset is unbounded, so there is
+        nothing to wrap or clamp — and pausing freezes at the frontier
+        reached so far.  Replay-only transport ops (speed, scrub, step,
+        reverse) raise ``ValueError``; steering the *solver* is how a live
+        session manipulates time (docs/steering.md).
+        """
+        if not callable(latest_fn):
+            raise TypeError("latest_fn must be callable")
+        self._live_fn = latest_fn
+        self.wrap = False
+
+    @property
+    def live(self) -> bool:
+        return self._live_fn is not None
+
+    def _latest(self) -> float:
+        t = int(self._live_fn())
+        if t > self.n_timesteps - 1:
+            self.n_timesteps = t + 1
+        return float(max(t, 0))
 
     # -- queries ------------------------------------------------------------
 
@@ -53,6 +83,10 @@ class TimeControl:
 
     def position(self, wall: float) -> float:
         """Fractional timestep position at wall time ``wall``."""
+        if self._live_fn is not None:
+            if self._playing:
+                return self._latest()
+            return self._anchor_pos
         pos = self._anchor_pos
         if self._playing:
             pos += self._speed * (wall - self._anchor_wall)
@@ -64,6 +98,8 @@ class TimeControl:
 
     def timestep_index(self, wall: float) -> int:
         """Integer timestep at wall time ``wall``."""
+        if self._live_fn is not None:
+            return int(self.position(wall))
         return int(self.position(wall)) % self.n_timesteps
 
     def lookahead(self, wall: float, lead: float) -> int:
@@ -76,7 +112,9 @@ class TimeControl:
         clock is actually going.  A paused clock predicts its current
         timestep; a reversed clock predicts upstream.
         """
-        if not self._playing:
+        if not self._playing or self._live_fn is not None:
+            # Live production is demand-pull from the frontier; there is
+            # no schedule to aim a disk prefetch at.
             return self.timestep_index(wall)
         return self.timestep_index(wall + max(0.0, float(lead)))
 
@@ -86,7 +124,16 @@ class TimeControl:
         self._anchor_pos = self.position(wall)
         self._anchor_wall = wall
 
+    def _forbid_live(self, op: str) -> None:
+        if self._live_fn is not None:
+            raise ValueError(
+                f"cannot {op} a live clock: the in situ dataset is unbounded "
+                "and follows the solver frontier — steer the solver "
+                "(wt.steer) instead"
+            )
+
     def set_speed(self, speed: float, wall: float) -> None:
+        self._forbid_live("set the speed of")
         self._reanchor(wall)
         self._speed = float(speed)
 
@@ -104,15 +151,18 @@ class TimeControl:
 
     def reverse(self, wall: float) -> None:
         """Run the flow backwards from here."""
+        self._forbid_live("reverse")
         self.set_speed(-self._speed, wall)
 
     def scrub(self, position: float, wall: float) -> None:
         """Jump to an absolute (fractional) timestep position."""
+        self._forbid_live("scrub")
         self._anchor_pos = float(position)
         self._anchor_wall = wall
 
     def step(self, delta: int, wall: float) -> None:
         """Single-step while paused (frame-by-frame examination)."""
+        self._forbid_live("step")
         self._reanchor(wall)
         self._anchor_pos += delta
 
@@ -124,6 +174,12 @@ class TimeControl:
         worker left it (modulo the outage itself — the clock does not
         replay time that passed while nobody was serving).
         """
+        if self._live_fn is not None:
+            # A live clock's position is the producer frontier, which a
+            # respawned solver re-derives; only the pause state carries.
+            self._playing = bool(snapshot.get("playing", self._playing))
+            self._reanchor(wall)
+            return
         self._speed = float(snapshot.get("speed", self._speed))
         self._playing = bool(snapshot.get("playing", self._playing))
         self.wrap = bool(snapshot.get("wrap", self.wrap))
@@ -140,4 +196,5 @@ class TimeControl:
             "playing": self._playing,
             "wrap": self.wrap,
             "n_timesteps": self.n_timesteps,
+            "live": self._live_fn is not None,
         }

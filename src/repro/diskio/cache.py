@@ -103,6 +103,7 @@ class TierStats:
         "misses",
         "bytes",
         "evictions",
+        "appends",
         "stall_seconds",
         "resident_bytes",
         "_registry",
@@ -115,6 +116,7 @@ class TierStats:
         self.misses = 0
         self.bytes = 0  # cumulative bytes served from this tier
         self.evictions = 0
+        self.appends = 0  # producer write-throughs (in situ solver output)
         self.stall_seconds = 0.0
         self.resident_bytes = 0  # current bytes held by this tier
         self._registry = None
@@ -144,6 +146,14 @@ class TierStats:
             self.evictions += n
             self._emit("evictions", n)
 
+    def append(self, nbytes: int = 0) -> None:
+        with self._lock:
+            self.appends += 1
+            self._emit("appends", 1)
+            if nbytes:
+                self.bytes += nbytes
+                self._emit("bytes", nbytes)
+
     def stall(self, seconds: float) -> None:
         if seconds < 0:
             seconds = 0.0
@@ -169,6 +179,7 @@ class TierStats:
             registry.counter(f"cache.{self.tier}.misses").inc(self.misses)
             registry.counter(f"cache.{self.tier}.bytes").inc(self.bytes)
             registry.counter(f"cache.{self.tier}.evictions").inc(self.evictions)
+            registry.counter(f"cache.{self.tier}.appends").inc(self.appends)
             registry.counter(f"cache.{self.tier}.stall_seconds").inc(
                 self.stall_seconds
             )
@@ -193,6 +204,7 @@ class TierStats:
                 "misses": self.misses,
                 "bytes": self.bytes,
                 "evictions": self.evictions,
+                "appends": self.appends,
                 "stall_seconds": self.stall_seconds,
                 "resident_bytes": self.resident_bytes,
             }
@@ -492,6 +504,39 @@ class TieredTimestepCache:
     def peek(self, t: int) -> np.ndarray | None:
         """Tier-1 resident view for ``t`` (no fills, no accounting)."""
         return self.l1.peek(t)
+
+    # -- the write API ---------------------------------------------------------
+
+    def append(self, t: int, arr: np.ndarray) -> np.ndarray:
+        """Write a freshly *produced* timestep into the ladder.
+
+        The in situ producer's path: the tiers were fill-on-read until
+        PR 10, but a live solver mints timesteps that exist nowhere
+        downstream, so they enter at the top.  The decoded array is
+        write-through — installed in tier 1 (and tier 2 when attached) so
+        the very next ``get(t)`` is an L1 hit and co-located sessions see
+        the new timestep without re-simulating.  Counted as
+        ``cache.{tier}.appends`` rather than hits/misses: appends are
+        producer pushes, not reader demand, and the reconciliation
+        ``hits + misses == reads`` must stay exact.
+
+        Returns the read-only tier-1 view (the array the pipeline should
+        hand out).
+        """
+        t = int(t)
+        gv = np.asarray(arr)
+        if self.l2 is not None:
+            try:
+                self.l2.put(t, gv)
+            except Exception:
+                # A full/contended segment must never stall the solver;
+                # tier 2 is an optimization, the L1 copy is authoritative.
+                pass
+            else:
+                self.l2.stats.append(gv.nbytes)
+        view = self.l1.put(t, gv)
+        self.l1.stats.append(gv.nbytes)
+        return view
 
     def prefetch_hint(self, timesteps) -> None:
         """Forward a prediction downstream (to a block server's stager).

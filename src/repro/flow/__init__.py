@@ -33,7 +33,13 @@ from repro.flow.analytic import (
     UniformFlow,
 )
 from repro.flow.taperedcylinder import TaperedCylinderFlow, tapered_cylinder_dataset
-from repro.flow.solver import NavierStokes2D, SolverConfig, cylinder_mask, solver_dataset
+from repro.flow.solver import (
+    NavierStokes2D,
+    SolverConfig,
+    cylinder_mask,
+    solver_dataset,
+    tapered_cylinder_mask,
+)
 from repro.flow.dataset import DiskDataset, MemoryDataset, UnsteadyDataset
 from repro.flow.plot3d import (
     load_dataset_plot3d,
@@ -67,6 +73,7 @@ __all__ = [
     "NavierStokes2D",
     "SolverConfig",
     "cylinder_mask",
+    "tapered_cylinder_mask",
     "solver_dataset",
     "UnsteadyDataset",
     "MemoryDataset",

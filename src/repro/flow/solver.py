@@ -16,7 +16,7 @@ the ``(T, ni, nj, nk, 3)`` timestep arrays the windtunnel consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 from scipy import ndimage
@@ -24,7 +24,13 @@ from scipy import ndimage
 from repro.flow.dataset import MemoryDataset
 from repro.grid.curvilinear import cartesian_grid
 
-__all__ = ["SolverConfig", "NavierStokes2D", "cylinder_mask", "solver_dataset"]
+__all__ = [
+    "SolverConfig",
+    "NavierStokes2D",
+    "cylinder_mask",
+    "tapered_cylinder_mask",
+    "solver_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -78,6 +84,47 @@ def cylinder_mask(config: SolverConfig, center=(2.0, 2.0), radius: float = 0.25)
     return dx * dx + dy * dy <= radius * radius
 
 
+def tapered_cylinder_mask(
+    config: SolverConfig,
+    center=(2.0, 2.0),
+    radius: float = 0.25,
+    *,
+    taper: float = 0.0,
+    angle_degrees: float = 0.0,
+    span: float = 1.5,
+) -> np.ndarray:
+    """Obstacle mask for a tapered, tilted cylinder, shape ``(nx, ny)``.
+
+    The steerable generalization of :func:`cylinder_mask` — the paper's
+    dataset is the flow past a *tapered* cylinder, and the in situ
+    steering RPCs (docs/steering.md) reshape the body between solver
+    steps.  The 2-D slice shows the body side-on: it spans ``span``
+    physical units along y centered on ``center``, with half-width
+    ``r(y) = radius * (1 + taper * (cy - y) / span)`` — so ``taper=0.5``
+    makes the lower end 1.5x and the upper end 0.5x the nominal radius
+    (0 = straight cylinder).  ``angle_degrees`` tilts the body axis away
+    from the y axis by shearing the section centerline:
+    ``x_axis(y) = cx + (y - cy) * tan(angle)``.  The span ends are
+    rounded with the local radius so the body stays smooth as it steers.
+
+    Parameter ranges are clamped by the steering validator, not here —
+    this is plain deterministic geometry.
+    """
+    x = (np.arange(config.nx) + 0.5) * config.dx
+    y = (np.arange(config.ny) + 0.5) * config.dy
+    cx, cy = float(center[0]), float(center[1])
+    half_span = 0.5 * float(span)
+    shear = np.tan(np.deg2rad(float(angle_degrees)))
+    axis_x = cx + (y[None, :] - cy) * shear
+    r = float(radius) * (1.0 + float(taper) * (cy - y[None, :]) / float(span))
+    r = np.maximum(r, 0.0)
+    dx = x[:, None] - axis_x
+    # Distance along the span past the ends (0 inside the straight part):
+    # adding it in quadrature rounds the end caps with the local radius.
+    overhang = np.maximum(np.abs(y[None, :] - cy) - half_span, 0.0)
+    return dx * dx + overhang * overhang <= r * r
+
+
 class NavierStokes2D:
     """Projection-method incompressible solver on a periodic box.
 
@@ -101,7 +148,28 @@ class NavierStokes2D:
         self.v = np.zeros((nx, ny), dtype=np.float64)
         self.time = 0.0
         self.steps_taken = 0
+        self._build_operators()
 
+        # Seed an asymmetric perturbation so shedding onset doesn't wait on
+        # round-off noise.
+        x = (np.arange(nx) + 0.5) * config.dx
+        y = (np.arange(ny) + 0.5) * config.dy
+        self.v += 0.02 * config.u_inf * np.sin(
+            2 * np.pi * x[:, None] / config.lx
+        ) * np.sin(2 * np.pi * y[None, :] / config.ly)
+
+    def _build_operators(self) -> None:
+        """(Re)build the spectral operators and sponge from the config.
+
+        Pure function of the config — called at construction and again by
+        :meth:`reconfigure` when steering changes ``nu``, ``dt``, or
+        ``u_inf`` mid-run.  The velocity state is untouched, so rebuilding
+        between steps is exactly equivalent to having constructed the
+        solver with the new parameters at that point in time — the basis
+        of the deterministic steering replay (docs/steering.md).
+        """
+        config = self.config
+        nx, ny = config.nx, config.ny
         kx = 2.0 * np.pi * np.fft.fftfreq(nx, d=config.dx)
         ky = 2.0 * np.pi * np.fft.rfftfreq(ny, d=config.dy)
         # Diffusion uses the full spectrum; derivatives zero the Nyquist
@@ -125,13 +193,6 @@ class NavierStokes2D:
         w = config.sponge_width * config.lx
         profile = np.clip(1.0 - x / w, 0.0, 1.0) ** 2
         self._sponge = (config.sponge_strength * profile)[:, None]
-
-        # Seed an asymmetric perturbation so shedding onset doesn't wait on
-        # round-off noise.
-        y = (np.arange(ny) + 0.5) * config.dy
-        self.v += 0.02 * config.u_inf * np.sin(
-            2 * np.pi * x[:, None] / config.lx
-        ) * np.sin(2 * np.pi * y[None, :] / config.ly)
 
     # -- numerics -----------------------------------------------------------
 
@@ -232,6 +293,74 @@ class NavierStokes2D:
         self.v = v.copy()
         if project:
             self._project()
+
+    # -- steering / checkpointing --------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture the full solver state as a plain dict.
+
+        The snapshot is self-contained: config values, velocity fields,
+        obstacle mask, simulated time and step count.  Restoring it with
+        :meth:`restore_state` reproduces the trajectory bit-for-bit —
+        every derived operator is a pure function of the config, so only
+        the primary state needs to travel.
+        """
+        return {
+            "config": asdict(self.config),
+            "u": self.u.copy(),
+            "v": self.v.copy(),
+            "obstacle": None if self.obstacle is None else self.obstacle.copy(),
+            "time": float(self.time),
+            "steps_taken": int(self.steps_taken),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Restore a :meth:`snapshot_state` capture (bit-identical)."""
+        config = SolverConfig(**snapshot["config"])
+        u = np.asarray(snapshot["u"], dtype=np.float64)
+        v = np.asarray(snapshot["v"], dtype=np.float64)
+        if u.shape != (config.nx, config.ny) or v.shape != (config.nx, config.ny):
+            raise ValueError(
+                f"snapshot fields must have shape {(config.nx, config.ny)}"
+            )
+        self.config = config
+        self.u = u.copy()
+        self.v = v.copy()
+        obstacle = snapshot.get("obstacle")
+        self.obstacle = None if obstacle is None else np.asarray(obstacle, dtype=bool).copy()
+        self.time = float(snapshot["time"])
+        self.steps_taken = int(snapshot["steps_taken"])
+        self._build_operators()
+
+    def reconfigure(self, **changes) -> SolverConfig:
+        """Apply steering changes to the config between steps.
+
+        Accepts any :class:`SolverConfig` field except the grid shape
+        (``nx``/``ny``/``lx``/``ly`` would invalidate the velocity state).
+        The velocity field, obstacle, time, and step count carry over
+        unchanged; operators are rebuilt from the new config.  Returns the
+        new config.
+        """
+        forbidden = {"nx", "ny", "lx", "ly"} & changes.keys()
+        if forbidden:
+            raise ValueError(
+                f"cannot reconfigure grid geometry mid-run: {sorted(forbidden)}"
+            )
+        self.config = replace(self.config, **changes)
+        self._build_operators()
+        return self.config
+
+    def set_obstacle(self, obstacle: np.ndarray | None) -> None:
+        """Replace the obstacle mask (e.g. a re-tapered cylinder)."""
+        if obstacle is not None:
+            obstacle = np.asarray(obstacle, dtype=bool)
+            shape = (self.config.nx, self.config.ny)
+            if obstacle.shape != shape:
+                raise ValueError(
+                    f"obstacle mask must have shape {shape}, got {obstacle.shape}"
+                )
+            obstacle = obstacle.copy()
+        self.obstacle = obstacle
 
     def cell_centers(self) -> tuple[np.ndarray, np.ndarray]:
         """Physical coordinates of the cell centers, each ``(nx, ny)``."""

@@ -45,7 +45,8 @@ class SessionJournal:
     def __init__(self, path: str | None = None) -> None:
         self._lock = threading.Lock()
         # worker -> {"sessions": {cid: entry}, "rakes": {rid: rake_dict},
-        #            "clock": snap|None, "tool_settings": dict|None}
+        #            "clock": snap|None, "tool_settings": dict|None,
+        #            "steering": [entry, ...]}
         self._workers: dict[str, dict] = {}
         self._session_worker: dict[int, str] = {}
         self._rake_worker: dict[int, str] = {}
@@ -58,7 +59,13 @@ class SessionJournal:
     def _slot(self, worker: str) -> dict:
         return self._workers.setdefault(
             worker,
-            {"sessions": {}, "rakes": {}, "clock": None, "tool_settings": None},
+            {
+                "sessions": {},
+                "rakes": {},
+                "clock": None,
+                "tool_settings": None,
+                "steering": [],
+            },
         )
 
     def record_join(self, worker: str, client_id: int, name: str, token: str) -> None:
@@ -117,6 +124,18 @@ class SessionJournal:
             self._slot(worker)["tool_settings"] = dict(settings)
             self._checkpoint()
 
+    def record_steering(self, worker: str, entry: dict) -> None:
+        """Append one accepted ``wt.steer`` change set to the worker's log.
+
+        ``entry`` is the server reply's provenance (``epoch`` +
+        normalized ``changes``); replaying the list in epoch order is how
+        a respawned in situ worker recovers the steered regime
+        (docs/steering.md).
+        """
+        with self._lock:
+            self._slot(worker).setdefault("steering", []).append(dict(entry))
+            self._checkpoint()
+
     # -- queries -----------------------------------------------------------
 
     def worker_of(self, client_id: int) -> str | None:
@@ -156,7 +175,7 @@ class SessionJournal:
             slot = self._workers.get(worker)
             if slot is None:
                 return {"sessions": [], "rakes": {}, "clock": None,
-                        "tool_settings": None}
+                        "tool_settings": None, "steering": []}
             return {
                 "sessions": [dict(e) for e in slot["sessions"].values()],
                 "rakes": {str(rid): r for rid, r in slot["rakes"].items()},
@@ -166,6 +185,9 @@ class SessionJournal:
                     if slot["tool_settings"] is None
                     else dict(slot["tool_settings"])
                 ),
+                "steering": [
+                    dict(e) for e in slot.get("steering", [])
+                ],
             }
 
     # -- persistence (caller holds the lock) --------------------------------
@@ -179,6 +201,7 @@ class SessionJournal:
                 "rakes": {str(r): d for r, d in slot["rakes"].items()},
                 "clock": slot["clock"],
                 "tool_settings": slot["tool_settings"],
+                "steering": slot.get("steering", []),
             }
             for worker, slot in self._workers.items()
         }
@@ -198,6 +221,7 @@ class SessionJournal:
                 "rakes": {int(r): d for r, d in slot["rakes"].items()},
                 "clock": slot.get("clock"),
                 "tool_settings": slot.get("tool_settings"),
+                "steering": [dict(e) for e in slot.get("steering", [])],
             }
             for cid in self._workers[worker]["sessions"]:
                 self._session_worker[cid] = worker

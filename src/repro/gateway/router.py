@@ -69,6 +69,7 @@ _PLAIN_FORWARDS = {
     "wt.snapshot": True,
     "wt.pipeline_stats": True,
     "wt.isosurface": True,
+    "wt.steer_release": True,
 }
 
 
@@ -307,6 +308,7 @@ class SessionGateway:
         reg("wt.add_rake", self._rpc_add_rake)
         reg("wt.remove_rake", self._rpc_remove_rake)
         reg("wt.time", self._rpc_time)
+        reg("wt.steer", self._rpc_steer)
         reg("wt.set_tool_settings", self._rpc_set_tool_settings)
         reg("wt.stats", self._rpc_stats)
         reg("wt.metrics", self._rpc_metrics)
@@ -423,6 +425,23 @@ class SessionGateway:
         snapshot = self._forward(worker, "wt.time", cid, op, value)
         self.journal.record_clock(worker, snapshot)
         return snapshot
+
+    def _rpc_steer(self, ctx, client_id: int, changes: dict) -> dict:
+        """Forward ``wt.steer`` and journal the accepted change set.
+
+        Only accepted steers land in the journal (a conflict or a bad
+        parameter raises before we get here), so replaying the log on a
+        respawned worker reconstructs exactly the regime users steered
+        the tunnel into (docs/steering.md).
+        """
+        cid = int(client_id)
+        worker = self._worker_for(cid)
+        result = self._forward(worker, "wt.steer", cid, changes)
+        self.journal.record_steering(
+            worker,
+            {"epoch": result.get("epoch", 0), "changes": result.get("changes", {})},
+        )
+        return result
 
     def _rpc_set_tool_settings(self, ctx, client_id: int, settings: dict) -> dict:
         cid = int(client_id)

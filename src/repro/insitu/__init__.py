@@ -1,0 +1,47 @@
+"""In situ solver coupling with computational steering.
+
+The source paper replays *precomputed* timesteps; Gupta et al.'s in situ
+VR framework (PAPERS.md) couples the visualization loop to a *running*
+simulation that users steer interactively.  This package is that
+coupling for the reproduction's own 2-D Navier-Stokes solver
+(:mod:`repro.flow.solver`):
+
+* :class:`~repro.insitu.ring.TimestepRing` — the bounded ring of recent
+  solver timesteps the producer free-runs into.
+* :class:`~repro.insitu.source.LiveFlowSource` — an
+  :class:`~repro.flow.dataset.UnsteadyDataset` whose timestep sequence
+  *grows* as the solver produces (unbounded t), backed by the ring.
+* :class:`~repro.insitu.steering.SteeringController` — ``wt.steer``
+  validation, FCFS steering-conflict leases (modeled on the rake grab
+  locks), and monotonically increasing steering *epochs* stamped into
+  every :class:`~repro.core.framestore.PublishedFrame`.
+* :class:`~repro.insitu.producer.SolverProducer` — steps the solver,
+  extrudes each new timestep, installs it in the live source and the
+  tiered cache's new append path, and nudges the demand-gated pipeline.
+* :class:`~repro.insitu.server.InsituWindtunnelServer` — a
+  :class:`~repro.core.server.WindtunnelServer` whose dataset is the live
+  source: clients keep the whole ``wt.*`` protocol and gain ``wt.steer``.
+
+See docs/steering.md for the architecture and wire semantics.
+"""
+
+from repro.insitu.ring import TimestepRing
+from repro.insitu.source import LiveFlowSource, extrude_slice
+from repro.insitu.steering import (
+    STEERING_RANGES,
+    SteeringConflictError,
+    SteeringController,
+)
+from repro.insitu.producer import SolverProducer
+from repro.insitu.server import InsituWindtunnelServer
+
+__all__ = [
+    "TimestepRing",
+    "LiveFlowSource",
+    "extrude_slice",
+    "STEERING_RANGES",
+    "SteeringConflictError",
+    "SteeringController",
+    "SolverProducer",
+    "InsituWindtunnelServer",
+]

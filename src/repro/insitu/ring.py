@@ -1,0 +1,97 @@
+"""A bounded ring of recent solver timesteps.
+
+The in situ producer free-runs: the solver may outpace the visualization,
+and the dataset it grows is unbounded, so *something* must bound memory.
+The ring keeps the most recent ``capacity`` timesteps; older ones retire
+(the live windtunnel has no rewind — run the flow again, or steer it back,
+as in a physical tunnel).  Thread-safe: the producer appends while the
+pipeline's producer thread and the dlib service thread read.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["TimestepRing"]
+
+
+class TimestepRing:
+    """Recent timesteps ``t -> array``, strictly append-in-order."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 2:
+            raise ValueError("ring needs capacity >= 2")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    @property
+    def latest(self) -> int:
+        """Newest timestep held, or ``-1`` when empty."""
+        with self._lock:
+            return next(reversed(self._entries)) if self._entries else -1
+
+    @property
+    def oldest(self) -> int:
+        """Oldest timestep still held, or ``-1`` when empty."""
+        with self._lock:
+            return next(iter(self._entries)) if self._entries else -1
+
+    def append(self, t: int, arr: np.ndarray) -> np.ndarray:
+        """Install timestep ``t`` (must be exactly ``latest + 1``).
+
+        Returns the read-only stored view; the oldest entry retires when
+        the ring is over capacity.
+        """
+        t = int(t)
+        view = np.asarray(arr).view()
+        view.flags.writeable = False
+        with self._lock:
+            expected = (
+                next(reversed(self._entries)) + 1 if self._entries else 0
+            )
+            if t != expected:
+                raise ValueError(
+                    f"ring appends must be sequential: expected t={expected}, "
+                    f"got t={t}"
+                )
+            self._entries[t] = view
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return view
+
+    def get(self, t: int) -> np.ndarray:
+        t = int(t)
+        with self._lock:
+            arr = self._entries.get(t)
+            if arr is not None:
+                return arr
+            oldest = next(iter(self._entries)) if self._entries else -1
+            latest = next(reversed(self._entries)) if self._entries else -1
+        if 0 <= t < oldest:
+            raise IndexError(
+                f"timestep {t} has retired from the live ring "
+                f"(holds [{oldest}, {latest}]); the in situ windtunnel "
+                "keeps only recent history"
+            )
+        raise IndexError(
+            f"timestep {t} has not been produced yet (latest is {latest})"
+        )
+
+    def __contains__(self, t: int) -> bool:
+        with self._lock:
+            return int(t) in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def keys(self) -> list[int]:
+        with self._lock:
+            return list(self._entries)

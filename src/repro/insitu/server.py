@@ -1,0 +1,211 @@
+"""The live windtunnel server: solver in, frames out, steering shared.
+
+:class:`InsituWindtunnelServer` is a :class:`~repro.core.server.
+WindtunnelServer` whose dataset is a :class:`~repro.insitu.source.
+LiveFlowSource` fed by a :class:`~repro.insitu.producer.SolverProducer`
+on its own thread.  Everything the replay server has — the demand-gated
+pipeline, the frame store, push fan-out, v2 deltas, sessions, metrics —
+is inherited unchanged; this subclass wires the live pieces together:
+
+* the shared clock runs in **live mode**, following the producer's
+  published frontier instead of a wall-anchored replay schedule;
+* the pipeline stamps each frame's **steering epoch**
+  (``PublishedFrame.steer_epoch``) from the producer's records;
+* ``wt.steer`` / ``wt.steer_release`` expose the
+  :class:`~repro.insitu.steering.SteeringController` (FCFS lease,
+  validated parameters, epoch assignment);
+* ``wt.state`` gains a ``"steering"`` section via the environment's
+  state-provider hook;
+* ``insitu.frames_behind_sim`` tracks how far the visualization trails
+  the simulation, updated on every publication;
+* ``wt.restore`` replays journaled steering entries through
+  :meth:`_restore_steering`, so crash recovery restores the steered
+  regime (docs/steering.md).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.server import WindtunnelServer
+from repro.diskio.cache import TieredTimestepCache
+from repro.diskio.loader import TimestepLoader
+from repro.flow.solver import NavierStokes2D, SolverConfig, tapered_cylinder_mask
+from repro.grid.curvilinear import cartesian_grid
+from repro.insitu.producer import SolverProducer
+from repro.insitu.source import LiveFlowSource, extrude_slice
+from repro.insitu.steering import SteeringController
+
+__all__ = ["InsituWindtunnelServer"]
+
+
+class InsituWindtunnelServer(WindtunnelServer):
+    """A windtunnel server coupled to a running solver.
+
+    Parameters (beyond :class:`WindtunnelServer`'s, which pass through)
+    ----------
+    solver_config
+        The :class:`~repro.flow.solver.SolverConfig` to simulate.
+    steps_per_timestep
+        Solver steps folded into one published timestep.
+    ring_capacity
+        Recent timesteps retained in the live ring (and sized into the
+        tier-1 cache, so ring-resident reads are always L1 hits).
+    nk, height
+        Extrusion depth of the 2-D slice (matches ``solver_dataset``).
+    sim_period_seconds
+        Producer throttle: minimum wall seconds per published timestep
+        (0 = free-run).
+    steering_hold_seconds
+        FCFS steering-lease term (rake-grab semantics).
+    """
+
+    def __init__(
+        self,
+        *,
+        solver_config: SolverConfig | None = None,
+        steps_per_timestep: int = 5,
+        ring_capacity: int = 32,
+        nk: int = 4,
+        height: float = 1.0,
+        sim_period_seconds: float = 0.0,
+        steering_hold_seconds: float = 2.0,
+        time_fn=time.monotonic,
+        **server_kwargs,
+    ) -> None:
+        config = solver_config if solver_config is not None else SolverConfig()
+        self.solver_config = config
+        # Body geometry the taper/angle steering reshapes: the classic
+        # tapered-cylinder placement, scaled to the configured box.
+        self._body = {
+            "center": (0.25 * config.lx, 0.5 * config.ly),
+            "radius": 0.25,
+            "span": 0.375 * config.ly,
+        }
+        solver = NavierStokes2D(config, obstacle=self._obstacle(0.0, 0.0))
+        grid = cartesian_grid(
+            (config.nx, config.ny, int(nk)),
+            lo=(0.5 * config.dx, 0.5 * config.dy, 0.0),
+            hi=(
+                config.lx - 0.5 * config.dx,
+                config.ly - 0.5 * config.dy,
+                float(height),
+            ),
+        )
+        source = LiveFlowSource(
+            grid,
+            extrude_slice(solver.u, solver.v, int(nk)),
+            dt=config.dt * int(steps_per_timestep),
+            ring_capacity=ring_capacity,
+        )
+        cache = TieredTimestepCache(source, l1_timesteps=ring_capacity)
+        # No background prefetch: live timesteps are pushed into L1 by
+        # the producer; a speculative read of an unproduced timestep
+        # would raise inside the prefetch worker.
+        loader = TimestepLoader(source, prefetch=False, cache=cache)
+        super().__init__(source, loader=loader, time_fn=time_fn, **server_kwargs)
+
+        self.steering = SteeringController(
+            hold_seconds=steering_hold_seconds, time_fn=time_fn
+        )
+        self.producer = SolverProducer(
+            solver,
+            source,
+            steering=self.steering,
+            cache=cache,
+            steps_per_timestep=steps_per_timestep,
+            obstacle_factory=self._obstacle,
+            pipeline=self.pipeline,
+            registry=self.registry,
+            period_seconds=sim_period_seconds,
+        )
+        self.producer.prime()
+        self.env.clock.bind_live(lambda: self.producer.available)
+        self.pipeline.epoch_fn = self.producer.epoch_for
+        self._frames_behind = self.registry.gauge("insitu.frames_behind_sim")
+        self.store.subscribe(self._note_frames_behind)
+        self.env.add_state_provider("steering", self._steering_state)
+        self.dlib.register("wt.steer", self._rpc_steer)
+        self.dlib.register("wt.steer_release", self._rpc_steer_release)
+
+    def _obstacle(self, taper: float, angle: float):
+        return tapered_cylinder_mask(
+            self.solver_config,
+            center=self._body["center"],
+            radius=self._body["radius"],
+            taper=taper,
+            angle_degrees=angle,
+            span=self._body["span"],
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "InsituWindtunnelServer":
+        super().start()
+        self.producer.start()
+        return self
+
+    def stop(self) -> None:
+        # Producer first: once it stops appending, the pipeline drains
+        # normally and the base teardown proceeds as for a replay server.
+        self.producer.stop()
+        super().stop()
+
+    # -- steering RPCs ---------------------------------------------------------
+
+    def _rpc_steer(self, ctx, client_id: int, changes: dict) -> dict:
+        """Steer the running simulation (docs/steering.md).
+
+        Validates, takes/refreshes the FCFS steering lease, assigns the
+        change set its epoch, and queues it for the producer's next
+        timestep boundary.  Raises
+        :class:`~repro.insitu.steering.SteeringConflictError` when
+        another user holds the lease and ``ValueError`` on a bad
+        parameter — both before anything reaches the solver.
+        """
+        cid = int(client_id)
+        self.sessions.touch(cid)
+        if cid not in self.env.users:
+            raise KeyError(f"no such client {cid}")
+        result = self.steering.request(cid, dict(changes))
+        self.producer.wake()
+        result["state"] = self.producer.snapshot()
+        return result
+
+    def _rpc_steer_release(self, ctx, client_id: int) -> dict:
+        """Release the steering lease early (the 'let go' of a rake grab)."""
+        cid = int(client_id)
+        self.sessions.touch(cid)
+        return {"released": self.steering.release(cid)}
+
+    # -- state / metrics wiring ------------------------------------------------
+
+    def _steering_state(self) -> dict:
+        snap = self.steering.snapshot()
+        snap.update(self.producer.snapshot())
+        return snap
+
+    def _note_frames_behind(self, frame) -> None:
+        # FrameStore listener (encoder thread): how many published
+        # timesteps the visualization trails the simulation by.
+        self._frames_behind.set(
+            max(0, self.producer.available - frame.timestep)
+        )
+
+    # -- crash recovery --------------------------------------------------------
+
+    def _restore_steering(self, entries: list) -> None:
+        """Re-apply a journaled steering history (epoch order).
+
+        Restores the steered *regime* — the solver parameters and body
+        geometry the journal recorded — on a freshly spawned worker.
+        The flow trajectory itself restarts from the initial condition
+        (the dead worker's velocity field died with it); deterministic
+        trajectory replay from the same log is exercised separately via
+        :meth:`SolverProducer.replay_steering`.
+        """
+        ordered = sorted(entries, key=lambda e: int(e.get("epoch", 0)))
+        for entry in ordered:
+            self.producer.apply_changes(dict(entry.get("changes", {})))
+        self.steering.mark_restored(ordered)
+        self.producer.wake()

@@ -1,0 +1,105 @@
+"""The live dataset: an unsteady dataset that grows as the solver runs.
+
+:class:`LiveFlowSource` subclasses :class:`~repro.flow.dataset.
+UnsteadyDataset`, so every existing consumer — the compute engine, the
+tiered cache's :class:`~repro.diskio.cache.DatasetSource`, the
+isosurface extractor's ``velocity_magnitude`` — works unchanged.  The
+differences from a replay dataset:
+
+* ``n_timesteps`` *grows*: each :meth:`append` extends the sequence by
+  one, and the live :class:`~repro.core.timectrl.TimeControl` follows
+  that frontier instead of a wall-anchored schedule.
+* ``velocity(t)`` reads the producer's bounded
+  :class:`~repro.insitu.ring.TimestepRing`; a timestep that has retired
+  from the ring raises ``IndexError`` with a message saying so.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flow.dataset import UnsteadyDataset
+from repro.grid.curvilinear import CurvilinearGrid
+from repro.insitu.ring import TimestepRing
+
+__all__ = ["LiveFlowSource", "extrude_slice"]
+
+
+def extrude_slice(u: np.ndarray, v: np.ndarray, nk: int = 4) -> np.ndarray:
+    """Extrude a 2-D solver slice into the ``(ni, nj, nk, 3)`` form.
+
+    Identical to what :func:`~repro.flow.solver.solver_dataset` does per
+    timestep: ``nk`` identical planes with ``w = 0``, float32 — the
+    windtunnel's standard velocity layout.
+    """
+    nx, ny = u.shape
+    out = np.empty((nx, ny, int(nk), 3), dtype=np.float32)
+    out[..., 0] = u[..., None]
+    out[..., 1] = v[..., None]
+    out[..., 2] = 0.0
+    return out
+
+
+class LiveFlowSource(UnsteadyDataset):
+    """Unsteady dataset backed by a live producer ring.
+
+    Parameters
+    ----------
+    grid
+        The (static) curvilinear grid the solver slice extrudes onto.
+    initial
+        Timestep 0's velocity array ``(ni, nj, nk, 3)`` — the solver's
+        initial condition, present from construction so every
+        ``n_timesteps >= 1`` invariant of the dataset machinery holds.
+    dt
+        Physical seconds between *published* timesteps (solver ``dt``
+        times the producer's ``steps_per_timestep``).
+    ring_capacity
+        Recent timesteps retained (older ones retire).
+    """
+
+    def __init__(
+        self,
+        grid: CurvilinearGrid,
+        initial: np.ndarray,
+        dt: float,
+        *,
+        ring_capacity: int = 32,
+        cache_timesteps: int = 16,
+    ) -> None:
+        initial = np.asarray(initial)
+        if initial.shape != grid.shape + (3,):
+            raise ValueError(
+                f"initial timestep must have shape {grid.shape + (3,)}, "
+                f"got {initial.shape}"
+            )
+        super().__init__(grid, 1, dt, cache_timesteps)
+        self.ring = TimestepRing(ring_capacity)
+        self.ring.append(0, initial)
+
+    # -- the dataset interface ------------------------------------------------
+
+    def velocity(self, t: int) -> np.ndarray:
+        return self.ring.get(self._check_timestep(t))
+
+    # -- the producer interface -----------------------------------------------
+
+    def append(self, t: int, arr: np.ndarray) -> np.ndarray:
+        """Install freshly produced timestep ``t`` (= ``latest + 1``).
+
+        Extends ``n_timesteps`` so bounds checks downstream (the engine,
+        ``_check_timestep``) admit the new frontier.  Returns the stored
+        read-only view.
+        """
+        view = self.ring.append(t, arr)
+        self.n_timesteps = max(self.n_timesteps, int(t) + 1)
+        return view
+
+    @property
+    def latest(self) -> int:
+        """Newest produced timestep (the solver frontier)."""
+        return self.ring.latest
+
+    @property
+    def ring_evictions(self) -> int:
+        return self.ring.evictions

@@ -14,6 +14,9 @@
 * :mod:`~repro.perf.cachetier` — the tiered timestep-cache cost model:
   per-tier hit rates to effective disk bandwidth and the fleet-scale
   Table 2 wall (BENCH_9, docs/caching.md).
+* :mod:`~repro.perf.simvis` — the in situ sim/vis coupling model: solver
+  rate vs frame rate, steady-state lag, and worst-case steering latency
+  (BENCH_10, docs/steering.md).
 """
 
 from repro.perf.scenario import (
@@ -40,6 +43,7 @@ from repro.perf.regression import (
 )
 from repro.perf.profiling import ProfileReport, ProfileRow, profile_call
 from repro.perf.serverloop import ServerLoopModel
+from repro.perf.simvis import SimVisModel
 from repro.perf.wire import SessionWireModel, frame_payload_bytes
 
 __all__ = [
@@ -49,6 +53,7 @@ __all__ = [
     "CacheTierModel",
     "GatewayCapacityModel",
     "ServerLoopModel",
+    "SimVisModel",
     "SessionWireModel",
     "frame_payload_bytes",
     "ProfileReport",

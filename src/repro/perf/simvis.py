@@ -1,0 +1,140 @@
+"""The in situ sim/vis coupling model: solver rate, frame rate, steering lag.
+
+The live windtunnel runs two clocks: the solver produces timesteps at
+whatever rate the hardware sustains, and the visualization pipeline
+turns the newest published timestep into frames.  Because the demand
+gate keys production on the live frontier, the two rates *decouple* —
+the solver never waits for the visualization and the visualization
+never waits for an unfinished step; it simply re-serves the latest
+frame.  Three measured constants capture the coupling
+(measure-small / predict-big, like :class:`~repro.perf.serverloop.
+ServerLoopModel`):
+
+* ``step_seconds`` — wall cost of one solver step (one projection
+  cycle) on the deployed grid;
+* ``publish_seconds`` — installing a finished timestep: extrusion,
+  grid-coordinate conversion, the tier-1/tier-2 cache write-through;
+* ``vis_seconds`` — one frame production: compute + encode + publish
+  for the connected rake population.
+
+From these the model answers the operator questions in
+docs/steering.md: the achievable frame rate (you cannot show timesteps
+faster than they are simulated), how far behind the visualization
+trails (``frames_behind``, the live counterpart of the
+``insitu.frames_behind_sim`` gauge), and the worst-case **steering
+latency** — wall seconds from an accepted ``wt.steer`` to the first
+*visible* frame bearing its epoch.  ``BENCH_10``
+(``benchmarks/test_insitu_soak.py``) measures the constants on a live
+producer and fits the model with :meth:`SimVisModel.fit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimVisModel"]
+
+
+@dataclass(frozen=True)
+class SimVisModel:
+    step_seconds: float
+    steps_per_timestep: int
+    publish_seconds: float = 0.0
+    vis_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.step_seconds < 0:
+            raise ValueError("step_seconds must be non-negative")
+        if self.steps_per_timestep < 1:
+            raise ValueError("steps_per_timestep must be >= 1")
+        if self.publish_seconds < 0:
+            raise ValueError("publish_seconds must be non-negative")
+        if self.vis_seconds < 0:
+            raise ValueError("vis_seconds must be non-negative")
+
+    # -- the two clocks ------------------------------------------------------
+
+    @property
+    def sim_timestep_seconds(self) -> float:
+        """Wall seconds to produce one published timestep."""
+        return self.step_seconds * self.steps_per_timestep + self.publish_seconds
+
+    @property
+    def sim_rate_hz(self) -> float:
+        """Published timesteps per second when the solver free-runs."""
+        cost = self.sim_timestep_seconds
+        return float("inf") if cost <= 0 else 1.0 / cost
+
+    @property
+    def vis_rate_hz(self) -> float:
+        """Frame productions per second the pipeline sustains."""
+        return float("inf") if self.vis_seconds <= 0 else 1.0 / self.vis_seconds
+
+    def achievable_fps(self) -> float:
+        """Distinct-timestep frames per second a viewer can observe.
+
+        The slower clock wins: a fast solver is throttled by frame
+        production; a fast pipeline re-serves the latest timestep (same
+        content, no new physics) while it waits for the next one.
+        """
+        return min(self.sim_rate_hz, self.vis_rate_hz)
+
+    def frames_behind(self) -> float:
+        """Expected steady-state gap between sim frontier and shown frame.
+
+        While one frame is being produced the solver keeps running; the
+        published frame therefore trails by however many timesteps fit in
+        one vis period (the analytic twin of ``insitu.frames_behind_sim``).
+        """
+        if self.sim_timestep_seconds <= 0:
+            return float("inf") if self.vis_seconds > 0 else 0.0
+        return self.vis_seconds / self.sim_timestep_seconds
+
+    # -- steering ------------------------------------------------------------
+
+    def steering_latency_seconds(self) -> float:
+        """Worst-case accepted ``wt.steer`` -> first visible steered frame.
+
+        Three sequential waits: the producer finishes the timestep already
+        in flight (steering only applies at boundaries), produces the
+        first steered timestep, and the pipeline turns it into a frame.
+        """
+        return 2.0 * self.sim_timestep_seconds + self.vis_seconds
+
+    def steering_latency_frames(self) -> int:
+        """The same bound in observed frames (ceil), for client loops."""
+        fps = self.achievable_fps()
+        if fps == float("inf"):
+            return 1
+        latency = self.steering_latency_seconds()
+        return max(1, int(latency * fps + 0.999999))
+
+    # -- fitting -------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        step_samples,
+        *,
+        steps_per_timestep: int,
+        publish_samples=(),
+        vis_samples=(),
+    ) -> "SimVisModel":
+        """Build a model from measured wall times.
+
+        ``step_samples`` is per-solver-step seconds; ``publish_samples``
+        and ``vis_samples`` are per-publication / per-frame seconds.
+        Means are used — the model is a throughput model, not a tail
+        model.
+        """
+        steps = [float(s) for s in step_samples]
+        if not steps:
+            raise ValueError("need at least one step sample")
+        pubs = [float(s) for s in publish_samples]
+        viss = [float(s) for s in vis_samples]
+        return cls(
+            step_seconds=max(0.0, sum(steps) / len(steps)),
+            steps_per_timestep=int(steps_per_timestep),
+            publish_seconds=max(0.0, sum(pubs) / len(pubs)) if pubs else 0.0,
+            vis_seconds=max(0.0, sum(viss) / len(viss)) if viss else 0.0,
+        )

@@ -1,0 +1,87 @@
+"""Tests for the in situ sim/vis coupling model (BENCH_10's analytic half)."""
+
+import pytest
+
+from repro.perf import SimVisModel
+
+
+def model(**overrides):
+    base = dict(
+        step_seconds=0.002,
+        steps_per_timestep=5,
+        publish_seconds=0.004,
+        vis_seconds=0.020,
+    )
+    base.update(overrides)
+    return SimVisModel(**base)
+
+
+class TestRates:
+    def test_sim_timestep_cost_composes(self):
+        m = model()
+        assert m.sim_timestep_seconds == pytest.approx(0.014)
+        assert m.sim_rate_hz == pytest.approx(1.0 / 0.014)
+
+    def test_achievable_fps_is_the_slower_clock(self):
+        # Vis-bound: the pipeline caps what a viewer sees.
+        assert model().achievable_fps() == pytest.approx(50.0)
+        # Sim-bound: a heavy solver caps it instead.
+        heavy = model(step_seconds=0.02)
+        assert heavy.achievable_fps() == pytest.approx(heavy.sim_rate_hz)
+
+    def test_frames_behind_scales_with_vis_cost(self):
+        m = model()
+        assert m.frames_behind() == pytest.approx(0.020 / 0.014)
+        assert model(vis_seconds=0.0).frames_behind() == 0.0
+
+    def test_zero_costs_degenerate_sanely(self):
+        free = SimVisModel(step_seconds=0.0, steps_per_timestep=1)
+        assert free.sim_rate_hz == float("inf")
+        assert free.achievable_fps() == float("inf")
+        assert free.steering_latency_frames() == 1
+
+
+class TestSteeringLatency:
+    def test_worst_case_bound(self):
+        m = model()
+        # Finish the in-flight timestep, produce the first steered one,
+        # then one frame production.
+        assert m.steering_latency_seconds() == pytest.approx(
+            2 * 0.014 + 0.020
+        )
+
+    def test_latency_in_frames_is_ceiled_and_positive(self):
+        m = model()
+        frames = m.steering_latency_frames()
+        assert frames >= 1
+        assert frames >= m.steering_latency_seconds() * m.achievable_fps() - 1
+
+
+class TestValidationAndFit:
+    def test_rejects_negative_and_zero(self):
+        with pytest.raises(ValueError):
+            SimVisModel(step_seconds=-1.0, steps_per_timestep=5)
+        with pytest.raises(ValueError):
+            SimVisModel(step_seconds=0.1, steps_per_timestep=0)
+        with pytest.raises(ValueError):
+            SimVisModel(step_seconds=0.1, steps_per_timestep=1, vis_seconds=-1)
+
+    def test_fit_uses_means(self):
+        m = SimVisModel.fit(
+            [0.001, 0.003],
+            steps_per_timestep=4,
+            publish_samples=[0.002, 0.002],
+            vis_samples=[0.01, 0.03],
+        )
+        assert m.step_seconds == pytest.approx(0.002)
+        assert m.publish_seconds == pytest.approx(0.002)
+        assert m.vis_seconds == pytest.approx(0.02)
+        assert m.steps_per_timestep == 4
+
+    def test_fit_needs_step_samples(self):
+        with pytest.raises(ValueError):
+            SimVisModel.fit([], steps_per_timestep=2)
+
+    def test_fit_without_optional_samples(self):
+        m = SimVisModel.fit([0.002], steps_per_timestep=2)
+        assert m.publish_seconds == 0.0 and m.vis_seconds == 0.0
